@@ -1,0 +1,60 @@
+#pragma once
+// Shared workload builders and ratio plumbing for the experiment benches.
+// Every experiment is seeded and replayable; trial seeds derive from the
+// experiment id so tables are stable across runs.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/bench_util/stats.hpp"
+#include "src/bench_util/table.hpp"
+#include "src/bench_util/timer.hpp"
+#include "src/sectorpack.hpp"
+
+namespace bench {
+
+using namespace sectorpack;
+
+/// n customers with integer demands (DP-friendly), k identical antennas.
+/// capacity_fraction is of total demand.
+inline model::Instance make_workload(sim::Spatial spatial, std::size_t n,
+                                     std::size_t k, double rho,
+                                     double capacity_fraction,
+                                     std::uint64_t seed) {
+  sim::Rng rng(seed);
+  sim::WorkloadConfig wc;
+  wc.num_customers = n;
+  wc.spatial = spatial;
+  wc.demand = sim::DemandDist::kUniformInt;
+  wc.demand_min = 1;
+  wc.demand_max = 10;
+  sim::AntennaConfig ac;
+  ac.count = k;
+  ac.rho = rho;
+  ac.range = 250.0;  // everyone in range: angles-only by default
+  ac.capacity_fraction = capacity_fraction;
+  return sim::make_instance(wc, ac, rng);
+}
+
+inline const char* spatial_name(sim::Spatial s) {
+  switch (s) {
+    case sim::Spatial::kUniformDisk:
+      return "uniform";
+    case sim::Spatial::kHotspots:
+      return "hotspot";
+    case sim::Spatial::kRing:
+      return "ring";
+    case sim::Spatial::kArcBand:
+      return "arcband";
+  }
+  return "?";
+}
+
+/// Ratio of a solver value against a reference, guarding zero references.
+inline double ratio(double value, double reference) {
+  if (reference <= 0.0) return 1.0;
+  return value / reference;
+}
+
+}  // namespace bench

@@ -1,0 +1,62 @@
+// F4 -- capacity stress: solver behaviour vs offered load.
+//
+// Load factor L = total demand / total capacity sweeps 0.25 .. 4.0 on a
+// fixed hotspot workload (n=120, k=3, rho=80deg). Reports served demand as
+// a fraction of the certified bound and as a fraction of total capacity.
+//
+// Expected shape: under light load (L < 1) everything reachable is served
+// and utilization is low; past L = 1 the system saturates -- served demand
+// tracks capacity, utilization -> 1, and the knapsack packing quality
+// (rather than coverage) becomes the binding term. The gap between greedy
+// and local search is widest around L ~ 1 where packing is combinatorially
+// hardest.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  bench_util::print_experiment_header(
+      std::cout, "F4", "load sweep (hotspots, n=120, k=3, rho=80deg)");
+
+  sim::Rng rng(6060);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 120;
+  wc.spatial = sim::Spatial::kHotspots;
+  wc.demand = sim::DemandDist::kUniformInt;
+  wc.demand_min = 1;
+  wc.demand_max = 10;
+  const std::vector<model::Customer> customers =
+      sim::generate_customers(wc, rng);
+  double total_demand = 0.0;
+  for (const auto& c : customers) total_demand += c.demand;
+
+  bench_util::Table table({"load_factor", "greedy/bound", "ls/bound",
+                           "uniform/bound", "ls_utilization"});
+
+  for (double load : {0.25, 0.5, 1.0, 1.5, 2.0, 4.0}) {
+    const double cap = std::max(1.0, std::floor(total_demand / (3.0 * load)));
+    std::vector<model::AntennaSpec> specs(
+        3, model::AntennaSpec{geom::deg_to_rad(80.0), 250.0, cap});
+    const model::Instance inst{customers, specs};
+
+    const double bound = bounds::orientation_free_bound(inst);
+    const double greedy =
+        model::served_demand(inst, sectors::solve_greedy(inst));
+    const model::Solution ls_sol = sectors::solve_local_search(inst);
+    const double ls = model::served_demand(inst, ls_sol);
+    const double uniform = model::served_demand(
+        inst, sectors::solve_uniform_orientations(inst));
+
+    table.add_row({bench_util::cell(load, 2),
+                   bench_util::cell(ratio(greedy, bound), 4),
+                   bench_util::cell(ratio(ls, bound), 4),
+                   bench_util::cell(ratio(uniform, bound), 4),
+                   bench_util::cell(ls / (3.0 * cap), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nUtilization should rise toward 1.0 as load grows; the"
+               " uniform baseline falls behind\nthe adaptive planners"
+               " hardest under saturation.\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// F5 -- runtime scaling of every solver family (google-benchmark).
+//
+// Complexity expectations being verified:
+//   WindowSweep construction      O(n log n)
+//   Knapsack greedy               O(n log n)
+//   Knapsack DP                   O(n * C)
+//   P1 sweep + greedy oracle      O(n^2 log n)
+//   Uncapacitated k-arc DP        O(n^2 k)
+//   Multi-antenna greedy          O(k^2 * P1)
+// Reported time should grow by ~the predicted factor between consecutive
+// doublings of n (the shape check; absolute numbers are machine-specific).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct Circle {
+  std::vector<double> thetas;
+  std::vector<double> demands;
+};
+
+Circle make_circle(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Circle c;
+  c.thetas.resize(n);
+  c.demands.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.thetas[i] = rng.uniform(0.0, geom::kTwoPi);
+    c.demands[i] = static_cast<double>(rng.uniform_int(1, 10));
+  }
+  return c;
+}
+
+}  // namespace
+
+static void BM_WindowSweepConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circle c = make_circle(n, 1);
+  for (auto _ : state) {
+    geom::WindowSweep sweep(c.thetas, 1.0);
+    benchmark::DoNotOptimize(sweep.num_windows());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WindowSweepConstruction)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oNLogN)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_KnapsackGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circle c = make_circle(n, 2);
+  std::vector<knapsack::Item> items(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i] = {c.demands[i], c.demands[i]};
+    total += c.demands[i];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        knapsack::solve_greedy(items, total / 2.0).value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackGreedy)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oNLogN)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_KnapsackDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circle c = make_circle(n, 3);
+  std::vector<knapsack::Item> items(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i] = {c.demands[i], c.demands[i]};
+    total += c.demands[i];
+  }
+  const double cap = std::floor(total / 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack::solve_exact_dp(items, cap).value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackDp)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Complexity(benchmark::oNSquared)  // C grows with n here
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SingleSweepGreedyOracle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circle c = make_circle(n, 4);
+  double total = 0.0;
+  for (double d : c.demands) total += d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        single::best_window(c.thetas, c.demands, 1.0, total / 4.0,
+                            knapsack::Oracle::greedy())
+            .value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleSweepGreedyOracle)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Complexity(benchmark::oNSquared)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SingleUniformFastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circle c = make_circle(n, 9);
+  const double cap = static_cast<double>(n) / 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        single::best_window_uniform(c.thetas, 1.0, 1.0, cap).value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleUniformFastPath)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oNLogN)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_UncapArcDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circle c = make_circle(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        angles::solve_uncap_dp(c.thetas, c.demands, 0.5, 4).covered);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UncapArcDp)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Complexity(benchmark::oNSquared)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SectorsGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const model::Instance inst = make_workload(
+      sim::Spatial::kUniformDisk, n, 4, geom::deg_to_rad(70.0), 0.4, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::served_demand(inst, sectors::solve_greedy(inst)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SectorsGreedy)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_FlowBound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const model::Instance inst = make_workload(
+      sim::Spatial::kUniformDisk, n, 4, geom::deg_to_rad(90.0), 0.4, 7);
+  const std::vector<double> alphas = {0.0, 1.5, 3.0, 4.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bounds::fixed_orientation_fractional_bound(inst, alphas));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowBound)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->MinTime(0.1)
+    ->Unit(benchmark::kMillisecond);

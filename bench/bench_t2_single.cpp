@@ -1,0 +1,64 @@
+// T2 -- P1 single-sector solver quality across workload geographies.
+//
+// One antenna (60 deg beam, capacity = 30% of demand), n = 200 customers
+// with integer demands drawn from four spatial distributions. Ratios are
+// against the exact sweep (candidate orientations x exact knapsack).
+//
+// Expected shape: exact == 1; fptas >= 1 - eps; greedy >= 0.5 and usually
+// far above; the arcband geography concentrates demand so ratios tighten.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  bench_util::print_experiment_header(
+      std::cout, "T2", "single-sector solvers by workload (n=200, rho=60deg)");
+
+  bench_util::Table table({"workload", "solver", "ratio_mean", "ratio_min",
+                           "time_ms"});
+
+  const int trials = 5;
+  const double rho = geom::deg_to_rad(60.0);
+
+  struct Solver {
+    std::string name;
+    knapsack::Oracle oracle;
+  };
+  const std::vector<Solver> solvers = {
+      {"exact", knapsack::Oracle::exact()},
+      {"fptas-0.10", knapsack::Oracle::fptas(0.10)},
+      {"greedy", knapsack::Oracle::greedy()},
+  };
+
+  for (sim::Spatial spatial :
+       {sim::Spatial::kUniformDisk, sim::Spatial::kHotspots,
+        sim::Spatial::kRing, sim::Spatial::kArcBand}) {
+    std::vector<std::vector<double>> ratios(solvers.size());
+    std::vector<double> times(solvers.size(), 0.0);
+    for (int trial = 0; trial < trials; ++trial) {
+      const model::Instance inst =
+          make_workload(spatial, 200, 1, rho, 0.3,
+                        7000 + static_cast<std::uint64_t>(trial));
+      const double exact =
+          model::served_demand(inst, single::solve_exact(inst));
+      for (std::size_t s = 0; s < solvers.size(); ++s) {
+        single::Config config;
+        config.oracle = solvers[s].oracle;
+        bench_util::Timer timer;
+        const model::Solution sol = single::solve(inst, config);
+        times[s] += timer.elapsed_ms();
+        ratios[s].push_back(ratio(model::served_demand(inst, sol), exact));
+      }
+    }
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      const auto summary = bench_util::summarize(ratios[s]);
+      table.add_row({spatial_name(spatial), solvers[s].name,
+                     bench_util::cell(summary.mean, 4),
+                     bench_util::cell(summary.min, 4),
+                     bench_util::cell(times[s] / trials, 3)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

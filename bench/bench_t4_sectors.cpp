@@ -1,0 +1,105 @@
+// T4 -- P3 multi-antenna solver quality.
+//
+// Small instances: ratios against the exact solver (enumerated candidate
+// orientation tuples + exact assignment). Large instances: ratios against
+// the certified orientation-free upper bound (so reported ratios are lower
+// bounds on the true ratios against OPT).
+//
+// Expected shape: local search >= greedy >= uniform; greedy well above its
+// worst case on random workloads; ratios vs the (loose) bound still high.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  bench_util::print_experiment_header(
+      std::cout, "T4", "multi-antenna solvers: small exact, large bounded");
+
+  // Part 1: vs exact (n=9, k=2).
+  {
+    bench_util::Table table(
+        {"solver", "ratio_mean", "ratio_min", "trials"});
+    const int trials = 8;
+    std::vector<double> r_greedy;
+    std::vector<double> r_ls;
+    std::vector<double> r_anneal;
+    std::vector<double> r_uniform;
+    for (int trial = 0; trial < trials; ++trial) {
+      const model::Instance inst =
+          make_workload(sim::Spatial::kUniformDisk, 9, 2,
+                        geom::deg_to_rad(80.0), 0.5,
+                        4000 + static_cast<std::uint64_t>(trial));
+      const double exact =
+          model::served_demand(inst, sectors::solve_exact(inst));
+      r_greedy.push_back(ratio(
+          model::served_demand(inst, sectors::solve_greedy(inst)), exact));
+      r_ls.push_back(ratio(
+          model::served_demand(inst, sectors::solve_local_search(inst)),
+          exact));
+      sectors::AnnealConfig anneal;
+      anneal.seed = static_cast<std::uint64_t>(trial);
+      anneal.iterations = 800;
+      r_anneal.push_back(ratio(
+          model::served_demand(inst, sectors::solve_annealing(inst, anneal)),
+          exact));
+      r_uniform.push_back(
+          ratio(model::served_demand(
+                    inst, sectors::solve_uniform_orientations(inst)),
+                exact));
+    }
+    const auto add = [&](const char* name, const std::vector<double>& r) {
+      const auto s = bench_util::summarize(r);
+      table.add_row({name, bench_util::cell(s.mean, 4),
+                     bench_util::cell(s.min, 4),
+                     bench_util::cell(std::size_t(trials))});
+    };
+    std::cout << "vs exact (n=9, k=2, rho=80deg, capacity=50%):\n";
+    add("greedy", r_greedy);
+    add("local-search", r_ls);
+    add("annealing", r_anneal);
+    add("uniform", r_uniform);
+    table.print(std::cout);
+  }
+
+  // Part 2: vs certified upper bound (n=150, k=4).
+  {
+    std::cout << "\nvs orientation-free bound (n=150, k=4, rho=70deg):\n";
+    bench_util::Table table({"workload", "solver", "ratio_vs_bound_mean",
+                             "ratio_min"});
+    const int trials = 4;
+    for (sim::Spatial spatial :
+         {sim::Spatial::kUniformDisk, sim::Spatial::kHotspots,
+          sim::Spatial::kRing}) {
+      std::vector<double> r_greedy;
+      std::vector<double> r_ls;
+      std::vector<double> r_uniform;
+      for (int trial = 0; trial < trials; ++trial) {
+        const model::Instance inst =
+            make_workload(spatial, 150, 4, geom::deg_to_rad(70.0), 0.4,
+                          5000 + static_cast<std::uint64_t>(trial));
+        const double bound = bounds::orientation_free_bound(inst);
+        r_greedy.push_back(ratio(
+            model::served_demand(inst, sectors::solve_greedy(inst)), bound));
+        r_ls.push_back(ratio(
+            model::served_demand(inst, sectors::solve_local_search(inst)),
+            bound));
+        r_uniform.push_back(
+            ratio(model::served_demand(
+                      inst, sectors::solve_uniform_orientations(inst)),
+                  bound));
+      }
+      const auto add = [&](const char* name, const std::vector<double>& r) {
+        const auto s = bench_util::summarize(r);
+        table.add_row({spatial_name(spatial), name,
+                       bench_util::cell(s.mean, 4),
+                       bench_util::cell(s.min, 4)});
+      };
+      add("greedy", r_greedy);
+      add("local-search", r_ls);
+      add("uniform", r_uniform);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

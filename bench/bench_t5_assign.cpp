@@ -1,0 +1,119 @@
+// T5 -- P0 fixed-orientation packing (multiple knapsack with eligibility).
+//
+// Orientations are frozen at random angles; only the assignment is solved.
+// Small instances compare against the exact branch & bound; all sizes
+// compare against the exact fractional (max-flow) bound, which certifies
+// the LP gap.
+//
+// Expected shape: successive-knapsack >= 1/2 of exact (proven floor),
+// typically ~0.95+; the flow bound is near-tight (small integrality gap)
+// on unit-ish demands and looser on heavy-tailed demands.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+std::vector<double> random_alphas(sim::Rng& rng, std::size_t k) {
+  std::vector<double> alphas(k);
+  for (double& a : alphas) a = rng.uniform(0.0, geom::kTwoPi);
+  return alphas;
+}
+
+}  // namespace
+
+int main() {
+  bench_util::print_experiment_header(
+      std::cout, "T5", "fixed-orientation assignment (multiple knapsack)");
+
+  // Part 1: vs exact assignment (n=14, k=3).
+  {
+    std::cout << "vs exact (n=14, k=3):\n";
+    bench_util::Table table({"solver", "ratio_mean", "ratio_min"});
+    const int trials = 10;
+    std::vector<double> r_greedy;
+    std::vector<double> r_succ_exact;
+    std::vector<double> r_succ_greedy;
+    std::vector<double> r_lp;
+    std::vector<double> r_flow;
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::uint64_t seed = 6000 + static_cast<std::uint64_t>(trial);
+      const model::Instance inst = make_workload(
+          sim::Spatial::kUniformDisk, 14, 3, geom::deg_to_rad(100.0), 0.5,
+          seed);
+      sim::Rng rng(seed * 13 + 1);
+      const auto alphas = random_alphas(rng, 3);
+      const double exact = model::served_demand(
+          inst, sectorpack::assign::solve_exact(inst, alphas));
+      if (exact <= 0.0) continue;
+      r_greedy.push_back(
+          ratio(model::served_demand(
+                    inst, sectorpack::assign::solve_greedy(inst, alphas)),
+                exact));
+      r_succ_exact.push_back(ratio(
+          model::served_demand(
+              inst, sectorpack::assign::solve_successive(inst, alphas)),
+          exact));
+      r_succ_greedy.push_back(
+          ratio(model::served_demand(
+                    inst, sectorpack::assign::solve_successive(
+                              inst, alphas, knapsack::Oracle::greedy())),
+                exact));
+      r_lp.push_back(
+          ratio(model::served_demand(
+                    inst, sectorpack::assign::solve_lp_rounding(inst, alphas)),
+                exact));
+      r_flow.push_back(ratio(
+          bounds::fixed_orientation_fractional_bound(inst, alphas), exact));
+    }
+    const auto add = [&](const char* name, const std::vector<double>& r) {
+      const auto s = bench_util::summarize(r);
+      table.add_row({name, bench_util::cell(s.mean, 4),
+                     bench_util::cell(s.min, 4)});
+    };
+    add("best-fit-greedy", r_greedy);
+    add("successive(exact)", r_succ_exact);
+    add("successive(greedy)", r_succ_greedy);
+    add("lp-rounding", r_lp);
+    add("flow-bound/exact", r_flow);
+    table.print(std::cout);
+    std::cout << "(flow-bound/exact >= 1 always; its excess over 1 is the"
+                 " integrality gap)\n";
+  }
+
+  // Part 2: large instances vs the flow bound.
+  {
+    std::cout << "\nvs flow bound (n=400, k=6):\n";
+    bench_util::Table table(
+        {"workload", "solver", "ratio_vs_flow", "time_ms"});
+    for (sim::Spatial spatial :
+         {sim::Spatial::kUniformDisk, sim::Spatial::kHotspots}) {
+      const model::Instance inst = make_workload(
+          spatial, 400, 6, geom::deg_to_rad(90.0), 0.5, 8123);
+      sim::Rng rng(977);
+      const auto alphas = random_alphas(rng, 6);
+      const double flow =
+          bounds::fixed_orientation_fractional_bound(inst, alphas);
+
+      {
+        bench_util::Timer timer;
+        const double v = model::served_demand(
+            inst, sectorpack::assign::solve_greedy(inst, alphas));
+        table.add_row({spatial_name(spatial), "best-fit-greedy",
+                       bench_util::cell(ratio(v, flow), 4),
+                       bench_util::cell(timer.elapsed_ms(), 2)});
+      }
+      {
+        bench_util::Timer timer;
+        const double v = model::served_demand(
+            inst, sectorpack::assign::solve_successive(inst, alphas));
+        table.add_row({spatial_name(spatial), "successive(exact)",
+                       bench_util::cell(ratio(v, flow), 4),
+                       bench_util::cell(timer.elapsed_ms(), 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

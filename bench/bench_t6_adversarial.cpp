@@ -1,0 +1,94 @@
+// T6 -- adversarial gadgets: algorithms at their proven floors.
+//
+// Each gadget is a constructed instance on which an approximation
+// algorithm's ratio approaches its theoretical worst case. This is the
+// empirical counterpart of the paper family's tightness examples.
+//
+// Expected shape: knapsack-greedy ratio -> 0.5 as capacity grows (never
+// below); the sector greedy hits ~0.505 on the range-shadow trap; best-fit
+// assignment strands demand on the fragmentation trap while exact packs
+// everything; exact solvers are immune to all gadgets.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  bench_util::print_experiment_header(std::cout, "T6",
+                                      "adversarial gadget floors");
+
+  // Gadget 1: knapsack greedy -> 1/2.
+  {
+    std::cout << "knapsack greedy on {C/2+1, C/2, C/2}:\n";
+    bench_util::Table table({"capacity", "greedy", "exact", "ratio"});
+    for (double cap : {10.0, 100.0, 1000.0, 100000.0}) {
+      const sim::KnapsackGadget g = sim::greedy_half_gadget(cap);
+      const double greedy = knapsack::solve_greedy(g.items, g.capacity).value;
+      const double exact =
+          knapsack::solve_exact_auto(g.items, g.capacity).value;
+      table.add_row({bench_util::cell(cap, 0), bench_util::cell(greedy, 0),
+                     bench_util::cell(exact, 0),
+                     bench_util::cell(greedy / exact, 5)});
+    }
+    table.print(std::cout);
+    std::cout << "(ratio must decrease toward 0.5 and never cross it)\n";
+  }
+
+  // Gadget 2: the same trap embedded in a single-antenna sweep.
+  {
+    std::cout << "\nsingle-antenna embedding (capacity 1000):\n";
+    bench_util::Table table({"solver", "served", "ratio_vs_exact"});
+    const model::Instance inst = sim::single_antenna_trap(1000.0);
+    const double exact =
+        model::served_demand(inst, single::solve_exact(inst));
+    const auto row = [&](const char* name, const model::Solution& sol) {
+      const double v = model::served_demand(inst, sol);
+      table.add_row({name, bench_util::cell(v, 0),
+                     bench_util::cell(ratio(v, exact), 4)});
+    };
+    row("greedy-oracle", single::solve_greedy(inst));
+    row("fptas-0.10", single::solve_fptas(inst, 0.10));
+    row("fptas-0.01", single::solve_fptas(inst, 0.01));
+    row("exact", single::solve_exact(inst));
+    table.print(std::cout);
+  }
+
+  // Gadget 3: range-shadow trap for the multi-antenna greedy.
+  {
+    std::cout << "\nrange-shadow trap (k=2):\n";
+    bench_util::Table table({"solver", "served", "ratio_vs_exact"});
+    const model::Instance inst = sim::range_shadow_trap();
+    const double exact =
+        model::served_demand(inst, sectors::solve_exact(inst));
+    const auto row = [&](const char* name, const model::Solution& sol) {
+      const double v = model::served_demand(inst, sol);
+      table.add_row({name, bench_util::cell(v, 1),
+                     bench_util::cell(ratio(v, exact), 4)});
+    };
+    row("greedy", sectors::solve_greedy(inst));
+    row("local-search", sectors::solve_local_search(inst));
+    row("exact", sectors::solve_exact(inst));
+    table.print(std::cout);
+  }
+
+  // Gadget 4: fragmentation trap for best-fit assignment.
+  {
+    std::cout << "\nfragmentation trap (fixed orientations, k=2):\n";
+    bench_util::Table table({"solver", "served", "ratio_vs_exact"});
+    const model::Instance inst = sim::fragmentation_trap();
+    const std::vector<double> alphas(inst.num_antennas(), 0.0);
+    const double exact = model::served_demand(
+        inst, sectorpack::assign::solve_exact(inst, alphas));
+    const auto row = [&](const char* name, const model::Solution& sol) {
+      const double v = model::served_demand(inst, sol);
+      table.add_row({name, bench_util::cell(v, 0),
+                     bench_util::cell(ratio(v, exact), 4)});
+    };
+    row("best-fit-greedy", sectorpack::assign::solve_greedy(inst, alphas));
+    row("successive(exact)",
+        sectorpack::assign::solve_successive(inst, alphas));
+    row("exact", sectorpack::assign::solve_exact(inst, alphas));
+    table.print(std::cout);
+  }
+  return 0;
+}

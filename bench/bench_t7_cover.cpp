@@ -1,0 +1,87 @@
+// T7 -- the dual problem: minimum antennas to serve all demand.
+//
+// Small instances compare both heuristics against the exact escalating-k
+// solver; large instances report heuristic counts against the certified
+// lower bound max(ceil(demand/capacity), min-arcs-to-cover).
+//
+// Expected shape: exact == lower bound on most random instances (the bound
+// is usually tight); greedy and next-fit within a small additive factor of
+// exact; next-fit == min-arcs exactly in the uncapacitated regime; counts
+// decrease monotonically in beam width.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+std::vector<model::Customer> random_customers(std::uint64_t seed,
+                                              std::size_t n) {
+  sim::Rng rng(seed);
+  sim::WorkloadConfig wc;
+  wc.num_customers = n;
+  wc.spatial = sim::Spatial::kUniformDisk;
+  wc.disk_radius = 9.0;
+  wc.demand = sim::DemandDist::kUniformInt;
+  wc.demand_min = 1;
+  wc.demand_max = 6;
+  return sim::generate_customers(wc, rng);
+}
+
+}  // namespace
+
+int main() {
+  bench_util::print_experiment_header(
+      std::cout, "T7", "minimum antennas to cover all demand");
+
+  // Part 1: vs exact (n=7).
+  {
+    std::cout << "vs exact (n=7, rho=90deg, range=10, capacity=15):\n";
+    bench_util::Table table(
+        {"trial", "lower_bound", "exact", "greedy", "nextfit"});
+    const model::AntennaSpec type{geom::kPi / 2.0, 10.0, 15.0};
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+      const auto customers = random_customers(trial + 7100, 7);
+      const std::size_t lb = cover::lower_bound(customers, type);
+      const std::size_t exact =
+          cover::solve_exact(customers, type, 7).num_antennas();
+      const std::size_t greedy =
+          cover::solve_greedy(customers, type).num_antennas();
+      const std::size_t nextfit =
+          cover::solve_sweep_nextfit(customers, type).num_antennas();
+      table.add_row({bench_util::cell(trial), bench_util::cell(lb),
+                     bench_util::cell(exact), bench_util::cell(greedy),
+                     bench_util::cell(nextfit)});
+    }
+    table.print(std::cout);
+  }
+
+  // Part 2: large instances vs the lower bound, sweeping beam width.
+  {
+    std::cout << "\nvs lower bound (n=300, capacity=40):\n";
+    bench_util::Table table({"rho_deg", "lower_bound", "greedy", "nextfit",
+                             "greedy/LB", "time_greedy_ms"});
+    const auto customers = random_customers(42, 300);
+    for (double deg : {30.0, 60.0, 90.0, 180.0, 360.0}) {
+      const model::AntennaSpec type{geom::deg_to_rad(deg), 10.0, 40.0};
+      const std::size_t lb = cover::lower_bound(customers, type);
+      bench_util::Timer timer;
+      const std::size_t greedy =
+          cover::solve_greedy(customers, type).num_antennas();
+      const double ms = timer.elapsed_ms();
+      const std::size_t nextfit =
+          cover::solve_sweep_nextfit(customers, type).num_antennas();
+      table.add_row(
+          {bench_util::cell(deg, 0), bench_util::cell(lb),
+           bench_util::cell(greedy), bench_util::cell(nextfit),
+           bench_util::cell(static_cast<double>(greedy) /
+                                static_cast<double>(lb),
+                            3),
+           bench_util::cell(ms, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nCounts must be >= lower_bound and nonincreasing in"
+                 " rho.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Beam-width study: how wide should the sectors be?
+//
+//   $ ./beam_width_study [seed]
+//
+// Narrow beams concentrate capacity on hotspots but miss spread-out demand;
+// wide beams see everyone but waste capacity on sparse regions (and, with
+// binding capacity, width stops helping entirely once the best window is
+// capacity-limited). This example sweeps the beam width for a fixed antenna
+// count and prints the served-demand curve with the saturation point -- the
+// planning question a radio engineer would actually ask of this library.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/bench_util/table.hpp"
+#include "src/sectorpack.hpp"
+
+using namespace sectorpack;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  sim::Rng master(seed);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 200;
+  // Dispersed demand: with subscribers spread over the whole disk, narrow
+  // beams are geometry-limited (they simply cannot see most of the city)
+  // and wide beams become capacity-limited -- the interesting crossover.
+  wc.spatial = sim::Spatial::kUniformDisk;
+  wc.demand = sim::DemandDist::kUniformInt;
+  wc.demand_min = 1;
+  wc.demand_max = 16;
+
+  const std::size_t k = 4;
+
+  bench_util::Table table({"beam(deg)", "served", "frac_of_demand",
+                           "frac_of_bound", "best_alpha0(deg)"});
+
+  for (double beam_deg :
+       {15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 270.0, 360.0}) {
+    sim::Rng rng = master;  // same workload for every width
+    sim::AntennaConfig ac;
+    ac.count = k;
+    ac.rho = geom::deg_to_rad(beam_deg);
+    ac.range = 130.0;
+    ac.capacity_fraction = 0.8;
+    const model::Instance inst = sim::make_instance(wc, ac, rng);
+
+    const model::Solution sol = sectors::solve_local_search(inst);
+    const double served = model::served_demand(inst, sol);
+    const double bound = bounds::orientation_free_bound(inst);
+    table.add_row({bench_util::cell(beam_deg, 0), bench_util::cell(served, 0),
+                   bench_util::cell(served / inst.total_demand(), 3),
+                   bench_util::cell(bound > 0 ? served / bound : 0.0, 3),
+                   bench_util::cell(geom::rad_to_deg(sol.alpha[0]), 1)});
+  }
+
+  std::printf("Beam-width study: 200 subscribers uniform over the city,"
+              " %zu antennas, capacity = 80%% of demand\n\n", k);
+  table.print(std::cout);
+  std::printf("\nReading: narrow beams are geometry-limited (they cannot"
+              " see most of the city);\nserved demand rises with width"
+              " until the per-antenna capacity binds (~90 deg here).\n");
+  return 0;
+}

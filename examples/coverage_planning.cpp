@@ -1,0 +1,95 @@
+// Coverage planning: "how many antennas do we need?" -- the dual question.
+//
+//   $ ./coverage_planning [n] [seed]
+//
+// A rural operator must serve EVERY subscriber (universal-service mandate)
+// and wants the smallest deployment of a fixed antenna SKU. This example
+// sizes the deployment across candidate SKUs (beam width x capacity),
+// compares the greedy and next-fit planners against the certified lower
+// bound, and writes an SVG of the chosen plan.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/bench_util/table.hpp"
+#include "src/sectorpack.hpp"
+
+using namespace sectorpack;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 17;
+
+  sim::Rng rng(seed);
+  sim::WorkloadConfig wc;
+  wc.num_customers = n;
+  wc.spatial = sim::Spatial::kHotspots;
+  wc.num_hotspots = 5;
+  wc.hotspot_sigma = 14.0;
+  wc.demand = sim::DemandDist::kUniformInt;
+  wc.demand_min = 1;
+  wc.demand_max = 8;
+  const std::vector<model::Customer> customers =
+      sim::generate_customers(wc, rng);
+  double total_demand = 0.0;
+  for (const auto& c : customers) total_demand += c.demand;
+
+  std::printf("Region: %zu subscribers, total demand %.0f, universal"
+              " service required\n\n", n, total_demand);
+
+  struct Sku {
+    const char* name;
+    double rho_deg;
+    double capacity;
+  };
+  const Sku skus[] = {
+      {"narrow/high-cap", 45.0, 80.0},
+      {"medium", 90.0, 60.0},
+      {"wide/low-cap", 180.0, 40.0},
+  };
+
+  bench_util::Table table({"SKU", "beam", "capacity", "lower_bound",
+                           "greedy", "nextfit"});
+  cover::CoverResult best_plan;
+  model::AntennaSpec best_type{};
+  std::size_t best_count = customers.size() + 1;
+
+  for (const Sku& sku : skus) {
+    const model::AntennaSpec type{geom::deg_to_rad(sku.rho_deg), 200.0,
+                                  sku.capacity};
+    const std::size_t lb = cover::lower_bound(customers, type);
+    cover::CoverResult greedy = cover::solve_greedy(customers, type);
+    cover::CoverResult nextfit = cover::solve_sweep_nextfit(customers, type);
+    table.add_row({sku.name, bench_util::cell(sku.rho_deg, 0),
+                   bench_util::cell(sku.capacity, 0), bench_util::cell(lb),
+                   bench_util::cell(greedy.num_antennas()),
+                   bench_util::cell(nextfit.num_antennas())});
+    cover::CoverResult& better =
+        greedy.num_antennas() <= nextfit.num_antennas() ? greedy : nextfit;
+    if (better.num_antennas() < best_count) {
+      best_count = better.num_antennas();
+      best_plan = std::move(better);
+      best_type = type;
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nBest plan: %zu antennas of beam %.0f deg / capacity %.0f\n",
+              best_count, geom::rad_to_deg(best_type.rho),
+              best_type.capacity);
+  const bool valid = cover::validate_cover(customers, best_type, best_plan);
+  std::printf("cover validator: %s\n", valid ? "every subscriber served"
+                                             : "ERROR: invalid cover");
+
+  // Render the chosen plan.
+  std::vector<model::AntennaSpec> specs(best_count, best_type);
+  const model::Instance inst{customers, specs};
+  model::Solution plan;
+  plan.alpha = best_plan.alphas;
+  plan.assign = best_plan.assign;
+  viz::write_svg("coverage_plan.svg", inst, &plan);
+  std::printf("wrote coverage_plan.svg\n");
+  return valid ? 0 : 1;
+}

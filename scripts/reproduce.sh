@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, full test suite, every experiment table.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

@@ -1,0 +1,68 @@
+#pragma once
+// P2 -- packing to angles: every customer is within range of every antenna,
+// so only the angular coordinate matters.
+//
+// Uncapacitated case (capacities non-binding): choosing k arcs of equal
+// width rho to maximize covered demand is polynomial. Structure theorem
+// used by solve_uncap_dp (proof sketch, each step preserves coverage):
+//   1. Any optimal set of arcs can be made pairwise disjoint: walk the arcs
+//      in CCW order; when arc B starts inside arc A, rotate B CCW until its
+//      start reaches A's end -- the overlap's customers stay covered by A
+//      and B's span only gains new territory at its far end.
+//   2. Each disjoint arc can then be rotated CCW until its start angle hits
+//      the first customer it covers that is strictly after the previous
+//      arc's end (customers skipped over are covered by the previous arc,
+//      by the same cascade as in 1). Arcs covering no such customer are
+//      dropped.
+// Hence there is an optimum in which arcs are disjoint and every arc starts
+// exactly at a customer angle, with each next arc starting strictly after
+// the previous arc's end. If k * rho >= 2*pi, everything is coverable and
+// we return the trivial all-covered solution. Otherwise some direction is
+// uncovered and we may "cut" the circle there: for each candidate start
+// position s we run a linear DP over the doubled angle array, giving
+// O(n^2 k) total time and O(n k) memory.
+//
+// Capacitated case: NP-hard (knapsack embeds with k = 1). solve_capacitated
+// runs the generic sector machinery (greedy + local search), and
+// solve_capacitated_exact enumerates candidate orientation tuples for small
+// instances, de-duplicating permutations when antennas are identical.
+
+#include <span>
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/model/solution.hpp"
+
+namespace sectorpack::angles {
+
+struct ArcCoverResult {
+  std::vector<double> alphas;  // chosen arc starts (size <= k)
+  double covered = 0.0;        // total demand covered
+  std::vector<std::size_t> covered_customers;  // ascending indices
+};
+
+/// Optimal uncapacitated k-arc cover in O(n^2 k). `thetas` need not be
+/// sorted; `demands` parallel to it.
+[[nodiscard]] ArcCoverResult solve_uncap_dp(std::span<const double> thetas,
+                                            std::span<const double> demands,
+                                            double rho, std::size_t k);
+
+/// Exhaustive reference: tries every k-combination of candidate starts
+/// (leading edges at customer angles). Preconditions: n <= 12, k <= 3.
+[[nodiscard]] ArcCoverResult solve_uncap_brute(std::span<const double> thetas,
+                                               std::span<const double> demands,
+                                               double rho, std::size_t k);
+
+/// Capacitated P2 on an angles-only instance: greedy rounds of best
+/// single-sector packings followed by round-robin re-orientation local
+/// search. Delegates to sectors::; see sectors/sectors.hpp.
+[[nodiscard]] model::Solution solve_capacitated(
+    const model::Instance& inst,
+    const knapsack::Oracle& oracle = knapsack::Oracle::exact());
+
+/// Exact capacitated P2 by enumerating candidate orientation tuples
+/// (sorted tuples when antennas are identical) with exact assignment.
+/// Exponential: intended for n <= ~10, k <= 3.
+[[nodiscard]] model::Solution solve_capacitated_exact(
+    const model::Instance& inst, std::uint64_t node_limit = 1u << 26);
+
+}  // namespace sectorpack::angles

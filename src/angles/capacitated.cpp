@@ -1,0 +1,30 @@
+#include <stdexcept>
+
+#include "src/angles/angles.hpp"
+#include "src/sectors/sectors.hpp"
+
+namespace sectorpack::angles {
+
+model::Solution solve_capacitated(const model::Instance& inst,
+                                  const knapsack::Oracle& oracle) {
+  if (!inst.is_angles_only()) {
+    throw std::invalid_argument(
+        "angles::solve_capacitated: instance has out-of-range customers; "
+        "use sectors::solve_local_search instead");
+  }
+  sectors::LocalSearchConfig config;
+  config.oracle = oracle;
+  return sectors::solve_local_search(inst, config);
+}
+
+model::Solution solve_capacitated_exact(const model::Instance& inst,
+                                        std::uint64_t node_limit) {
+  if (!inst.is_angles_only()) {
+    throw std::invalid_argument(
+        "angles::solve_capacitated_exact: instance has out-of-range "
+        "customers; use sectors::solve_exact instead");
+  }
+  return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20, node_limit);
+}
+
+}  // namespace sectorpack::angles

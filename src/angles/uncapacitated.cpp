@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/angles/angles.hpp"
+#include "src/geom/arc.hpp"
+
+namespace sectorpack::angles {
+
+namespace {
+
+using geom::kAngleEps;
+using geom::kTwoPi;
+
+struct SortedCircle {
+  std::vector<std::size_t> order;  // original index per sorted position
+  std::vector<double> angle2;      // sorted angles, doubled (+2*pi copy)
+  std::vector<double> prefix;      // prefix demand sums over angle2
+  std::vector<std::size_t> up;     // first position strictly after p's arc
+  std::size_t n = 0;
+};
+
+SortedCircle build_circle(std::span<const double> thetas,
+                          std::span<const double> demands, double rho) {
+  SortedCircle sc;
+  sc.n = thetas.size();
+  sc.order.resize(sc.n);
+  std::iota(sc.order.begin(), sc.order.end(), std::size_t{0});
+  std::vector<double> norm(sc.n);
+  for (std::size_t i = 0; i < sc.n; ++i) norm[i] = geom::normalize(thetas[i]);
+  std::sort(sc.order.begin(), sc.order.end(),
+            [&](std::size_t a, std::size_t b) { return norm[a] < norm[b]; });
+
+  sc.angle2.resize(2 * sc.n);
+  sc.prefix.assign(2 * sc.n + 1, 0.0);
+  for (std::size_t p = 0; p < sc.n; ++p) {
+    sc.angle2[p] = norm[sc.order[p]];
+    sc.angle2[p + sc.n] = norm[sc.order[p]] + kTwoPi;
+  }
+  for (std::size_t p = 0; p < 2 * sc.n; ++p) {
+    sc.prefix[p + 1] = sc.prefix[p] + demands[sc.order[p % sc.n]];
+  }
+
+  // up[p]: first position q > p with angle2[q] > angle2[p] + rho + eps,
+  // i.e. the first customer strictly outside the closed arc starting at p.
+  sc.up.resize(2 * sc.n);
+  std::size_t q = 0;
+  for (std::size_t p = 0; p < 2 * sc.n; ++p) {
+    if (q < p) q = p;
+    const double limit = sc.angle2[p] + rho + kAngleEps;
+    while (q < 2 * sc.n && sc.angle2[q] <= limit) ++q;
+    // Beyond the doubled range every angle is covered (rho >= 2*pi case is
+    // handled before the DP), so clamping is safe.
+    sc.up[p] = std::min(q, 2 * sc.n);
+  }
+  return sc;
+}
+
+}  // namespace
+
+ArcCoverResult solve_uncap_dp(std::span<const double> thetas,
+                              std::span<const double> demands, double rho,
+                              std::size_t k) {
+  if (thetas.size() != demands.size()) {
+    throw std::invalid_argument("solve_uncap_dp: span size mismatch");
+  }
+  ArcCoverResult result;
+  const std::size_t n = thetas.size();
+  if (n == 0 || k == 0) return result;
+
+  // Everything coverable: k arcs laid end to end span the whole circle.
+  if (static_cast<double>(k) * rho >= kTwoPi - kAngleEps) {
+    for (std::size_t t = 0; t < k; ++t) {
+      result.alphas.push_back(geom::normalize(static_cast<double>(t) * rho));
+    }
+    result.covered_customers.resize(n);
+    std::iota(result.covered_customers.begin(),
+              result.covered_customers.end(), std::size_t{0});
+    for (double d : demands) result.covered += d;
+    return result;
+  }
+
+  const SortedCircle sc = build_circle(thetas, demands, rho);
+
+  // dp[t][l]: best demand using <= t arcs whose starts are at local
+  // positions >= l (absolute position s + l), none covering the cut
+  // direction just before angle2[s] + 2*pi.
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(n + 1, 0.0));
+
+  double best_value = -1.0;
+  std::size_t best_cut = 0;
+
+  auto run_dp = [&](std::size_t s) {
+    const double wrap_limit = sc.angle2[s] + kTwoPi;
+    for (std::size_t t = 1; t <= k; ++t) {
+      for (std::size_t l = n; l-- > 0;) {
+        const std::size_t p = s + l;
+        double v = dp[t][l + 1];  // skip this start
+        if (sc.angle2[p] + rho + kAngleEps < wrap_limit) {
+          const std::size_t next_abs = std::min(sc.up[p], s + n);
+          const double gain = sc.prefix[next_abs] - sc.prefix[p];
+          const std::size_t next_l = next_abs - s;
+          const double take = gain + dp[t - 1][next_l];
+          v = std::max(v, take);
+        }
+        dp[t][l] = v;
+      }
+    }
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s > 0 && sc.angle2[s] - sc.angle2[s - 1] <= kAngleEps) continue;
+    run_dp(s);
+    if (dp[k][0] > best_value) {
+      best_value = dp[k][0];
+      best_cut = s;
+    }
+  }
+
+  // Recompute the winning cut and walk the DP to extract arc starts.
+  run_dp(best_cut);
+  result.covered = dp[k][0];
+  const std::size_t s = best_cut;
+  const double wrap_limit = sc.angle2[s] + kTwoPi;
+  std::size_t l = 0;
+  std::size_t t = k;
+  while (l < n && t > 0) {
+    const std::size_t p = s + l;
+    bool take = false;
+    if (sc.angle2[p] + rho + kAngleEps < wrap_limit) {
+      const std::size_t next_abs = std::min(sc.up[p], s + n);
+      const double gain = sc.prefix[next_abs] - sc.prefix[p];
+      if (gain + dp[t - 1][next_abs - s] > dp[t][l + 1]) take = true;
+    }
+    if (take) {
+      result.alphas.push_back(geom::normalize(sc.angle2[p]));
+      const std::size_t next_abs = std::min(sc.up[p], s + n);
+      --t;
+      l = next_abs - s;
+    } else {
+      ++l;
+    }
+  }
+
+  // Covered customers, derived geometrically from the chosen arcs so the
+  // result is self-consistent with geom::Arc::contains.
+  std::vector<bool> covered(n, false);
+  for (double alpha : result.alphas) {
+    const geom::Arc arc(alpha, rho);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!covered[i] && arc.contains(geom::normalize(thetas[i]))) {
+        covered[i] = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (covered[i]) result.covered_customers.push_back(i);
+  }
+  return result;
+}
+
+ArcCoverResult solve_uncap_brute(std::span<const double> thetas,
+                                 std::span<const double> demands, double rho,
+                                 std::size_t k) {
+  const std::size_t n = thetas.size();
+  if (n > 12 || k > 3) {
+    throw std::invalid_argument("solve_uncap_brute: instance too large");
+  }
+  ArcCoverResult best;
+  if (n == 0 || k == 0) return best;
+
+  std::vector<double> cands;
+  cands.reserve(n);
+  for (double t : thetas) cands.push_back(geom::normalize(t));
+
+  // Enumerate all k-tuples (with repetition; duplicates are harmless).
+  std::vector<std::size_t> pick(k, 0);
+  for (;;) {
+    std::vector<bool> covered(n, false);
+    double value = 0.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      const geom::Arc arc(cands[pick[t]], rho);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!covered[i] && arc.contains(geom::normalize(thetas[i]))) {
+          covered[i] = true;
+          value += demands[i];
+        }
+      }
+    }
+    if (value > best.covered) {
+      best.covered = value;
+      best.alphas.clear();
+      for (std::size_t t = 0; t < k; ++t) {
+        best.alphas.push_back(cands[pick[t]]);
+      }
+      best.covered_customers.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (covered[i]) best.covered_customers.push_back(i);
+      }
+    }
+    // Next tuple.
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (++pick[pos] < n) break;
+      pick[pos] = 0;
+      if (pos == 0) return best;
+    }
+    if (pos == 0 && pick[0] == 0) return best;
+  }
+}
+
+}  // namespace sectorpack::angles

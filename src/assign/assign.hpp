@@ -1,0 +1,61 @@
+#pragma once
+// P0 -- packing with *fixed* orientations.
+//
+// Once every antenna's orientation alpha_j is fixed, the remaining problem
+// is a Multiple Knapsack with assignment restrictions (each customer is
+// eligible only for the antennas whose oriented sector contains it; value ==
+// weight == demand). Every higher-level solver (P1..P3) calls into this
+// module, and it is also studied on its own in experiment T5.
+
+#include <span>
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/model/solution.hpp"
+
+namespace sectorpack::assign {
+
+/// Which antennas can see which customers under the given orientations.
+struct Eligibility {
+  /// per_antenna[j] = ascending customer indices inside antenna j's sector.
+  std::vector<std::vector<std::size_t>> per_antenna;
+  /// per_customer[i] = ascending antenna indices whose sector contains i.
+  std::vector<std::vector<std::int32_t>> per_customer;
+};
+
+[[nodiscard]] Eligibility compute_eligibility(const model::Instance& inst,
+                                              std::span<const double> alphas);
+
+/// Greedy demand-descending best-fit: customers in decreasing demand order,
+/// each placed on the eligible antenna with the largest residual capacity
+/// that still fits it. Fast baseline (O(n log n + n k)).
+[[nodiscard]] model::Solution solve_greedy(const model::Instance& inst,
+                                           std::span<const double> alphas);
+
+/// Successive knapsack: antennas in decreasing capacity order; each solves a
+/// knapsack (via `oracle`) over its still-unserved eligible customers and
+/// commits the result. With an exact oracle this is the classic 1/2
+/// approximation for Multiple Knapsack; with a beta-oracle the factor is
+/// beta / (1 + beta).
+[[nodiscard]] model::Solution solve_successive(
+    const model::Instance& inst, std::span<const double> alphas,
+    const knapsack::Oracle& oracle = knapsack::Oracle::exact());
+
+/// Exact branch & bound over (customer -> eligible antenna | unserved)
+/// decisions with a fractional pruning bound. Exponential worst case;
+/// intended for n <= ~30 reference solutions. Throws std::runtime_error if
+/// `node_limit` is exhausted.
+[[nodiscard]] model::Solution solve_exact(const model::Instance& inst,
+                                          std::span<const double> alphas,
+                                          std::uint64_t node_limit = 1u << 26);
+
+/// LP rounding: solve the fractional-assignment LP exactly (max flow),
+/// keep every customer the LP routes integrally to one antenna, then
+/// repair the fractional remainder by demand-descending best fit. Strong
+/// in practice because the flow LP has few fractional customers on
+/// demand-style instances. Unweighted instances only (value == demand);
+/// on weighted instances this falls back to solve_successive, which
+/// optimizes value directly.
+[[nodiscard]] model::Solution solve_lp_rounding(
+    const model::Instance& inst, std::span<const double> alphas);
+
+}  // namespace sectorpack::assign

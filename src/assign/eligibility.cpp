@@ -1,0 +1,27 @@
+#include <stdexcept>
+
+#include "src/assign/assign.hpp"
+
+namespace sectorpack::assign {
+
+Eligibility compute_eligibility(const model::Instance& inst,
+                                std::span<const double> alphas) {
+  if (alphas.size() != inst.num_antennas()) {
+    throw std::invalid_argument("compute_eligibility: alphas size mismatch");
+  }
+  Eligibility e;
+  e.per_antenna.resize(inst.num_antennas());
+  e.per_customer.resize(inst.num_customers());
+  for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+    const geom::Sector sec = inst.sector(j, alphas[j]);
+    for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+      if (sec.contains(geom::Polar{inst.theta(i), inst.radius(i)})) {
+        e.per_antenna[j].push_back(i);
+        e.per_customer[i].push_back(static_cast<std::int32_t>(j));
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace sectorpack::assign

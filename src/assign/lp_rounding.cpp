@@ -1,0 +1,95 @@
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/assign/assign.hpp"
+#include "src/bounds/dinic.hpp"
+
+namespace sectorpack::assign {
+
+model::Solution solve_lp_rounding(const model::Instance& inst,
+                                  std::span<const double> alphas) {
+  if (inst.is_value_weighted()) {
+    // Max-flow maximizes routed demand, not value; successive knapsack is
+    // the right tool there.
+    return solve_successive(inst, alphas);
+  }
+  const Eligibility elig = compute_eligibility(inst, alphas);
+  const std::size_t n = inst.num_customers();
+  const std::size_t k = inst.num_antennas();
+
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha.assign(alphas.begin(), alphas.end());
+  for (double& a : sol.alpha) a = geom::normalize(a);
+  if (n == 0 || k == 0) return sol;
+
+  // Fractional LP via max flow; remember the customer->antenna edge ids.
+  bounds::Dinic flow(n + k + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + k + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    flow.add_edge(source, 1 + i, inst.demand(i));
+  }
+  // edge_of[i] maps to (antenna j, edge id) pairs.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> edge_of(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i : elig.per_antenna[j]) {
+      edge_of[i].emplace_back(j, flow.add_edge(1 + i, 1 + n + j, kInf));
+    }
+    flow.add_edge(1 + n + j, sink, inst.antenna(j).capacity);
+  }
+  (void)flow.max_flow(source, sink);
+
+  // Phase 1: keep integrally-routed customers.
+  std::vector<double> residual(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    residual[j] = inst.antenna(j).capacity;
+  }
+  std::vector<std::size_t> leftover;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = inst.demand(i);
+    std::int32_t whole = model::kUnserved;
+    for (const auto& [j, edge] : edge_of[i]) {
+      if (flow.edge_flow(edge) >= d * (1.0 - 1e-9)) {
+        whole = static_cast<std::int32_t>(j);
+      }
+    }
+    if (whole != model::kUnserved) {
+      sol.assign[i] = whole;
+      residual[static_cast<std::size_t>(whole)] -= d;
+    } else {
+      leftover.push_back(i);  // fractional in the LP, or untouched by it
+    }
+  }
+
+  // Phase 2: repair -- place every remaining customer by demand-descending
+  // best fit into the remaining capacity (not just the LP-fractional ones:
+  // capacity the LP left idle is still capacity).
+  std::sort(leftover.begin(), leftover.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (inst.demand(a) != inst.demand(b)) {
+                return inst.demand(a) > inst.demand(b);
+              }
+              return a < b;
+            });
+  for (std::size_t i : leftover) {
+    const double d = inst.demand(i);
+    std::int32_t best = model::kUnserved;
+    double best_residual = -1.0;
+    for (std::int32_t j : elig.per_customer[i]) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (residual[ju] >= d && residual[ju] > best_residual) {
+        best_residual = residual[ju];
+        best = j;
+      }
+    }
+    if (best != model::kUnserved) {
+      sol.assign[i] = best;
+      residual[static_cast<std::size_t>(best)] -= d;
+    }
+  }
+  return sol;
+}
+
+}  // namespace sectorpack::assign

@@ -1,0 +1,46 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/assign/assign.hpp"
+
+namespace sectorpack::assign {
+
+model::Solution solve_successive(const model::Instance& inst,
+                                 std::span<const double> alphas,
+                                 const knapsack::Oracle& oracle) {
+  const Eligibility elig = compute_eligibility(inst, alphas);
+
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha.assign(alphas.begin(), alphas.end());
+  for (double& a : sol.alpha) a = geom::normalize(a);
+
+  std::vector<std::size_t> antenna_order(inst.num_antennas());
+  std::iota(antenna_order.begin(), antenna_order.end(), std::size_t{0});
+  std::sort(antenna_order.begin(), antenna_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return inst.antenna(a).capacity > inst.antenna(b).capacity;
+            });
+
+  std::vector<bool> served(inst.num_customers(), false);
+  std::vector<knapsack::Item> items;
+  std::vector<std::size_t> item_customer;
+  for (std::size_t j : antenna_order) {
+    items.clear();
+    item_customer.clear();
+    for (std::size_t i : elig.per_antenna[j]) {
+      if (served[i]) continue;
+      items.push_back({inst.value(i), inst.demand(i)});
+      item_customer.push_back(i);
+    }
+    const knapsack::Result res =
+        oracle.solve(items, inst.antenna(j).capacity);
+    for (std::size_t pick : res.chosen) {
+      const std::size_t i = item_customer[pick];
+      served[i] = true;
+      sol.assign[i] = static_cast<std::int32_t>(j);
+    }
+  }
+  return sol;
+}
+
+}  // namespace sectorpack::assign

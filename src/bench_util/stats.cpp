@@ -1,0 +1,42 @@
+#include "src/bench_util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sectorpack::bench_util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace sectorpack::bench_util

@@ -1,0 +1,21 @@
+#pragma once
+// Summary statistics over trial results.
+
+#include <span>
+
+namespace sectorpack::bench_util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// p in [0, 1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+}  // namespace sectorpack::bench_util

@@ -1,0 +1,61 @@
+#include "src/bench_util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sectorpack::bench_util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : headers_[c];
+      os << "  " << std::setw(static_cast<int>(widths[c])) << v;
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string cell(std::size_t v) { return std::to_string(v); }
+std::string cell(long long v) { return std::to_string(v); }
+std::string cell(int v) { return std::to_string(v); }
+std::string cell(const char* s) { return s; }
+std::string cell(std::string s) { return s; }
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& title) {
+  os << "\n=== " << id << ": " << title << " ===\n";
+}
+
+}  // namespace sectorpack::bench_util

@@ -1,0 +1,39 @@
+#pragma once
+// Fixed-width console tables for the experiment harness. Every bench binary
+// prints its table/figure series through this, so outputs are uniform and
+// easy to diff against EXPERIMENTS.md.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sectorpack::bench_util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; cells are stringified with `cell(...)` below.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, padded columns, and right-aligned numerics.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers: fixed precision for doubles, passthrough for strings.
+[[nodiscard]] std::string cell(double v, int precision = 3);
+[[nodiscard]] std::string cell(std::size_t v);
+[[nodiscard]] std::string cell(long long v);
+[[nodiscard]] std::string cell(int v);
+[[nodiscard]] std::string cell(const char* s);
+[[nodiscard]] std::string cell(std::string s);
+
+/// Standard banner every experiment binary prints before its table.
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& title);
+
+}  // namespace sectorpack::bench_util

@@ -1,0 +1,25 @@
+#pragma once
+// Wall-clock timing for the experiment harness.
+
+#include <chrono>
+
+namespace sectorpack::bench_util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sectorpack::bench_util

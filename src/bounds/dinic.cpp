@@ -1,0 +1,78 @@
+#include "src/bounds/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace sectorpack::bounds {
+
+Dinic::Dinic(std::size_t num_nodes)
+    : adj_(num_nodes), level_(num_nodes), iter_(num_nodes) {}
+
+std::size_t Dinic::add_edge(std::size_t u, std::size_t v, double capacity) {
+  const std::size_t pos_u = adj_[u].size();
+  const std::size_t pos_v = adj_[v].size();
+  adj_[u].push_back({v, pos_v, capacity, capacity});
+  adj_[v].push_back({u, pos_u, 0.0, 0.0});
+  edge_index_.emplace_back(u, pos_u);
+  return edge_index_.size() - 1;
+}
+
+bool Dinic::bfs(std::size_t s, std::size_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<std::size_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (const Edge& e : adj_[u]) {
+      if (e.cap > kFlowEps && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double Dinic::dfs(std::size_t u, std::size_t t, double pushed) {
+  if (u == t) return pushed;
+  for (std::size_t& i = iter_[u]; i < adj_[u].size(); ++i) {
+    Edge& e = adj_[u][i];
+    if (e.cap > kFlowEps && level_[e.to] == level_[u] + 1) {
+      const double got = dfs(e.to, t, std::min(pushed, e.cap));
+      if (got > kFlowEps) {
+        e.cap -= got;
+        adj_[e.to][e.rev].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double Dinic::max_flow(std::size_t s, std::size_t t) {
+  double flow = 0.0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), std::size_t{0});
+    for (;;) {
+      const double got =
+          dfs(s, t, std::numeric_limits<double>::infinity());
+      if (got <= kFlowEps) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+double Dinic::edge_flow(std::size_t id) const {
+  // The reverse edge starts at capacity 0 and accumulates exactly the net
+  // flow pushed forward; reading it works for infinite-capacity edges too
+  // (where initial_cap - cap would be inf - inf).
+  const auto& [u, pos] = edge_index_[id];
+  const Edge& e = adj_[u][pos];
+  return adj_[e.to][e.rev].cap;
+}
+
+}  // namespace sectorpack::bounds

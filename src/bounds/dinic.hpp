@@ -1,0 +1,45 @@
+#pragma once
+// Dinic max-flow on double capacities. Used to compute the exact value of
+// the fractional-assignment LP for fixed orientations: source -> customer
+// (cap = demand) -> eligible antenna (cap = inf) -> sink (cap = capacity).
+// For such bipartite demand networks the number of augmentations is
+// polynomial and floating-point error stays bounded by kFlowEps per phase.
+
+#include <cstddef>
+#include <vector>
+
+namespace sectorpack::bounds {
+
+inline constexpr double kFlowEps = 1e-9;
+
+class Dinic {
+ public:
+  explicit Dinic(std::size_t num_nodes);
+
+  /// Add a directed edge u -> v with the given capacity; returns edge id.
+  std::size_t add_edge(std::size_t u, std::size_t v, double capacity);
+
+  /// Maximum s -> t flow. May be called once per instance.
+  [[nodiscard]] double max_flow(std::size_t s, std::size_t t);
+
+  /// Flow currently routed through edge `id` (as returned by add_edge).
+  [[nodiscard]] double edge_flow(std::size_t id) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;  // index of the reverse edge in adj_[to]
+    double cap;
+    double initial_cap;
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  double dfs(std::size_t u, std::size_t t, double pushed);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (u, pos)
+};
+
+}  // namespace sectorpack::bounds

@@ -1,0 +1,137 @@
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "src/assign/assign.hpp"
+#include "src/bounds/dinic.hpp"
+#include "src/bounds/upper.hpp"
+#include "src/geom/sweep.hpp"
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::bounds {
+
+double fixed_orientation_fractional_bound(const model::Instance& inst,
+                                          std::span<const double> alphas) {
+  if (inst.is_value_weighted()) {
+    throw std::invalid_argument(
+        "fixed_orientation_fractional_bound: max-flow relaxation is only "
+        "valid when value == demand for every customer");
+  }
+  const assign::Eligibility elig =
+      assign::compute_eligibility(inst, alphas);
+
+  const std::size_t n = inst.num_customers();
+  const std::size_t k = inst.num_antennas();
+  // Nodes: 0 = source, 1..n = customers, n+1..n+k = antennas, n+k+1 = sink.
+  Dinic flow(n + k + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + k + 1;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    flow.add_edge(source, 1 + i, inst.demand(i));
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i : elig.per_antenna[j]) {
+      flow.add_edge(1 + i, 1 + n + j, kInf);
+    }
+    flow.add_edge(1 + n + j, sink, inst.antenna(j).capacity);
+  }
+  return flow.max_flow(source, sink);
+}
+
+double orientation_free_bound(const model::Instance& inst) {
+  double per_antenna_total = 0.0;
+  for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+    const model::AntennaSpec& ant = inst.antenna(j);
+
+    // Customers within this antenna's range.
+    std::vector<double> thetas;
+    std::vector<double> values;
+    std::vector<double> demands;
+    for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+      if (inst.in_range(i, j)) {
+        thetas.push_back(inst.theta(i));
+        values.push_back(inst.value(i));
+        demands.push_back(inst.demand(i));
+      }
+    }
+
+    // Best fractional window VALUE; the fractional knapsack already
+    // enforces the capacity, so no extra clamp is needed (and for weighted
+    // instances value and capacity are in different units anyway).
+    double best_window = 0.0;
+    const geom::WindowSweep sweep(thetas, ant.rho);
+    std::vector<knapsack::Item> items;
+    for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+      items.clear();
+      for (std::size_t m : sweep.members(w)) {
+        items.push_back({values[m], demands[m]});
+      }
+      best_window = std::max(
+          best_window, knapsack::fractional_upper_bound(items, ant.capacity));
+    }
+    per_antenna_total += best_window;
+  }
+  return std::min(inst.total_value(), per_antenna_total);
+}
+
+double flow_window_bound(const model::Instance& inst) {
+  if (inst.is_value_weighted()) {
+    throw std::invalid_argument(
+        "flow_window_bound: max-flow relaxation is only valid when value == "
+        "demand for every customer; use orientation_free_bound instead");
+  }
+  const std::size_t n = inst.num_customers();
+  const std::size_t k = inst.num_antennas();
+
+  // Per-antenna ceiling: min(capacity, best fractional window) -- computed
+  // exactly as in orientation_free_bound.
+  std::vector<double> ceiling(k, 0.0);
+  std::vector<double> thetas;
+  std::vector<knapsack::Item> items;
+  for (std::size_t j = 0; j < k; ++j) {
+    const model::AntennaSpec& ant = inst.antenna(j);
+    thetas.clear();
+    std::vector<double> demands;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (inst.in_range(i, j)) {
+        thetas.push_back(inst.theta(i));
+        demands.push_back(inst.demand(i));
+      }
+    }
+    double best_window = 0.0;
+    const geom::WindowSweep sweep(thetas, ant.rho);
+    for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+      items.clear();
+      for (std::size_t m : sweep.members(w)) {
+        items.push_back({demands[m], demands[m]});
+      }
+      best_window = std::max(
+          best_window, knapsack::fractional_upper_bound(items, ant.capacity));
+    }
+    ceiling[j] = std::min(ant.capacity, best_window);
+  }
+
+  // Flow: source -> customer (demand) -> in-range antenna -> sink (ceiling).
+  Dinic flow(n + k + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + k + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    flow.add_edge(source, 1 + i, inst.demand(i));
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (inst.in_range(i, j)) flow.add_edge(1 + i, 1 + n + j, kInf);
+    }
+    flow.add_edge(1 + n + j, sink, ceiling[j]);
+  }
+  return flow.max_flow(source, sink);
+}
+
+double trivial_bound(const model::Instance& inst) {
+  return std::min(inst.total_demand(), inst.total_capacity());
+}
+
+}  // namespace sectorpack::bounds

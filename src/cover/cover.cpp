@@ -1,0 +1,294 @@
+#include "src/cover/cover.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/geom/arc.hpp"
+#include "src/geom/sweep.hpp"
+#include "src/model/validate.hpp"
+#include "src/sectors/sectors.hpp"
+#include "src/single/single.hpp"
+
+namespace sectorpack::cover {
+
+namespace {
+
+// Customers that this antenna type can never serve.
+std::vector<std::size_t> find_blockers(
+    std::span<const model::Customer> customers,
+    const model::AntennaSpec& type) {
+  std::vector<std::size_t> blockers;
+  for (std::size_t i = 0; i < customers.size(); ++i) {
+    const geom::Polar p = geom::to_polar(customers[i].pos);
+    if (p.r > type.range * (1.0 + geom::kRadiusEps) ||
+        p.r < type.min_range * (1.0 - geom::kRadiusEps) ||
+        customers[i].demand > type.capacity * (1.0 + 1e-12)) {
+      blockers.push_back(i);
+    }
+  }
+  return blockers;
+}
+
+struct PolarView {
+  std::vector<double> thetas;
+  std::vector<double> demands;
+};
+
+PolarView polar_view(std::span<const model::Customer> customers) {
+  PolarView v;
+  v.thetas.reserve(customers.size());
+  v.demands.reserve(customers.size());
+  for (const model::Customer& c : customers) {
+    v.thetas.push_back(geom::to_polar(c.pos).theta);
+    v.demands.push_back(c.demand);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool validate_cover(std::span<const model::Customer> customers,
+                    const model::AntennaSpec& type,
+                    const CoverResult& result) {
+  if (!result.feasible) return false;
+  if (result.assign.size() != customers.size()) return false;
+  std::vector<double> loads(result.alphas.size(), 0.0);
+  for (std::size_t i = 0; i < customers.size(); ++i) {
+    const std::int32_t a = result.assign[i];
+    if (a < 0 || static_cast<std::size_t>(a) >= result.alphas.size()) {
+      return false;  // a cover must serve EVERY customer
+    }
+    const auto j = static_cast<std::size_t>(a);
+    const geom::Sector sec{result.alphas[j], type.rho, type.range};
+    if (!sec.contains(customers[i].pos)) return false;
+    loads[j] += customers[i].demand;
+  }
+  for (double load : loads) {
+    if (load > type.capacity * (1.0 + 1e-9) + 1e-9) return false;
+  }
+  return true;
+}
+
+std::size_t min_arcs_to_cover(std::span<const double> thetas, double rho) {
+  const std::size_t n = thetas.size();
+  if (n == 0) return 0;
+  if (rho >= geom::kTwoPi - geom::kAngleEps) return 1;
+
+  std::vector<double> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) sorted[i] = geom::normalize(thetas[i]);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](double a, double b) {
+                             return geom::angles_equal(a, b);
+                           }),
+               sorted.end());
+  const std::size_t m = sorted.size();
+  if (m == 1) return 1;
+
+  // Doubled array for circular jumps: next[p] = first position strictly
+  // beyond the arc anchored at p.
+  std::vector<double> a2(2 * m);
+  for (std::size_t p = 0; p < m; ++p) {
+    a2[p] = sorted[p];
+    a2[p + m] = sorted[p] + geom::kTwoPi;
+  }
+  std::vector<std::size_t> next(2 * m);
+  std::size_t q = 0;
+  for (std::size_t p = 0; p < 2 * m; ++p) {
+    if (q < p) q = p;
+    const double limit = a2[p] + rho + geom::kAngleEps;
+    while (q < 2 * m && a2[q] <= limit) ++q;
+    next[p] = q;
+  }
+
+  // Greedy jump from every anchor; the minimum over anchors is optimal
+  // (some optimal solution has an arc whose leading edge is at a point).
+  std::size_t best = m;
+  for (std::size_t s = 0; s < m; ++s) {
+    std::size_t count = 0;
+    std::size_t p = s;
+    while (p < s + m) {
+      p = next[p];
+      ++count;
+      if (count >= best) break;  // prune
+    }
+    best = std::min(best, count);
+  }
+  return best;
+}
+
+std::size_t lower_bound(std::span<const model::Customer> customers,
+                        const model::AntennaSpec& type) {
+  if (customers.empty()) return 0;
+  double total = 0.0;
+  for (const model::Customer& c : customers) total += c.demand;
+  const std::size_t by_capacity =
+      type.capacity > 0.0
+          ? static_cast<std::size_t>(
+                std::ceil(total / type.capacity - 1e-9))
+          : customers.size();
+  const PolarView v = polar_view(customers);
+  const std::size_t by_geometry = min_arcs_to_cover(v.thetas, type.rho);
+  return std::max(by_capacity, by_geometry);
+}
+
+CoverResult solve_greedy(std::span<const model::Customer> customers,
+                         const model::AntennaSpec& type) {
+  CoverResult result;
+  result.blockers = find_blockers(customers, type);
+  if (!result.blockers.empty()) {
+    result.feasible = false;
+    return result;
+  }
+  result.assign.assign(customers.size(), model::kUnserved);
+  if (customers.empty()) return result;
+
+  const PolarView v = polar_view(customers);
+  std::vector<bool> served(customers.size(), false);
+  std::size_t remaining = customers.size();
+
+  std::vector<double> thetas;
+  std::vector<double> demands;
+  std::vector<std::size_t> index;
+  while (remaining > 0) {
+    thetas.clear();
+    demands.clear();
+    index.clear();
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+      if (!served[i]) {
+        thetas.push_back(v.thetas[i]);
+        demands.push_back(v.demands[i]);
+        index.push_back(i);
+      }
+    }
+    const single::WindowChoice choice = single::best_window(
+        thetas, demands, type.rho, type.capacity,
+        knapsack::Oracle::exact());
+    if (choice.chosen.empty()) {
+      // Cannot happen: every remaining customer fits alone (no blockers).
+      throw std::logic_error("cover::solve_greedy: stalled");
+    }
+    const auto antenna = static_cast<std::int32_t>(result.alphas.size());
+    result.alphas.push_back(choice.alpha);
+    for (std::size_t local : choice.chosen) {
+      const std::size_t i = index[local];
+      served[i] = true;
+      result.assign[i] = antenna;
+      --remaining;
+    }
+  }
+  return result;
+}
+
+CoverResult solve_sweep_nextfit(std::span<const model::Customer> customers,
+                                const model::AntennaSpec& type) {
+  CoverResult result;
+  result.blockers = find_blockers(customers, type);
+  if (!result.blockers.empty()) {
+    result.feasible = false;
+    return result;
+  }
+  result.assign.assign(customers.size(), model::kUnserved);
+  const std::size_t n = customers.size();
+  if (n == 0) return result;
+
+  const PolarView v = polar_view(customers);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return geom::normalize(v.thetas[a]) < geom::normalize(v.thetas[b]);
+  });
+
+  CoverResult best;
+  best.assign.assign(n, model::kUnserved);
+  std::size_t best_count = n + 1;
+
+  // Next-fit walk from every cut position.
+  for (std::size_t cut = 0; cut < n; ++cut) {
+    std::vector<double> alphas;
+    std::vector<std::int32_t> assign(n, model::kUnserved);
+    double window_start = 0.0;
+    double load = 0.0;
+    bool open = false;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = order[(cut + step) % n];
+      const double theta = geom::normalize(v.thetas[i]);
+      const double d = v.demands[i];
+      const bool fits_window =
+          open && geom::ccw_delta(window_start, theta) <=
+                      type.rho + geom::kAngleEps;
+      const bool fits_capacity = open && load + d <= type.capacity + 1e-9;
+      if (!open || !fits_window || !fits_capacity) {
+        alphas.push_back(theta);
+        window_start = theta;
+        load = 0.0;
+        open = true;
+      }
+      assign[i] = static_cast<std::int32_t>(alphas.size() - 1);
+      load += d;
+      if (alphas.size() >= best_count) break;  // prune
+    }
+    if (alphas.size() < best_count &&
+        std::none_of(assign.begin(), assign.end(), [](std::int32_t a) {
+          return a == model::kUnserved;
+        })) {
+      best_count = alphas.size();
+      best.alphas = std::move(alphas);
+      best.assign = std::move(assign);
+    }
+  }
+  best.feasible = true;
+  return best;
+}
+
+CoverResult solve_exact(std::span<const model::Customer> customers,
+                        const model::AntennaSpec& type, std::size_t max_k) {
+  CoverResult result;
+  result.blockers = find_blockers(customers, type);
+  if (!result.blockers.empty()) {
+    result.feasible = false;
+    return result;
+  }
+  result.assign.assign(customers.size(), model::kUnserved);
+  if (customers.empty()) return result;
+
+  double total = 0.0;
+  for (const model::Customer& c : customers) total += c.demand;
+
+  const std::size_t start = std::max<std::size_t>(
+      lower_bound(customers, type), 1);
+  for (std::size_t k = start; k <= max_k; ++k) {
+    std::vector<model::AntennaSpec> specs(k, type);
+    const model::Instance inst{{customers.begin(), customers.end()}, specs};
+    const model::Solution sol = sectors::solve_exact(inst);
+    if (model::served_demand(inst, sol) >= total - 1e-9) {
+      result.alphas = sol.alpha;
+      result.assign = sol.assign;
+      // Drop trailing antennas that serve nothing.
+      std::vector<bool> used(k, false);
+      for (std::int32_t a : result.assign) {
+        if (a != model::kUnserved) used[static_cast<std::size_t>(a)] = true;
+      }
+      std::vector<std::int32_t> remap(k, -1);
+      std::vector<double> alphas;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (used[j]) {
+          remap[j] = static_cast<std::int32_t>(alphas.size());
+          alphas.push_back(result.alphas[j]);
+        }
+      }
+      for (std::int32_t& a : result.assign) {
+        // Defensive: a vanishing demand could pass the served-total check
+        // while unserved; keep the sentinel rather than indexing with it
+        // (validate_cover will then reject the result loudly).
+        if (a != model::kUnserved) a = remap[static_cast<std::size_t>(a)];
+      }
+      result.alphas = std::move(alphas);
+      return result;
+    }
+  }
+  throw std::runtime_error("cover::solve_exact: max_k exceeded");
+}
+
+}  // namespace sectorpack::cover

@@ -1,0 +1,78 @@
+#pragma once
+// The dual problem: MINIMUM ANTENNAS TO SERVE ALL DEMAND.
+//
+// Packing asks "how much demand can k antennas serve"; deployment planning
+// usually asks the dual: "how many antennas of this type do I need to serve
+// everyone?" Given the customer set and a single antenna *type*
+// (rho, range, capacity), find the fewest antennas of that type, with
+// orientations and an assignment, serving every customer.
+//
+// Hardness: with capacities this contains bin packing (all customers in one
+// window); uncapacitated it is the classic covering-points-by-arcs problem,
+// which is polynomial. Solvers:
+//   solve_greedy        set-cover greedy: repeatedly place the antenna
+//                       serving the most unserved demand (P1 oracle call
+//                       per step). The classical analysis of greedy set
+//                       cover applies to the coverage structure.
+//   solve_sweep_nextfit circular next-fit: walk the circle packing
+//                       consecutive customers until width or capacity
+//                       binds; tried from every cut, keeping the best.
+//                       For the uncapacitated case, anchoring at every
+//                       start makes this exact.
+//   solve_exact         increasing k, exact P3 solve per k; reference for
+//                       small instances.
+//   lower_bound         max(ceil(demand/capacity), min arcs to cover all
+//                       angles ignoring capacity) -- certified LB.
+
+#include <span>
+
+#include "src/model/instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sectorpack::cover {
+
+struct CoverResult {
+  /// False when some customer can never be served by this antenna type
+  /// (out of range, or demand exceeding the capacity); `blockers` lists
+  /// those customers and the other fields are empty.
+  bool feasible = true;
+  std::vector<std::size_t> blockers;
+
+  std::vector<double> alphas;        // orientation per placed antenna
+  std::vector<std::int32_t> assign;  // customer -> placed antenna index
+
+  [[nodiscard]] std::size_t num_antennas() const { return alphas.size(); }
+};
+
+/// True when `result` serves every customer, respects the type's sector
+/// geometry for each placed antenna, and no antenna exceeds the capacity.
+[[nodiscard]] bool validate_cover(std::span<const model::Customer> customers,
+                                  const model::AntennaSpec& type,
+                                  const CoverResult& result);
+
+/// Certified lower bound on the number of antennas needed.
+[[nodiscard]] std::size_t lower_bound(
+    std::span<const model::Customer> customers,
+    const model::AntennaSpec& type);
+
+/// Minimum arcs of width rho covering all the given directions, exact,
+/// O(n^2) (greedy jump anchored at every point). Used by lower_bound; also
+/// the exact solver for the uncapacitated special case.
+[[nodiscard]] std::size_t min_arcs_to_cover(std::span<const double> thetas,
+                                            double rho);
+
+[[nodiscard]] CoverResult solve_greedy(
+    std::span<const model::Customer> customers,
+    const model::AntennaSpec& type);
+
+[[nodiscard]] CoverResult solve_sweep_nextfit(
+    std::span<const model::Customer> customers,
+    const model::AntennaSpec& type);
+
+/// Exact by escalating k (bounded by `max_k`, throws std::runtime_error if
+/// exceeded; preconditions as sectors::solve_exact for each k).
+[[nodiscard]] CoverResult solve_exact(
+    std::span<const model::Customer> customers,
+    const model::AntennaSpec& type, std::size_t max_k = 8);
+
+}  // namespace sectorpack::cover

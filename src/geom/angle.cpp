@@ -1,0 +1,27 @@
+#include "src/geom/angle.hpp"
+
+namespace sectorpack::geom {
+
+double normalize(double radians) noexcept {
+  double a = std::fmod(radians, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  // fmod of a value extremely close to a multiple of 2*pi can land exactly
+  // on kTwoPi after the correction above; fold it back to 0.
+  if (a >= kTwoPi) a = 0.0;
+  return a;
+}
+
+double ccw_delta(double from, double to) noexcept {
+  return normalize(to - from);
+}
+
+double angular_distance(double a, double b) noexcept {
+  const double d = ccw_delta(a, b);
+  return d <= kPi ? d : kTwoPi - d;
+}
+
+bool angles_equal(double a, double b) noexcept {
+  return angular_distance(a, b) <= kAngleEps;
+}
+
+}  // namespace sectorpack::geom

@@ -1,0 +1,45 @@
+#pragma once
+// Circular (mod 2*pi) angle arithmetic.
+//
+// Every angle that crosses a module boundary in this library is a plain
+// double in radians, normalized into the half-open interval [0, 2*pi).
+// All containment predicates are *closed* and tolerate kAngleEps of
+// round-off symmetrically, so that a customer sitting exactly on a sector
+// edge is consistently considered covered by both the solvers and the
+// validator.
+
+#include <cmath>
+
+namespace sectorpack::geom {
+
+inline constexpr double kPi = 3.14159265358979323846264338327950288;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Tolerance for angular comparisons. Chosen so that normalizing and
+/// rotating an angle a few thousand times cannot accumulate enough error
+/// to flip a predicate on non-degenerate inputs.
+inline constexpr double kAngleEps = 1e-9;
+
+/// Map an arbitrary finite angle into [0, 2*pi).
+[[nodiscard]] double normalize(double radians) noexcept;
+
+/// Counter-clockwise offset from `from` to `to`, in [0, 2*pi).
+/// ccw_delta(a, a) == 0.
+[[nodiscard]] double ccw_delta(double from, double to) noexcept;
+
+/// Shortest angular distance between two angles, in [0, pi].
+[[nodiscard]] double angular_distance(double a, double b) noexcept;
+
+/// True when the two angles denote the same direction up to kAngleEps
+/// (including wrap-around, e.g. 2*pi - 1e-12 vs 0).
+[[nodiscard]] bool angles_equal(double a, double b) noexcept;
+
+/// Degrees <-> radians helpers for examples and I/O.
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * (kPi / 180.0);
+}
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * (180.0 / kPi);
+}
+
+}  // namespace sectorpack::geom

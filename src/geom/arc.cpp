@@ -1,0 +1,104 @@
+#include "src/geom/arc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sectorpack::geom {
+
+Arc::Arc(double start, double width) noexcept
+    : start_(normalize(start)), width_(std::clamp(width, 0.0, kTwoPi)) {}
+
+double Arc::end() const noexcept { return normalize(start_ + width_); }
+
+bool Arc::contains(double angle) const noexcept {
+  if (is_full()) return true;
+  const double d = ccw_delta(start_, angle);
+  // d is in [0, 2*pi); accept the closed interval [0, width] with symmetric
+  // slack. An angle epsilon-before start shows up as d close to 2*pi.
+  return d <= width_ + kAngleEps || d >= kTwoPi - kAngleEps;
+}
+
+bool Arc::contains(const Arc& other) const noexcept {
+  if (is_full()) return true;
+  if (other.is_full()) return false;
+  if (other.is_empty()) return contains(other.start());
+  const double d = ccw_delta(start_, other.start_);
+  const double offset = (d >= kTwoPi - kAngleEps) ? 0.0 : d;
+  return offset + other.width_ <= width_ + kAngleEps;
+}
+
+bool Arc::intersects(const Arc& other) const noexcept {
+  return contains(other.start_) || contains(other.end()) ||
+         other.contains(start_) || other.contains(end());
+}
+
+double Arc::intersection_length(const Arc& other) const noexcept {
+  if (is_full()) return other.width_;
+  if (other.is_full()) return width_;
+  // The intersection of two circular arcs is at most two disjoint pieces.
+  // Piece 1: starts at other.start if we contain it; piece 2: starts at our
+  // start if the other contains it. Measure both and avoid double counting.
+  double total = 0.0;
+  const double d_ab = ccw_delta(start_, other.start_);
+  if (d_ab <= width_ || d_ab >= kTwoPi - kAngleEps) {
+    const double off = (d_ab >= kTwoPi - kAngleEps) ? 0.0 : d_ab;
+    total += std::min(width_ - off, other.width_);
+  }
+  const double d_ba = ccw_delta(other.start_, start_);
+  if ((d_ba <= other.width_ && d_ba > kAngleEps) ) {
+    // Our start lies strictly inside the other arc: a second overlap piece
+    // starting at our start (this is also the *only* piece when the other
+    // arc's start is not inside us).
+    total += std::min(other.width_ - d_ba, width_);
+  }
+  return std::min(total, std::min(width_, other.width_));
+}
+
+Arc Arc::rotated(double delta) const noexcept {
+  return Arc{start_ + delta, width_};
+}
+
+double union_length(const std::vector<Arc>& arcs) {
+  // Sweep over edge events. Split arcs that wrap through 2*pi into two
+  // linear intervals on [0, 2*pi] and merge.
+  std::vector<std::pair<double, double>> ivals;
+  ivals.reserve(arcs.size() + 1);
+  for (const Arc& a : arcs) {
+    if (a.is_empty()) continue;
+    if (a.is_full()) return kTwoPi;
+    const double s = a.start();
+    const double e = s + a.width();
+    if (e <= kTwoPi) {
+      ivals.emplace_back(s, e);
+    } else {
+      ivals.emplace_back(s, kTwoPi);
+      ivals.emplace_back(0.0, e - kTwoPi);
+    }
+  }
+  if (ivals.empty()) return 0.0;
+  std::sort(ivals.begin(), ivals.end());
+  double covered = 0.0;
+  double cur_lo = ivals.front().first;
+  double cur_hi = ivals.front().second;
+  for (std::size_t i = 1; i < ivals.size(); ++i) {
+    const auto& [lo, hi] = ivals[i];
+    if (lo <= cur_hi) {
+      cur_hi = std::max(cur_hi, hi);
+    } else {
+      covered += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+    }
+  }
+  covered += cur_hi - cur_lo;
+  return std::min(covered, kTwoPi);
+}
+
+bool pairwise_disjoint(const std::vector<Arc>& arcs) {
+  double total = 0.0;
+  for (const Arc& a : arcs) total += a.width();
+  // Interiors are disjoint iff no angular measure is lost in the union.
+  return union_length(arcs) >= total - kAngleEps * double(arcs.size() + 1);
+}
+
+}  // namespace sectorpack::geom

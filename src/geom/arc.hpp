@@ -1,0 +1,65 @@
+#pragma once
+// Circular arcs: the angular footprint of a directional antenna.
+//
+// An Arc is the set of directions {start + t : 0 <= t <= width} (mod 2*pi),
+// with width clamped to [0, 2*pi]. Width 2*pi (or more) is the full circle.
+// Arcs are closed sets; membership predicates absorb kAngleEps of noise on
+// both edges.
+
+#include <vector>
+
+#include "src/geom/angle.hpp"
+
+namespace sectorpack::geom {
+
+class Arc {
+ public:
+  /// Full-circle arc.
+  Arc() noexcept : start_(0.0), width_(kTwoPi) {}
+
+  /// Arc beginning at `start` (normalized) sweeping CCW by `width`
+  /// (clamped into [0, 2*pi]).
+  Arc(double start, double width) noexcept;
+
+  [[nodiscard]] double start() const noexcept { return start_; }
+  [[nodiscard]] double width() const noexcept { return width_; }
+  /// End angle, normalized into [0, 2*pi). For a full circle end()==start().
+  [[nodiscard]] double end() const noexcept;
+
+  [[nodiscard]] bool is_full() const noexcept {
+    return width_ >= kTwoPi - kAngleEps;
+  }
+  [[nodiscard]] bool is_empty() const noexcept { return width_ <= kAngleEps; }
+
+  /// Closed containment with symmetric kAngleEps tolerance.
+  [[nodiscard]] bool contains(double angle) const noexcept;
+
+  /// True when every direction of `other` lies inside *this (closed).
+  [[nodiscard]] bool contains(const Arc& other) const noexcept;
+
+  /// True when the two arcs share at least one direction.
+  [[nodiscard]] bool intersects(const Arc& other) const noexcept;
+
+  /// Total angular length of the intersection (0 when disjoint).
+  [[nodiscard]] double intersection_length(const Arc& other) const noexcept;
+
+  /// The same arc rotated CCW by `delta`.
+  [[nodiscard]] Arc rotated(double delta) const noexcept;
+
+  friend bool operator==(const Arc& a, const Arc& b) noexcept {
+    return angles_equal(a.start_, b.start_) &&
+           std::abs(a.width_ - b.width_) <= kAngleEps;
+  }
+
+ private:
+  double start_;  // normalized into [0, 2*pi)
+  double width_;  // in [0, 2*pi]
+};
+
+/// Total angular measure of the union of `arcs`, in [0, 2*pi].
+[[nodiscard]] double union_length(const std::vector<Arc>& arcs);
+
+/// True when the arcs are pairwise interior-disjoint (shared endpoints OK).
+[[nodiscard]] bool pairwise_disjoint(const std::vector<Arc>& arcs);
+
+}  // namespace sectorpack::geom

@@ -1,0 +1,57 @@
+#pragma once
+// A sector: the coverage region of a directional antenna anchored at the
+// origin -- an arc of directions together with a maximum range.
+
+#include "src/geom/arc.hpp"
+#include "src/geom/vec2.hpp"
+
+namespace sectorpack::geom {
+
+/// Relative tolerance on radial containment. A customer exactly at range R
+/// is covered; r <= R * (1 + kRadiusEps) absorbs round-off from polar
+/// conversion.
+inline constexpr double kRadiusEps = 1e-12;
+
+/// A (possibly annular) sector: directions in an arc, radii in
+/// [min_radius, radius]. min_radius models an antenna's near-field dead
+/// zone; the default 0 gives the plain pie-slice sector of the paper.
+class Sector {
+ public:
+  Sector(Arc arc, double radius, double min_radius = 0.0) noexcept
+      : arc_(arc), radius_(radius), min_radius_(min_radius) {}
+  Sector(double start, double width, double radius,
+         double min_radius = 0.0) noexcept
+      : arc_(start, width), radius_(radius), min_radius_(min_radius) {}
+
+  [[nodiscard]] const Arc& arc() const noexcept { return arc_; }
+  [[nodiscard]] double radius() const noexcept { return radius_; }
+  [[nodiscard]] double min_radius() const noexcept { return min_radius_; }
+
+  [[nodiscard]] bool contains(const Polar& p) const noexcept {
+    if (p.r > radius_ * (1.0 + kRadiusEps)) return false;
+    if (p.r < min_radius_ * (1.0 - kRadiusEps)) return false;
+    if (p.r == 0.0) return true;  // origin (only reachable if min_radius 0)
+    return arc_.contains(p.theta);
+  }
+
+  [[nodiscard]] bool contains(const Vec2& v) const noexcept {
+    return contains(to_polar(v));
+  }
+
+  /// Area of the (annular) sector: (width/2) * (R^2 - r_min^2).
+  [[nodiscard]] double area() const noexcept {
+    return 0.5 * arc_.width() *
+           (radius_ * radius_ - min_radius_ * min_radius_);
+  }
+
+  [[nodiscard]] Sector rotated(double delta) const noexcept {
+    return Sector{arc_.rotated(delta), radius_, min_radius_};
+  }
+
+ private:
+  Arc arc_;
+  double radius_;
+  double min_radius_;
+};
+
+}  // namespace sectorpack::geom

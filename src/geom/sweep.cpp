@@ -1,0 +1,65 @@
+#include "src/geom/sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sectorpack::geom {
+
+std::vector<double> candidate_orientations(std::span<const double> thetas,
+                                           double rho, CandidateEdges edges) {
+  std::vector<double> cands;
+  cands.reserve(thetas.size() * (edges == CandidateEdges::kBoth ? 2 : 1));
+  for (double t : thetas) cands.push_back(normalize(t));
+  if (edges == CandidateEdges::kBoth) {
+    for (double t : thetas) cands.push_back(normalize(t - rho));
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end(),
+                          [](double a, double b) {
+                            return angles_equal(a, b);
+                          }),
+              cands.end());
+  // Wrap-around dedup: last and first can be equal mod 2*pi.
+  if (cands.size() > 1 && angles_equal(cands.front(), cands.back())) {
+    cands.pop_back();
+  }
+  return cands;
+}
+
+WindowSweep::WindowSweep(std::span<const double> thetas, double rho)
+    : rho_(std::clamp(rho, 0.0, kTwoPi)) {
+  const std::size_t n = thetas.size();
+  if (n == 0) return;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> norm(n);
+  for (std::size_t i = 0; i < n; ++i) norm[i] = normalize(thetas[i]);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return norm[a] < norm[b];
+  });
+
+  order2_.resize(2 * n);
+  std::vector<double> key2(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order2_[i] = order[i];
+    order2_[i + n] = order[i];
+    key2[i] = norm[order[i]];
+    key2[i + n] = norm[order[i]] + kTwoPi;
+  }
+
+  // One window per distinct start angle; duplicated angles share a window.
+  alphas_.reserve(n);
+  ranges_.reserve(n);
+  std::size_t hi = 0;  // two-pointer upper end into [0, 2n)
+  for (std::size_t lo = 0; lo < n; ++lo) {
+    if (lo > 0 && angles_equal(key2[lo], key2[lo - 1])) continue;
+    if (hi < lo) hi = lo;
+    const double limit = key2[lo] + rho_ + kAngleEps;
+    while (hi < lo + n && key2[hi] <= limit) ++hi;
+    alphas_.push_back(key2[lo]);
+    ranges_.emplace_back(lo, hi - lo);
+  }
+}
+
+}  // namespace sectorpack::geom

@@ -1,0 +1,67 @@
+#pragma once
+// Angular sweep: enumeration of the combinatorially distinct windows of a
+// rotating arc of fixed width over a set of directions.
+//
+// Candidate-orientation lemma. For any arc of width rho and any set of
+// directions, and any subset S of directions contained in some placement of
+// the arc, there is a placement whose *leading edge* (start angle) coincides
+// with a member of S and which still contains all of S: rotate the arc CCW
+// until its start hits the member with the smallest CCW offset; all offsets
+// shrink but stay non-negative, so no member leaves. Hence for maximization
+// problems it suffices to consider the <= n placements whose start lies on
+// an input direction. (When trailing-edge alignment is also wanted -- e.g.
+// for symmetric enumeration -- BothEdges adds {theta_i - rho}.)
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/geom/angle.hpp"
+
+namespace sectorpack::geom {
+
+enum class CandidateEdges {
+  kLeading,    // {theta_i}: sufficient for subset maximization
+  kBoth,       // {theta_i} u {theta_i - rho}
+};
+
+/// Sorted, deduplicated (within kAngleEps) candidate start angles for an arc
+/// of width `rho` over the given directions.
+[[nodiscard]] std::vector<double> candidate_orientations(
+    std::span<const double> thetas, double rho,
+    CandidateEdges edges = CandidateEdges::kLeading);
+
+/// Precomputed sweep of all leading-edge windows. Window w is the arc
+/// [alpha(w), alpha(w)+rho]; members(w) are the indices (into the original
+/// `thetas` span) of directions inside that closed arc.
+///
+/// Construction is O(n log n); total member storage is O(n) amortized per
+/// window via a doubled sorted array, so iterating all windows touches each
+/// member range as a contiguous span with no per-window allocation.
+class WindowSweep {
+ public:
+  WindowSweep(std::span<const double> thetas, double rho);
+
+  [[nodiscard]] std::size_t num_windows() const noexcept {
+    return alphas_.size();
+  }
+  [[nodiscard]] double alpha(std::size_t w) const noexcept {
+    return alphas_[w];
+  }
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+
+  /// Original indices of the directions inside window w, in CCW order
+  /// starting from the window's leading edge.
+  [[nodiscard]] std::span<const std::size_t> members(std::size_t w) const {
+    const auto& [first, count] = ranges_[w];
+    return {order2_.data() + first, count};
+  }
+
+ private:
+  double rho_;
+  std::vector<std::size_t> order2_;  // sorted indices, duplicated (size 2n)
+  std::vector<double> alphas_;       // unique window start angles, sorted
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;  // (first, count)
+};
+
+}  // namespace sectorpack::geom

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal 2-D vector / point type plus Cartesian <-> polar conversion.
+
+#include <cmath>
+
+#include "src/geom/angle.hpp"
+
+namespace sectorpack::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) noexcept {
+    return {s * v.x, s * v.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 v, double s) noexcept { return s * v; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept {
+    return x * o.x + y * o.y;
+  }
+  /// z-component of the 3-D cross product; >0 when `o` is CCW of *this.
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const noexcept {
+    return x * x + y * y;
+  }
+};
+
+/// Polar coordinates: angle theta in [0, 2*pi), radius r >= 0.
+struct Polar {
+  double theta = 0.0;
+  double r = 0.0;
+};
+
+/// Convert a Cartesian point to polar coordinates around the origin.
+/// The origin itself maps to theta == 0, r == 0.
+[[nodiscard]] inline Polar to_polar(Vec2 v) noexcept {
+  const double r = v.norm();
+  if (r == 0.0) return {0.0, 0.0};
+  return {normalize(std::atan2(v.y, v.x)), r};
+}
+
+[[nodiscard]] inline Vec2 from_polar(Polar p) noexcept {
+  return {p.r * std::cos(p.theta), p.r * std::sin(p.theta)};
+}
+
+[[nodiscard]] inline Vec2 from_polar(double theta, double r) noexcept {
+  return from_polar(Polar{theta, r});
+}
+
+}  // namespace sectorpack::geom

@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+namespace {
+
+struct BBState {
+  std::span<const Item> items;       // reordered by density
+  std::vector<std::size_t> order;    // original index per position
+  double capacity = 0.0;
+  std::uint64_t node_limit = 0;
+  std::uint64_t nodes = 0;
+  double best_value = 0.0;
+  std::vector<bool> cur;   // position -> taken
+  std::vector<bool> best;  // best assignment found
+
+  // Fractional bound on positions [pos, n) with `room` capacity left.
+  [[nodiscard]] double bound(std::size_t pos, double room) const {
+    double b = 0.0;
+    for (std::size_t p = pos; p < order.size(); ++p) {
+      const Item& it = items[order[p]];
+      if (it.value <= 0.0) continue;
+      if (it.weight <= room) {
+        room -= it.weight;
+        b += it.value;
+      } else {
+        if (it.weight > 0.0) b += it.value * (room / it.weight);
+        break;
+      }
+    }
+    return b;
+  }
+
+  void dfs(std::size_t pos, double value, double room) {
+    if (++nodes > node_limit) {
+      throw std::runtime_error("solve_bb: node limit exceeded");
+    }
+    if (value > best_value) {
+      best_value = value;
+      best = cur;
+    }
+    if (pos == order.size() || room <= 0.0) return;
+    if (value + bound(pos, room) <= best_value) return;  // prune
+
+    const Item& it = items[order[pos]];
+    // Branch "take" first: density order makes this the promising branch.
+    if (it.weight <= room && it.value > 0.0) {
+      cur[pos] = true;
+      dfs(pos + 1, value + it.value, room - it.weight);
+      cur[pos] = false;
+    }
+    dfs(pos + 1, value, room);
+  }
+};
+
+}  // namespace
+
+Result solve_bb(std::span<const Item> items, double capacity,
+                std::uint64_t node_limit) {
+  Result result;
+  if (capacity < 0.0 || items.empty()) return result;
+
+  BBState st;
+  st.items = items;
+  st.capacity = capacity;
+  st.node_limit = node_limit;
+  st.order.resize(items.size());
+  std::iota(st.order.begin(), st.order.end(), std::size_t{0});
+  std::sort(st.order.begin(), st.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double lhs = items[a].value * items[b].weight;
+              const double rhs = items[b].value * items[a].weight;
+              if (lhs != rhs) return lhs > rhs;
+              return items[a].value > items[b].value;
+            });
+  st.cur.assign(items.size(), false);
+  st.best.assign(items.size(), false);
+  st.dfs(0, 0.0, capacity);
+
+  for (std::size_t p = 0; p < st.order.size(); ++p) {
+    if (st.best[p]) {
+      const std::size_t i = st.order[p];
+      result.chosen.push_back(i);
+      result.value += items[i].value;
+      result.weight += items[i].weight;
+    }
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace sectorpack::knapsack

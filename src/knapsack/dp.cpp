@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+Result solve_brute_force(std::span<const Item> items, double capacity) {
+  const std::size_t n = items.size();
+  if (n > 25) {
+    throw std::invalid_argument("solve_brute_force: n > 25");
+  }
+  Result best;
+  const std::uint32_t masks = n >= 32 ? 0u : (1u << n);
+  for (std::uint32_t m = 0; m < masks; ++m) {
+    double v = 0.0;
+    double w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (m & (1u << i)) {
+        v += items[i].value;
+        w += items[i].weight;
+      }
+    }
+    if (w <= capacity && v > best.value) {
+      best.value = v;
+      best.weight = w;
+      best.chosen.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (m & (1u << i)) best.chosen.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+bool is_integral(double w) {
+  return std::abs(w - std::round(w)) <= kIntegralityTol;
+}
+
+// Bit-packed (n x C+1) choice matrix for DP reconstruction.
+class ChoiceBits {
+ public:
+  ChoiceBits(std::size_t rows, std::size_t cols)
+      : cols_(cols), bits_((rows * cols + 63) / 64, 0) {}
+  void set(std::size_t r, std::size_t c) {
+    const std::size_t idx = r * cols_ + c;
+    bits_[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+  }
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const {
+    const std::size_t idx = r * cols_ + c;
+    return (bits_[idx >> 6] >> (idx & 63)) & 1;
+  }
+
+ private:
+  std::size_t cols_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+bool dp_applicable(std::span<const Item> items, double capacity) {
+  if (capacity < 0.0) return true;  // trivially empty
+  double cap = std::floor(capacity + kIntegralityTol);
+  if (cap > 1e12) return false;
+  const auto cols = static_cast<std::size_t>(cap) + 1;
+  if (items.size() * cols > kMaxDpCells) return false;
+  for (const Item& it : items) {
+    if (it.weight < 0.0 || !is_integral(it.weight)) return false;
+  }
+  return true;
+}
+
+Result solve_exact_dp(std::span<const Item> items, double capacity) {
+  if (!dp_applicable(items, capacity)) {
+    throw std::invalid_argument(
+        "solve_exact_dp: weights not integral or table too large");
+  }
+  Result result;
+  if (capacity < 0.0 || items.empty()) return result;
+
+  const auto cap =
+      static_cast<std::size_t>(std::floor(capacity + kIntegralityTol));
+  const std::size_t n = items.size();
+  std::vector<double> dp(cap + 1, 0.0);
+  ChoiceBits take(n, cap + 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w =
+        static_cast<std::size_t>(std::llround(items[i].weight));
+    const double v = items[i].value;
+    if (w > cap || v <= 0.0) continue;
+    for (std::size_t c = cap; c + 1 > w; --c) {
+      const double cand = dp[c - w] + v;
+      if (cand > dp[c]) {
+        dp[c] = cand;
+        take.set(i, c);
+      }
+    }
+  }
+
+  // Reconstruct from the best capacity.
+  std::size_t best_c = 0;
+  for (std::size_t c = 1; c <= cap; ++c) {
+    if (dp[c] > dp[best_c]) best_c = c;
+  }
+  result.value = dp[best_c];
+  std::size_t c = best_c;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take.get(i, c)) {
+      result.chosen.push_back(i);
+      result.weight += items[i].weight;
+      c -= static_cast<std::size_t>(std::llround(items[i].weight));
+    }
+  }
+  std::reverse(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+Result solve_exact_auto(std::span<const Item> items, double capacity) {
+  if (dp_applicable(items, capacity)) {
+    return solve_exact_dp(items, capacity);
+  }
+  // Non-integral weights: meet-in-the-middle has a hard O(2^{n/2} n) bound
+  // where branch & bound can degenerate (equal-density items), so prefer it
+  // while the subset tables stay small.
+  if (items.size() <= 30) {
+    return solve_mim(items, capacity);
+  }
+  return solve_bb(items, capacity);
+}
+
+}  // namespace sectorpack::knapsack

@@ -1,0 +1,104 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+namespace {
+
+class ChoiceBits {
+ public:
+  ChoiceBits(std::size_t rows, std::size_t cols)
+      : cols_(cols), bits_((rows * cols + 63) / 64, 0) {}
+  void set(std::size_t r, std::size_t c) {
+    const std::size_t idx = r * cols_ + c;
+    bits_[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+  }
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const {
+    const std::size_t idx = r * cols_ + c;
+    return (bits_[idx >> 6] >> (idx & 63)) & 1;
+  }
+
+ private:
+  std::size_t cols_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+Result solve_fptas(std::span<const Item> items, double capacity, double eps) {
+  if (!(eps > 0.0) || eps >= 1.0) {
+    throw std::invalid_argument("solve_fptas: eps must be in (0, 1)");
+  }
+  Result result;
+  if (capacity < 0.0) return result;
+
+  // Keep only items that can appear in any solution.
+  std::vector<std::size_t> live;
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value > 0.0 && items[i].weight <= capacity) {
+      live.push_back(i);
+      vmax = std::max(vmax, items[i].value);
+    }
+  }
+  if (live.empty()) return result;
+  const std::size_t n = live.size();
+
+  // Scale values. OPT >= vmax, and rounding loses < mu per item, so the
+  // total loss is < n * mu = eps * vmax <= eps * OPT.
+  const double mu = eps * vmax / static_cast<double>(n);
+  std::vector<std::uint64_t> sv(n);
+  std::uint64_t total_sv = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    sv[p] = static_cast<std::uint64_t>(std::floor(items[live[p]].value / mu));
+    total_sv += sv[p];
+  }
+
+  const std::size_t cols = static_cast<std::size_t>(total_sv) + 1;
+  if (n * cols > (kMaxDpCells << 3)) {
+    throw std::invalid_argument("solve_fptas: scaled DP table too large");
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> min_weight(cols, kInf);
+  min_weight[0] = 0.0;
+  ChoiceBits take(n, cols);
+
+  std::uint64_t reachable = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double w = items[live[p]].weight;
+    reachable += sv[p];
+    for (std::uint64_t val = reachable; val + 1 > 0; --val) {
+      if (sv[p] > val) break;
+      const double cand = min_weight[val - sv[p]] + w;
+      if (cand < min_weight[val]) {
+        min_weight[val] = cand;
+        take.set(p, val);
+      }
+    }
+  }
+
+  std::uint64_t best_val = 0;
+  for (std::uint64_t val = 0; val < cols; ++val) {
+    if (min_weight[val] <= capacity) best_val = val;
+  }
+
+  std::uint64_t val = best_val;
+  for (std::size_t p = n; p-- > 0;) {
+    if (take.get(p, val)) {
+      const std::size_t i = live[p];
+      result.chosen.push_back(i);
+      result.value += items[i].value;
+      result.weight += items[i].weight;
+      val -= sv[p];
+    }
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace sectorpack::knapsack

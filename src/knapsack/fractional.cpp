@@ -1,0 +1,45 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+FractionalResult fractional_solve(std::span<const Item> items,
+                                  double capacity) {
+  FractionalResult res;
+  if (capacity <= 0.0) return res;
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double lhs = items[a].value * items[b].weight;
+    const double rhs = items[b].value * items[a].weight;
+    if (lhs != rhs) return lhs > rhs;
+    return items[a].value > items[b].value;
+  });
+
+  double remaining = capacity;
+  for (std::size_t i : order) {
+    const Item& it = items[i];
+    if (it.value <= 0.0) continue;
+    if (it.weight <= remaining) {
+      remaining -= it.weight;
+      res.weight += it.weight;
+      res.value += it.value;
+      res.full.push_back(i);
+    } else {
+      if (it.weight > 0.0 && remaining > 0.0) {
+        res.split_item = i;
+        res.split_fraction = remaining / it.weight;
+        res.value += it.value * res.split_fraction;
+        res.weight += remaining;
+      }
+      break;
+    }
+  }
+  std::sort(res.full.begin(), res.full.end());
+  return res;
+}
+
+}  // namespace sectorpack::knapsack

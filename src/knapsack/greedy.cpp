@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+namespace {
+
+// Indices sorted by value density (value/weight) descending; zero-weight
+// positive-value items first (infinite density), ties broken by value.
+std::vector<std::size_t> density_order(std::span<const Item> items) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = items[a];
+    const Item& ib = items[b];
+    // Compare va/wa vs vb/wb without dividing: va*wb vs vb*wa (weights >= 0).
+    const double lhs = ia.value * ib.weight;
+    const double rhs = ib.value * ia.weight;
+    if (lhs != rhs) return lhs > rhs;
+    return ia.value > ib.value;
+  });
+  return order;
+}
+
+}  // namespace
+
+Result solve_greedy(std::span<const Item> items, double capacity) {
+  Result greedy;
+  if (capacity < 0.0) return greedy;
+
+  for (std::size_t i : density_order(items)) {
+    const Item& it = items[i];
+    if (it.value <= 0.0) continue;
+    if (greedy.weight + it.weight <= capacity) {
+      greedy.weight += it.weight;
+      greedy.value += it.value;
+      greedy.chosen.push_back(i);
+    }
+  }
+
+  // Classic 1/2 guarantee: max(density-greedy, best single item) >= OPT/2,
+  // because the fractional optimum is at most greedy-prefix + one item.
+  Result best_single;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& it = items[i];
+    if (it.weight <= capacity && it.value > best_single.value) {
+      best_single.value = it.value;
+      best_single.weight = it.weight;
+      best_single.chosen.assign(1, i);
+    }
+  }
+
+  Result& best = best_single.value > greedy.value ? best_single : greedy;
+  std::sort(best.chosen.begin(), best.chosen.end());
+  return std::move(best);
+}
+
+double fractional_upper_bound(std::span<const Item> items, double capacity) {
+  if (capacity <= 0.0) return 0.0;
+  double remaining = capacity;
+  double value = 0.0;
+  for (std::size_t i : density_order(items)) {
+    const Item& it = items[i];
+    if (it.value <= 0.0) continue;
+    if (it.weight <= remaining) {
+      remaining -= it.weight;
+      value += it.value;
+    } else {
+      if (it.weight > 0.0) value += it.value * (remaining / it.weight);
+      break;
+    }
+  }
+  return value;
+}
+
+}  // namespace sectorpack::knapsack

@@ -1,0 +1,140 @@
+#pragma once
+// 0/1 knapsack engine.
+//
+// The packing core of the paper: once an antenna's orientation is fixed, the
+// set of customers it can see is fixed, and "serve as much demand as fits in
+// the capacity" is a 0/1 knapsack (value == weight == demand). The engine is
+// kept general (value and weight may differ) so priority-weighted variants
+// work too.
+//
+// Solvers and their guarantees (each is property-tested against these):
+//   solve_brute_force  -- optimal, n <= 25 (reference only)
+//   solve_exact_dp     -- optimal when weights are integral; O(n * C)
+//   solve_bb           -- optimal on arbitrary doubles (branch & bound with
+//                         fractional bound)
+//   solve_greedy       -- >= OPT / 2 (density greedy + best single item)
+//   solve_fptas(eps)   -- >= (1 - eps) * OPT (value scaling + DP by value)
+//   fractional_upper_bound -- >= OPT (LP relaxation value)
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sectorpack::knapsack {
+
+struct Item {
+  double value = 0.0;   // objective contribution if packed
+  double weight = 0.0;  // capacity consumed if packed
+};
+
+struct Result {
+  double value = 0.0;
+  double weight = 0.0;
+  std::vector<std::size_t> chosen;  // indices into the input span, ascending
+};
+
+/// Exhaustive search. Precondition: items.size() <= 25.
+[[nodiscard]] Result solve_brute_force(std::span<const Item> items,
+                                       double capacity);
+
+/// Exact DP over integer weights. Preconditions: every weight is integral
+/// within kIntegralityTol and >= 0, and (n+1) * (floor(capacity)+1) table
+/// cells fit in kMaxDpCells. Throws std::invalid_argument otherwise.
+inline constexpr double kIntegralityTol = 1e-9;
+inline constexpr std::size_t kMaxDpCells = std::size_t{1} << 28;
+[[nodiscard]] Result solve_exact_dp(std::span<const Item> items,
+                                    double capacity);
+
+/// True when solve_exact_dp's preconditions hold for these inputs.
+[[nodiscard]] bool dp_applicable(std::span<const Item> items, double capacity);
+
+/// Exact branch & bound (arbitrary double weights). `node_limit` bounds the
+/// search; throws std::runtime_error if exhausted before proving optimality.
+[[nodiscard]] Result solve_bb(std::span<const Item> items, double capacity,
+                              std::uint64_t node_limit = 1u << 26);
+
+/// Exact meet-in-the-middle: O(2^{n/2} * n) time and memory regardless of
+/// the weight structure, so it cannot blow up the way branch & bound can on
+/// equal-density items. Precondition: items.size() <= kMaxMimItems.
+inline constexpr std::size_t kMaxMimItems = 40;
+[[nodiscard]] Result solve_mim(std::span<const Item> items, double capacity);
+
+/// Exact dispatch: DP when weights are integral and the table fits;
+/// meet-in-the-middle for small non-integral instances (worst-case
+/// bounded); branch & bound otherwise.
+[[nodiscard]] Result solve_exact_auto(std::span<const Item> items,
+                                      double capacity);
+
+/// Density greedy + best-single-item. Guarantee: value >= OPT / 2.
+[[nodiscard]] Result solve_greedy(std::span<const Item> items,
+                                  double capacity);
+
+/// FPTAS by value scaling. Guarantee: value >= (1 - eps) * OPT for
+/// eps in (0, 1). Running time O(n^2 * n/eps) worst case.
+[[nodiscard]] Result solve_fptas(std::span<const Item> items, double capacity,
+                                 double eps);
+
+/// Value of the LP relaxation (items may be taken fractionally).
+/// Always >= OPT; equals OPT when the greedy prefix fits exactly.
+[[nodiscard]] double fractional_upper_bound(std::span<const Item> items,
+                                            double capacity);
+
+/// Full LP-relaxation solution: the Dantzig greedy prefix plus at most one
+/// fractionally-taken item. value == fractional_upper_bound(...).
+struct FractionalResult {
+  double value = 0.0;
+  double weight = 0.0;
+  std::vector<std::size_t> full;        // items taken whole
+  std::size_t split_item = kNoSplit;    // the fractional item, if any
+  double split_fraction = 0.0;          // in (0, 1)
+  static constexpr std::size_t kNoSplit = static_cast<std::size_t>(-1);
+};
+
+[[nodiscard]] FractionalResult fractional_solve(std::span<const Item> items,
+                                                double capacity);
+
+// ---------------------------------------------------------------------------
+// Oracle: the pluggable knapsack solver used by the sector solvers. The
+// approximation guarantee of a sector solver composes with the oracle's
+// (e.g. submodular greedy with a beta-oracle serves >= (1 - e^-beta) * OPT).
+
+enum class OracleKind : std::uint8_t {
+  kExactAuto,  // guarantee 1
+  kExactDP,    // guarantee 1 (throws when not applicable)
+  kExactBB,    // guarantee 1
+  kGreedy,     // guarantee 1/2
+  kFptas,      // guarantee 1 - eps
+};
+
+class Oracle {
+ public:
+  explicit Oracle(OracleKind kind, double eps = 0.1) noexcept
+      : kind_(kind), eps_(eps) {}
+
+  [[nodiscard]] static Oracle exact() noexcept {
+    return Oracle{OracleKind::kExactAuto};
+  }
+  [[nodiscard]] static Oracle greedy() noexcept {
+    return Oracle{OracleKind::kGreedy};
+  }
+  [[nodiscard]] static Oracle fptas(double eps) noexcept {
+    return Oracle{OracleKind::kFptas, eps};
+  }
+
+  [[nodiscard]] OracleKind kind() const noexcept { return kind_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
+  /// The factor beta such that solve() returns value >= beta * OPT.
+  [[nodiscard]] double guarantee() const noexcept;
+
+  [[nodiscard]] Result solve(std::span<const Item> items,
+                             double capacity) const;
+
+  [[nodiscard]] const char* name() const noexcept;
+
+ private:
+  OracleKind kind_;
+  double eps_;
+};
+
+}  // namespace sectorpack::knapsack

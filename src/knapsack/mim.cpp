@@ -1,0 +1,115 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+namespace {
+
+struct HalfEntry {
+  double weight;
+  double value;
+  std::uint32_t mask;  // subset of the half's items
+};
+
+// All 2^m subset (weight, value, mask) triples of items[pos[0..m)).
+std::vector<HalfEntry> enumerate_half(std::span<const Item> items,
+                                      std::span<const std::size_t> pos) {
+  const std::size_t m = pos.size();
+  std::vector<HalfEntry> entries(std::size_t{1} << m);
+  entries[0] = {0.0, 0.0, 0};
+  for (std::size_t b = 0; b < m; ++b) {
+    const Item& it = items[pos[b]];
+    const std::size_t lo = std::size_t{1} << b;
+    for (std::size_t s = 0; s < lo; ++s) {
+      entries[lo + s] = {entries[s].weight + it.weight,
+                         entries[s].value + it.value,
+                         entries[s].mask | (std::uint32_t{1} << b)};
+    }
+  }
+  return entries;
+}
+
+}  // namespace
+
+Result solve_mim(std::span<const Item> items, double capacity) {
+  if (items.size() > kMaxMimItems) {
+    throw std::invalid_argument("solve_mim: too many items");
+  }
+  Result result;
+  if (capacity < 0.0) return result;
+
+  // Drop items that can never be packed; zero/negative values are dropped
+  // too (never in an optimal solution for a maximization with w >= 0).
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight <= capacity && items[i].value > 0.0) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return result;
+
+  const std::size_t half = live.size() / 2;
+  const std::span<const std::size_t> pos_a{live.data(), half};
+  const std::span<const std::size_t> pos_b{live.data() + half,
+                                           live.size() - half};
+
+  std::vector<HalfEntry> a = enumerate_half(items, pos_a);
+  std::vector<HalfEntry> b = enumerate_half(items, pos_b);
+
+  // Pareto-filter B by weight: after sorting, keep a running max of value
+  // so b_best[i] is the best value achievable with weight <= b[i].weight.
+  std::sort(b.begin(), b.end(), [](const HalfEntry& x, const HalfEntry& y) {
+    return x.weight < y.weight;
+  });
+  std::vector<HalfEntry> pareto;
+  pareto.reserve(b.size());
+  double best_value = -1.0;
+  for (const HalfEntry& e : b) {
+    if (e.value > best_value) {
+      best_value = e.value;
+      pareto.push_back(e);
+    }
+  }
+
+  double best = -1.0;
+  std::uint32_t best_mask_a = 0;
+  std::uint32_t best_mask_b = 0;
+  for (const HalfEntry& ea : a) {
+    if (ea.weight > capacity) continue;
+    const double room = capacity - ea.weight;
+    // Largest pareto entry with weight <= room.
+    auto it = std::upper_bound(
+        pareto.begin(), pareto.end(), room,
+        [](double r, const HalfEntry& e) { return r < e.weight; });
+    if (it == pareto.begin()) continue;
+    --it;
+    const double total = ea.value + it->value;
+    if (total > best) {
+      best = total;
+      best_mask_a = ea.mask;
+      best_mask_b = it->mask;
+    }
+  }
+  if (best < 0.0) return result;
+
+  for (std::size_t p = 0; p < pos_a.size(); ++p) {
+    if (best_mask_a & (std::uint32_t{1} << p)) {
+      result.chosen.push_back(pos_a[p]);
+    }
+  }
+  for (std::size_t p = 0; p < pos_b.size(); ++p) {
+    if (best_mask_b & (std::uint32_t{1} << p)) {
+      result.chosen.push_back(pos_b[p]);
+    }
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  for (std::size_t i : result.chosen) {
+    result.value += items[i].value;
+    result.weight += items[i].weight;
+  }
+  return result;
+}
+
+}  // namespace sectorpack::knapsack

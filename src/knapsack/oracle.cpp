@@ -1,0 +1,51 @@
+#include "src/knapsack/knapsack.hpp"
+
+namespace sectorpack::knapsack {
+
+double Oracle::guarantee() const noexcept {
+  switch (kind_) {
+    case OracleKind::kExactAuto:
+    case OracleKind::kExactDP:
+    case OracleKind::kExactBB:
+      return 1.0;
+    case OracleKind::kGreedy:
+      return 0.5;
+    case OracleKind::kFptas:
+      return 1.0 - eps_;
+  }
+  return 0.0;  // unreachable
+}
+
+Result Oracle::solve(std::span<const Item> items, double capacity) const {
+  switch (kind_) {
+    case OracleKind::kExactAuto:
+      return solve_exact_auto(items, capacity);
+    case OracleKind::kExactDP:
+      return solve_exact_dp(items, capacity);
+    case OracleKind::kExactBB:
+      return solve_bb(items, capacity);
+    case OracleKind::kGreedy:
+      return solve_greedy(items, capacity);
+    case OracleKind::kFptas:
+      return solve_fptas(items, capacity, eps_);
+  }
+  return {};  // unreachable
+}
+
+const char* Oracle::name() const noexcept {
+  switch (kind_) {
+    case OracleKind::kExactAuto:
+      return "exact";
+    case OracleKind::kExactDP:
+      return "exact-dp";
+    case OracleKind::kExactBB:
+      return "exact-bb";
+    case OracleKind::kGreedy:
+      return "greedy";
+    case OracleKind::kFptas:
+      return "fptas";
+  }
+  return "?";
+}
+
+}  // namespace sectorpack::knapsack

@@ -1,0 +1,83 @@
+#include "src/model/instance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace sectorpack::model {
+
+Instance::Instance(std::vector<Customer> customers,
+                   std::vector<AntennaSpec> antennas)
+    : customers_(std::move(customers)), antennas_(std::move(antennas)) {
+  thetas_.reserve(customers_.size());
+  radii_.reserve(customers_.size());
+  values_.reserve(customers_.size());
+  for (const Customer& c : customers_) {
+    if (!(c.demand > 0.0) || !std::isfinite(c.demand)) {
+      throw std::invalid_argument("customer demand must be finite and > 0");
+    }
+    double v = c.value;
+    if (v == Customer::kValueIsDemand) {
+      v = c.demand;
+    } else {
+      if (!(v >= 0.0) || !std::isfinite(v)) {
+        throw std::invalid_argument(
+            "customer value must be finite and >= 0 (or kValueIsDemand)");
+      }
+      if (v != c.demand) value_weighted_ = true;
+    }
+    const geom::Polar p = geom::to_polar(c.pos);
+    thetas_.push_back(p.theta);
+    radii_.push_back(p.r);
+    values_.push_back(v);
+    total_demand_ += c.demand;
+    total_value_ += v;
+  }
+  for (const AntennaSpec& a : antennas_) {
+    if (!(a.rho > 0.0) || a.rho > geom::kTwoPi + geom::kAngleEps) {
+      throw std::invalid_argument("antenna rho must be in (0, 2*pi]");
+    }
+    if (!(a.range > 0.0) || !std::isfinite(a.range)) {
+      throw std::invalid_argument("antenna range must be finite and > 0");
+    }
+    if (a.capacity < 0.0 || !std::isfinite(a.capacity)) {
+      throw std::invalid_argument("antenna capacity must be finite and >= 0");
+    }
+    if (a.min_range < 0.0 || a.min_range >= a.range ||
+        !std::isfinite(a.min_range)) {
+      throw std::invalid_argument(
+          "antenna min_range must be in [0, range)");
+    }
+    total_capacity_ += a.capacity;
+  }
+}
+
+bool Instance::antennas_identical() const noexcept {
+  for (std::size_t j = 1; j < antennas_.size(); ++j) {
+    if (antennas_[j].rho != antennas_[0].rho ||
+        antennas_[j].range != antennas_[0].range ||
+        antennas_[j].capacity != antennas_[0].capacity ||
+        antennas_[j].min_range != antennas_[0].min_range) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Instance::has_annular_antennas() const noexcept {
+  for (const AntennaSpec& a : antennas_) {
+    if (a.min_range > 0.0) return true;
+  }
+  return false;
+}
+
+bool Instance::is_angles_only() const noexcept {
+  for (std::size_t j = 0; j < antennas_.size(); ++j) {
+    for (std::size_t i = 0; i < customers_.size(); ++i) {
+      if (!in_range(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sectorpack::model

@@ -1,0 +1,165 @@
+#pragma once
+// Problem model for "Packing to angles and sectors".
+//
+// A base station at the origin, n customers in the plane with positive
+// demands, and k directional antennas. Antenna j has angular width rho_j,
+// range R_j and capacity c_j. A solution orients each antenna and assigns
+// each customer to at most one antenna whose (oriented) sector contains it,
+// subject to the antenna capacities; the objective is the served demand.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/geom/sector.hpp"
+#include "src/geom/vec2.hpp"
+
+namespace sectorpack::model {
+
+struct Customer {
+  geom::Vec2 pos;
+  double demand = 1.0;
+  /// Objective contribution when served (revenue / priority). Negative
+  /// means "use the demand" -- the paper's base objective where served
+  /// demand is what counts. Capacity is always consumed by `demand`.
+  double value = kValueIsDemand;
+
+  static constexpr double kValueIsDemand = -1.0;
+};
+
+struct AntennaSpec {
+  double rho = geom::kTwoPi;  // angular width, radians, in (0, 2*pi]
+  double range = 1.0;         // coverage radius R, > 0
+  double capacity = 1.0;      // total demand the antenna can serve, >= 0
+  /// Near-field dead zone: customers closer than this are NOT coverable by
+  /// this antenna. 0 (the default) gives the paper's plain sector.
+  double min_range = 0.0;
+};
+
+/// Immutable problem instance with cached polar coordinates.
+class Instance {
+ public:
+  Instance() = default;
+  Instance(std::vector<Customer> customers, std::vector<AntennaSpec> antennas);
+
+  [[nodiscard]] std::size_t num_customers() const noexcept {
+    return customers_.size();
+  }
+  [[nodiscard]] std::size_t num_antennas() const noexcept {
+    return antennas_.size();
+  }
+
+  [[nodiscard]] const Customer& customer(std::size_t i) const {
+    return customers_[i];
+  }
+  [[nodiscard]] const AntennaSpec& antenna(std::size_t j) const {
+    return antennas_[j];
+  }
+  [[nodiscard]] std::span<const Customer> customers() const noexcept {
+    return customers_;
+  }
+  [[nodiscard]] std::span<const AntennaSpec> antennas() const noexcept {
+    return antennas_;
+  }
+
+  /// Polar angle of customer i, normalized into [0, 2*pi).
+  [[nodiscard]] double theta(std::size_t i) const { return thetas_[i]; }
+  /// Distance of customer i from the base station.
+  [[nodiscard]] double radius(std::size_t i) const { return radii_[i]; }
+  [[nodiscard]] double demand(std::size_t i) const {
+    return customers_[i].demand;
+  }
+  /// Objective contribution of customer i (== demand unless the instance
+  /// is value-weighted).
+  [[nodiscard]] double value(std::size_t i) const { return values_[i]; }
+  [[nodiscard]] std::span<const double> thetas() const noexcept {
+    return thetas_;
+  }
+  [[nodiscard]] std::span<const double> radii() const noexcept {
+    return radii_;
+  }
+
+  /// True when customer i is within antenna j's radial band
+  /// [min_range, range] (radial test only; angle is orientation-dependent).
+  [[nodiscard]] bool in_range(std::size_t i, std::size_t j) const {
+    return radii_[i] <= antennas_[j].range * (1.0 + geom::kRadiusEps) &&
+           radii_[i] >= antennas_[j].min_range * (1.0 - geom::kRadiusEps);
+  }
+
+  /// The sector covered by antenna j when oriented at `alpha`.
+  [[nodiscard]] geom::Sector sector(std::size_t j, double alpha) const {
+    return geom::Sector{alpha, antennas_[j].rho, antennas_[j].range,
+                        antennas_[j].min_range};
+  }
+
+  /// True when some antenna has a near-field dead zone (min_range > 0).
+  [[nodiscard]] bool has_annular_antennas() const noexcept;
+
+  [[nodiscard]] double total_demand() const noexcept { return total_demand_; }
+  [[nodiscard]] double total_value() const noexcept { return total_value_; }
+  [[nodiscard]] double total_capacity() const noexcept {
+    return total_capacity_;
+  }
+
+  /// True when some customer's objective value differs from its demand.
+  /// Several bounds (the flow relaxations) are only valid on unweighted
+  /// instances and check this.
+  [[nodiscard]] bool is_value_weighted() const noexcept {
+    return value_weighted_;
+  }
+
+  /// True when all antennas have the same (rho, range, capacity).
+  [[nodiscard]] bool antennas_identical() const noexcept;
+
+  /// True when every customer is within every antenna's range -- the
+  /// "packing to angles" special case where radii are irrelevant.
+  [[nodiscard]] bool is_angles_only() const noexcept;
+
+ private:
+  std::vector<Customer> customers_;
+  std::vector<AntennaSpec> antennas_;
+  std::vector<double> thetas_;
+  std::vector<double> radii_;
+  std::vector<double> values_;  // resolved (kValueIsDemand -> demand)
+  double total_demand_ = 0.0;
+  double total_value_ = 0.0;
+  double total_capacity_ = 0.0;
+  bool value_weighted_ = false;
+};
+
+/// Fluent helper for building instances in examples and tests.
+class InstanceBuilder {
+ public:
+  InstanceBuilder& add_customer(double x, double y, double demand) {
+    customers_.push_back({{x, y}, demand});
+    return *this;
+  }
+  InstanceBuilder& add_customer_polar(double theta, double r, double demand) {
+    customers_.push_back({geom::from_polar(theta, r), demand});
+    return *this;
+  }
+  /// Value-weighted customer: `value` is the objective contribution,
+  /// `demand` what it consumes from the serving antenna's capacity.
+  InstanceBuilder& add_weighted_customer_polar(double theta, double r,
+                                               double demand, double value) {
+    customers_.push_back({geom::from_polar(theta, r), demand, value});
+    return *this;
+  }
+  InstanceBuilder& add_antenna(double rho, double range, double capacity,
+                               double min_range = 0.0) {
+    antennas_.push_back({rho, range, capacity, min_range});
+    return *this;
+  }
+  InstanceBuilder& add_identical_antennas(std::size_t k, double rho,
+                                          double range, double capacity) {
+    for (std::size_t j = 0; j < k; ++j) add_antenna(rho, range, capacity);
+    return *this;
+  }
+  [[nodiscard]] Instance build() const { return {customers_, antennas_}; }
+
+ private:
+  std::vector<Customer> customers_;
+  std::vector<AntennaSpec> antennas_;
+};
+
+}  // namespace sectorpack::model

@@ -1,0 +1,156 @@
+#include "src/model/io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sectorpack::model {
+
+namespace {
+
+// Read the next non-comment, non-blank line; throw on EOF.
+std::string next_line(std::istream& is, const char* what) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find('#');
+    if (pos != std::string::npos) line.erase(pos);
+    const auto first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r\n");
+    return line.substr(first, last - first + 1);
+  }
+  throw std::runtime_error(std::string("unexpected EOF while reading ") +
+                           what);
+}
+
+std::size_t expect_count(std::istream& is, const std::string& keyword) {
+  std::istringstream ls(next_line(is, keyword.c_str()));
+  std::string kw;
+  long long count = -1;
+  if (!(ls >> kw >> count) || kw != keyword || count < 0) {
+    throw std::runtime_error("expected '" + keyword + " <count>' line");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& inst) {
+  // v1: 3-column customers and antennas. v2 (any extended feature present):
+  // customers gain a <value> column, antennas a <min_range> column.
+  const bool extended =
+      inst.is_value_weighted() || inst.has_annular_antennas();
+  os << (extended ? "sectorpack-instance v2\n" : "sectorpack-instance v1\n");
+  os << std::setprecision(17);
+  os << "customers " << inst.num_customers() << "\n";
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    const Customer& c = inst.customer(i);
+    os << c.pos.x << " " << c.pos.y << " " << c.demand;
+    if (extended) os << " " << inst.value(i);
+    os << "\n";
+  }
+  os << "antennas " << inst.num_antennas() << "\n";
+  for (const AntennaSpec& a : inst.antennas()) {
+    os << a.rho << " " << a.range << " " << a.capacity;
+    if (extended) os << " " << a.min_range;
+    os << "\n";
+  }
+}
+
+Instance read_instance(std::istream& is) {
+  const std::string header = next_line(is, "header");
+  bool extended = false;
+  if (header == "sectorpack-instance v2") {
+    extended = true;
+  } else if (header != "sectorpack-instance v1") {
+    throw std::runtime_error("bad instance header");
+  }
+  const std::size_t n = expect_count(is, "customers");
+  std::vector<Customer> customers;
+  customers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream ls(next_line(is, "customer"));
+    Customer c;
+    if (!(ls >> c.pos.x >> c.pos.y >> c.demand)) {
+      throw std::runtime_error("bad customer line");
+    }
+    if (extended && !(ls >> c.value)) {
+      throw std::runtime_error("bad customer line (missing value column)");
+    }
+    customers.push_back(c);
+  }
+  const std::size_t k = expect_count(is, "antennas");
+  std::vector<AntennaSpec> antennas;
+  antennas.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::istringstream ls(next_line(is, "antenna"));
+    AntennaSpec a;
+    if (!(ls >> a.rho >> a.range >> a.capacity)) {
+      throw std::runtime_error("bad antenna line");
+    }
+    if (extended && !(ls >> a.min_range)) {
+      throw std::runtime_error("bad antenna line (missing min_range)");
+    }
+    antennas.push_back(a);
+  }
+  return Instance{std::move(customers), std::move(antennas)};
+}
+
+void write_solution(std::ostream& os, const Solution& sol) {
+  os << "sectorpack-solution v1\n";
+  os << std::setprecision(17);
+  os << "alphas " << sol.alpha.size() << "\n";
+  for (double a : sol.alpha) os << a << "\n";
+  os << "assign " << sol.assign.size() << "\n";
+  for (std::int32_t a : sol.assign) os << a << "\n";
+}
+
+Solution read_solution(std::istream& is) {
+  if (next_line(is, "header") != "sectorpack-solution v1") {
+    throw std::runtime_error("bad solution header");
+  }
+  Solution sol;
+  const std::size_t k = expect_count(is, "alphas");
+  sol.alpha.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::istringstream ls(next_line(is, "alpha"));
+    double a = 0.0;
+    if (!(ls >> a)) throw std::runtime_error("bad alpha line");
+    sol.alpha.push_back(a);
+  }
+  const std::size_t n = expect_count(is, "assign");
+  sol.assign.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream ls(next_line(is, "assign"));
+    std::int32_t a = 0;
+    if (!(ls >> a)) throw std::runtime_error("bad assign line");
+    sol.assign.push_back(a);
+  }
+  return sol;
+}
+
+std::string to_string(const Instance& inst) {
+  std::ostringstream os;
+  write_instance(os, inst);
+  return os.str();
+}
+
+Instance instance_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_instance(is);
+}
+
+std::string to_string(const Solution& sol) {
+  std::ostringstream os;
+  write_solution(os, sol);
+  return os.str();
+}
+
+Solution solution_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_solution(is);
+}
+
+}  // namespace sectorpack::model

@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text serialization of instances and solutions.
+//
+// Instance format (line oriented, '#' starts a comment):
+//   sectorpack-instance v1
+//   customers <n>
+//   <x> <y> <demand>          (n lines)
+//   antennas <k>
+//   <rho> <range> <capacity>  (k lines)
+//
+// Value-weighted instances use header "sectorpack-instance v2" and a fourth
+// customer column <value>. write_instance picks the smallest format that
+// preserves the instance; read_instance accepts both.
+//
+// Solution format:
+//   sectorpack-solution v1
+//   alphas <k>
+//   <alpha>                   (k lines)
+//   assign <n>
+//   <antenna index or -1>     (n lines)
+
+#include <iosfwd>
+#include <string>
+
+#include "src/model/solution.hpp"
+
+namespace sectorpack::model {
+
+void write_instance(std::ostream& os, const Instance& inst);
+[[nodiscard]] Instance read_instance(std::istream& is);
+
+void write_solution(std::ostream& os, const Solution& sol);
+[[nodiscard]] Solution read_solution(std::istream& is);
+
+[[nodiscard]] std::string to_string(const Instance& inst);
+[[nodiscard]] Instance instance_from_string(const std::string& text);
+[[nodiscard]] std::string to_string(const Solution& sol);
+[[nodiscard]] Solution solution_from_string(const std::string& text);
+
+}  // namespace sectorpack::model

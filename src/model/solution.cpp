@@ -1,0 +1,45 @@
+#include "src/model/solution.hpp"
+
+namespace sectorpack::model {
+
+Solution Solution::empty_for(const Instance& inst) {
+  Solution s;
+  s.alpha.assign(inst.num_antennas(), 0.0);
+  s.assign.assign(inst.num_customers(), kUnserved);
+  return s;
+}
+
+double served_demand(const Instance& inst, const Solution& sol) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < sol.assign.size(); ++i) {
+    if (sol.assign[i] != kUnserved) total += inst.demand(i);
+  }
+  return total;
+}
+
+double served_value(const Instance& inst, const Solution& sol) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < sol.assign.size(); ++i) {
+    if (sol.assign[i] != kUnserved) total += inst.value(i);
+  }
+  return total;
+}
+
+std::size_t served_count(const Solution& sol) {
+  std::size_t n = 0;
+  for (std::int32_t a : sol.assign) {
+    if (a != kUnserved) ++n;
+  }
+  return n;
+}
+
+std::vector<double> antenna_loads(const Instance& inst, const Solution& sol) {
+  std::vector<double> loads(inst.num_antennas(), 0.0);
+  for (std::size_t i = 0; i < sol.assign.size(); ++i) {
+    const std::int32_t j = sol.assign[i];
+    if (j != kUnserved) loads[static_cast<std::size_t>(j)] += inst.demand(i);
+  }
+  return loads;
+}
+
+}  // namespace sectorpack::model

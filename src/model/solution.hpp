@@ -1,0 +1,39 @@
+#pragma once
+// Solution representation and objective evaluation.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/instance.hpp"
+
+namespace sectorpack::model {
+
+/// Sentinel assignment for an unserved customer.
+inline constexpr std::int32_t kUnserved = -1;
+
+struct Solution {
+  /// Orientation alpha_j (leading edge) per antenna, normalized [0, 2*pi).
+  std::vector<double> alpha;
+  /// assign[i] = index of the antenna serving customer i, or kUnserved.
+  std::vector<std::int32_t> assign;
+
+  /// All-unserved solution shaped for `inst` (alphas default to 0).
+  [[nodiscard]] static Solution empty_for(const Instance& inst);
+};
+
+/// Total demand of customers with a non-kUnserved assignment. Does not check
+/// feasibility; pair with model::validate for that.
+[[nodiscard]] double served_demand(const Instance& inst, const Solution& sol);
+
+/// Total objective value of served customers. Equal to served_demand on
+/// unweighted instances; this is what the solvers maximize.
+[[nodiscard]] double served_value(const Instance& inst, const Solution& sol);
+
+/// Number of customers served.
+[[nodiscard]] std::size_t served_count(const Solution& sol);
+
+/// Demand loaded onto each antenna by `sol` (size = num_antennas).
+[[nodiscard]] std::vector<double> antenna_loads(const Instance& inst,
+                                                const Solution& sol);
+
+}  // namespace sectorpack::model

@@ -1,0 +1,74 @@
+#include "src/model/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sectorpack::model {
+
+ValidationReport validate(const Instance& inst, const Solution& sol) {
+  ValidationReport report;
+
+  if (sol.alpha.size() != inst.num_antennas()) {
+    std::ostringstream os;
+    os << "alpha size " << sol.alpha.size() << " != num_antennas "
+       << inst.num_antennas();
+    report.fail(os.str());
+  }
+  if (sol.assign.size() != inst.num_customers()) {
+    std::ostringstream os;
+    os << "assign size " << sol.assign.size() << " != num_customers "
+       << inst.num_customers();
+    report.fail(os.str());
+  }
+  if (!report.ok) return report;  // can't index safely past this point
+
+  for (std::size_t j = 0; j < sol.alpha.size(); ++j) {
+    if (!std::isfinite(sol.alpha[j])) {
+      std::ostringstream os;
+      os << "alpha[" << j << "] is not finite";
+      report.fail(os.str());
+    }
+  }
+
+  std::vector<double> loads(inst.num_antennas(), 0.0);
+  for (std::size_t i = 0; i < sol.assign.size(); ++i) {
+    const std::int32_t a = sol.assign[i];
+    if (a == kUnserved) continue;
+    if (a < 0 || static_cast<std::size_t>(a) >= inst.num_antennas()) {
+      std::ostringstream os;
+      os << "assign[" << i << "] = " << a << " out of range";
+      report.fail(os.str());
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(a);
+    const geom::Sector sec = inst.sector(j, sol.alpha[j]);
+    if (!sec.contains(geom::Polar{inst.theta(i), inst.radius(i)})) {
+      std::ostringstream os;
+      os << "customer " << i << " (theta=" << inst.theta(i)
+         << ", r=" << inst.radius(i) << ") not inside antenna " << j
+         << " sector [alpha=" << sol.alpha[j]
+         << ", rho=" << inst.antenna(j).rho
+         << ", R=" << inst.antenna(j).range << "]";
+      report.fail(os.str());
+    }
+    loads[j] += inst.demand(i);
+  }
+
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    const double cap = inst.antenna(j).capacity;
+    if (loads[j] > cap * (1.0 + kCapacitySlack) + kCapacitySlack) {
+      std::ostringstream os;
+      os << "antenna " << j << " overloaded: load " << loads[j]
+         << " > capacity " << cap;
+      report.fail(os.str());
+    }
+  }
+
+  return report;
+}
+
+bool is_feasible(const Instance& inst, const Solution& sol) {
+  return validate(inst, sol).ok;
+}
+
+}  // namespace sectorpack::model

@@ -1,0 +1,36 @@
+#pragma once
+// Feasibility validation. The validator uses exactly the same geometric
+// predicates (geom::Sector::contains with the shared tolerances) as the
+// solvers, so a solution a solver believes feasible is accepted here and
+// vice versa.
+
+#include <string>
+#include <vector>
+
+#include "src/model/solution.hpp"
+
+namespace sectorpack::model {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+};
+
+/// Check structural shape (vector sizes, finite alphas, assignment indices),
+/// geometric containment of every served customer in its antenna's oriented
+/// sector, and per-antenna capacity. Capacity checks allow a relative slack
+/// of kCapacitySlack to absorb floating-point summation noise.
+inline constexpr double kCapacitySlack = 1e-9;
+
+[[nodiscard]] ValidationReport validate(const Instance& inst,
+                                        const Solution& sol);
+
+/// Convenience: true iff validate(...).ok.
+[[nodiscard]] bool is_feasible(const Instance& inst, const Solution& sol);
+
+}  // namespace sectorpack::model

@@ -1,0 +1,60 @@
+#include "src/par/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace sectorpack::par {
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain, unsigned workers) {
+  ChunkPlan plan;
+  if (n == 0) return plan;
+  grain = std::max<std::size_t>(grain, 1);
+  if (workers <= 1 || n <= grain) {
+    plan.chunk_size = n;
+    plan.num_chunks = 1;
+    return plan;
+  }
+  // Aim for ~4 chunks per worker for load balance, floor at the grain.
+  const std::size_t target = std::size_t{workers} * 4;
+  plan.chunk_size = std::max(grain, (n + target - 1) / target);
+  plan.num_chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body,
+                  ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const ChunkPlan plan = plan_chunks(n, grain, pool->size());
+  if (plan.num_chunks <= 1) {
+    if (n > 0) body(0, n);
+    return;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  for (std::size_t c = 0; c < plan.num_chunks; ++c) {
+    pool->submit([&, c] {
+      const std::size_t begin = c * plan.chunk_size;
+      const std::size_t end = std::min(begin + plan.chunk_size, n);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mu);
+        ++done;
+      }
+      cv.notify_one();
+    });
+  }
+
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return done == plan.num_chunks; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sectorpack::par

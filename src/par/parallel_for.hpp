@@ -1,0 +1,84 @@
+#pragma once
+// Blocking data-parallel loops over index ranges, built on ThreadPool.
+//
+// parallel_for(n, grain, body): invokes body(begin, end) over a partition of
+// [0, n) into chunks of at least `grain` indices. Falls back to one inline
+// call when the pool has a single worker or the range is below the grain.
+// Exceptions thrown by bodies are captured and the first one is rethrown on
+// the calling thread after all chunks finish.
+//
+// parallel_reduce: maps chunks to partial values and combines them in
+// ascending chunk order, so floating-point reductions are deterministic and
+// independent of thread scheduling.
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/par/thread_pool.hpp"
+
+namespace sectorpack::par {
+
+using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
+
+/// Partition [0, n) into chunks of >= grain and run `body` on each, blocking
+/// until all complete. `pool` defaults to ThreadPool::global().
+void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body,
+                  ThreadPool* pool = nullptr);
+
+/// Chunk layout used by parallel_for / parallel_reduce: chunk c covers
+/// [c * size, min((c+1) * size, n)).
+struct ChunkPlan {
+  std::size_t chunk_size = 0;
+  std::size_t num_chunks = 0;
+};
+[[nodiscard]] ChunkPlan plan_chunks(std::size_t n, std::size_t grain,
+                                    unsigned workers);
+
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T parallel_reduce(std::size_t n, std::size_t grain, T init,
+                                MapFn map_chunk, CombineFn combine,
+                                ThreadPool* pool = nullptr) {
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const ChunkPlan plan = plan_chunks(n, grain, pool->size());
+  if (plan.num_chunks <= 1) {
+    if (n == 0) return init;
+    return combine(std::move(init), map_chunk(std::size_t{0}, n));
+  }
+
+  std::vector<T> partial(plan.num_chunks);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  for (std::size_t c = 0; c < plan.num_chunks; ++c) {
+    pool->submit([&, c] {
+      const std::size_t begin = c * plan.chunk_size;
+      const std::size_t end = std::min(begin + plan.chunk_size, n);
+      try {
+        partial[c] = map_chunk(begin, end);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mu);
+        ++done;
+      }
+      cv.notify_one();
+    });
+  }
+
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return done == plan.num_chunks; });
+  if (first_error) std::rethrow_exception(first_error);
+
+  T acc = std::move(init);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace sectorpack::par

@@ -1,0 +1,67 @@
+#include "src/par/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace sectorpack::par {
+
+namespace {
+std::atomic<unsigned> g_global_threads{0};
+std::atomic<bool> g_global_created{false};
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  g_global_created.store(true, std::memory_order_relaxed);
+  static ThreadPool pool(g_global_threads.load(std::memory_order_relaxed));
+  return pool;
+}
+
+bool ThreadPool::set_global_threads(unsigned threads) {
+  if (g_global_created.load(std::memory_order_relaxed)) return false;
+  g_global_threads.store(threads, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace sectorpack::par

@@ -1,0 +1,53 @@
+#pragma once
+// A small fixed-size worker pool. Parallelism in this library is optional
+// and structural: every parallel entry point has an identical-result serial
+// path (used when the pool has <= 1 worker), and reductions combine partial
+// results in deterministic chunk order, so solver output never depends on
+// thread count or scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sectorpack::par {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw (wrap and capture exceptions at
+  /// the call site; parallel_for does this for its bodies).
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Process-wide pool, created on first use with hardware_concurrency
+  /// workers (overridable once via set_global_threads before first use).
+  static ThreadPool& global();
+
+  /// Configure the global pool's worker count. Must be called before the
+  /// first global() call; later calls are ignored (returns false).
+  static bool set_global_threads(unsigned threads);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sectorpack::par

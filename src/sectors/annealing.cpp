@@ -1,0 +1,70 @@
+#include "src/sectors/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/assign/assign.hpp"
+#include "src/sectors/sectors.hpp"
+
+namespace sectorpack::sectors {
+
+model::Solution solve_annealing(const model::Instance& inst,
+                                const AnnealConfig& config) {
+  const std::size_t k = inst.num_antennas();
+  model::Solution best = solve_greedy(inst);
+  if (k == 0 || inst.num_customers() == 0) return best;
+
+  sim::Rng rng(config.seed);
+
+  // Candidate orientations per antenna: angles of in-range customers.
+  std::vector<std::vector<double>> cands(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+      if (inst.in_range(i, j)) cands[j].push_back(inst.theta(i));
+    }
+    if (cands[j].empty()) cands[j].push_back(0.0);
+  }
+
+  double best_value = model::served_value(inst, best);
+  std::vector<double> current = best.alpha;
+  double current_value = best_value;
+
+  double temperature = config.initial_temperature > 0.0
+                           ? config.initial_temperature
+                           : 0.05 * inst.total_demand();
+  if (temperature <= 0.0) temperature = 1.0;
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Move: re-point one random antenna at a random candidate.
+    const std::size_t j = rng.uniform_int(k);
+    std::vector<double> proposal = current;
+    proposal[j] = cands[j][rng.uniform_int(cands[j].size())];
+
+    const model::Solution assigned =
+        assign::solve_successive(inst, proposal, config.oracle);
+    const double value = model::served_value(inst, assigned);
+
+    const double delta = value - current_value;
+    if (delta >= 0.0 ||
+        rng.uniform01() < std::exp(delta / std::max(temperature, 1e-9))) {
+      current = std::move(proposal);
+      current_value = value;
+      if (value > best_value) {
+        best_value = value;
+        best = assigned;
+      }
+    }
+    temperature *= config.cooling;
+  }
+
+  if (config.final_exact_assign) {
+    const model::Solution polished =
+        assign::solve_successive(inst, best.alpha, knapsack::Oracle::exact());
+    if (model::served_value(inst, polished) > best_value) {
+      best = polished;
+    }
+  }
+  return best;
+}
+
+}  // namespace sectorpack::sectors

@@ -1,0 +1,35 @@
+#pragma once
+// Simulated-annealing metaheuristic for P3 orientations.
+//
+// The combinatorial core of the problem is the orientation vector; given
+// orientations, assignment is handled well by successive knapsack. The
+// annealer random-walks over candidate orientation vectors (leading edges
+// at customer angles, so the walk stays on the lossless candidate grid),
+// re-assigns after each move, and accepts by the Metropolis rule with a
+// geometric cooling schedule. Purpose: an independent baseline against the
+// constructive greedy/local-search pair in the experiment suite, and a
+// polish pass for hard saturated instances.
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/model/solution.hpp"
+#include "src/sim/rng.hpp"
+
+namespace sectorpack::sectors {
+
+struct AnnealConfig {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 2000;
+  double initial_temperature = 0.0;  // 0 = auto: 5% of total demand
+  double cooling = 0.995;            // temperature *= cooling per iteration
+  knapsack::Oracle oracle = knapsack::Oracle::greedy();  // per-move assign
+  /// Re-assign with an exact oracle at the end (the walk itself can use the
+  /// cheap oracle).
+  bool final_exact_assign = true;
+};
+
+/// Simulated annealing from the greedy solution. The returned solution is
+/// feasible and never worse than the greedy start (best-so-far tracking).
+[[nodiscard]] model::Solution solve_annealing(const model::Instance& inst,
+                                              const AnnealConfig& config = {});
+
+}  // namespace sectorpack::sectors

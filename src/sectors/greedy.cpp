@@ -1,0 +1,82 @@
+#include <algorithm>
+
+#include "src/assign/assign.hpp"
+#include "src/sectors/sectors.hpp"
+#include "src/single/single.hpp"
+
+namespace sectorpack::sectors {
+
+model::Solution solve_greedy(const model::Instance& inst,
+                             const GreedyConfig& config) {
+  const std::size_t n = inst.num_customers();
+  const std::size_t k = inst.num_antennas();
+
+  model::Solution sol = model::Solution::empty_for(inst);
+  std::vector<bool> served(n, false);
+  std::vector<bool> used(k, false);
+
+  // When all antennas are identical, every unused antenna sees the same
+  // sweep each round; compute it once and hand it to the lowest-index one.
+  const bool identical = inst.antennas_identical();
+
+  std::vector<double> thetas;
+  std::vector<double> values;
+  std::vector<double> demands;
+  std::vector<std::size_t> index;
+
+  for (std::size_t round = 0; round < k; ++round) {
+    double best_value = 0.0;
+    std::size_t best_j = k;
+    single::WindowChoice best_choice;
+
+    for (std::size_t j = 0; j < k; ++j) {
+      if (used[j]) continue;
+      thetas.clear();
+      values.clear();
+      demands.clear();
+      index.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!served[i] && inst.in_range(i, j)) {
+          thetas.push_back(inst.theta(i));
+          values.push_back(inst.value(i));
+          demands.push_back(inst.demand(i));
+          index.push_back(i);
+        }
+      }
+      single::WindowChoice choice = single::best_window_weighted(
+          thetas, values, demands, inst.antenna(j).rho,
+          inst.antenna(j).capacity, config.oracle, config.parallel);
+      if (choice.value > best_value) {
+        best_value = choice.value;
+        best_j = j;
+        best_choice = std::move(choice);
+        // Remap local picks to instance customer indices now, while the
+        // index map for antenna j is live.
+        for (std::size_t& c : best_choice.chosen) c = index[c];
+      }
+      if (identical) break;  // same result for every unused antenna
+    }
+
+    if (best_j == k) break;  // no antenna can serve anything further
+    used[best_j] = true;
+    sol.alpha[best_j] = best_choice.alpha;
+    for (std::size_t i : best_choice.chosen) {
+      served[i] = true;
+      sol.assign[i] = static_cast<std::int32_t>(best_j);
+    }
+  }
+  return sol;
+}
+
+model::Solution solve_uniform_orientations(const model::Instance& inst,
+                                           const knapsack::Oracle& oracle) {
+  const std::size_t k = inst.num_antennas();
+  std::vector<double> alphas(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    alphas[j] = geom::kTwoPi * static_cast<double>(j) /
+                static_cast<double>(std::max<std::size_t>(k, 1));
+  }
+  return assign::solve_successive(inst, alphas, oracle);
+}
+
+}  // namespace sectorpack::sectors

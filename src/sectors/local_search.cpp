@@ -1,0 +1,88 @@
+#include <algorithm>
+
+#include "src/assign/assign.hpp"
+#include "src/model/validate.hpp"
+#include "src/sectors/sectors.hpp"
+#include "src/single/single.hpp"
+
+namespace sectorpack::sectors {
+
+model::Solution improve(const model::Instance& inst, model::Solution start,
+                        const LocalSearchConfig& config) {
+  const std::size_t n = inst.num_customers();
+  const std::size_t k = inst.num_antennas();
+  model::Solution sol = std::move(start);
+
+  std::vector<double> thetas;
+  std::vector<double> values;
+  std::vector<double> demands;
+  std::vector<std::size_t> index;
+
+  bool improved_any = true;
+  for (std::size_t pass = 0; pass < config.max_passes && improved_any;
+       ++pass) {
+    improved_any = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      // Objective value antenna j currently contributes.
+      double current = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sol.assign[i] == static_cast<std::int32_t>(j)) {
+          current += inst.value(i);
+        }
+      }
+
+      // Re-solve antenna j's window over unserved customers plus its own.
+      thetas.clear();
+      values.clear();
+      demands.clear();
+      index.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool free_for_j =
+            sol.assign[i] == model::kUnserved ||
+            sol.assign[i] == static_cast<std::int32_t>(j);
+        if (free_for_j && inst.in_range(i, j)) {
+          thetas.push_back(inst.theta(i));
+          values.push_back(inst.value(i));
+          demands.push_back(inst.demand(i));
+          index.push_back(i);
+        }
+      }
+      const single::WindowChoice choice = single::best_window_weighted(
+          thetas, values, demands, inst.antenna(j).rho,
+          inst.antenna(j).capacity, config.oracle, config.parallel);
+
+      if (choice.value > current + 1e-12) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (sol.assign[i] == static_cast<std::int32_t>(j)) {
+            sol.assign[i] = model::kUnserved;
+          }
+        }
+        sol.alpha[j] = choice.alpha;
+        for (std::size_t local : choice.chosen) {
+          sol.assign[index[local]] = static_cast<std::int32_t>(j);
+        }
+        improved_any = true;
+      }
+    }
+  }
+
+  // Global reassignment with the final orientations can consolidate
+  // capacity across antennas; keep whichever is better.
+  model::Solution reassigned =
+      assign::solve_successive(inst, sol.alpha, config.oracle);
+  if (model::served_value(inst, reassigned) >
+      model::served_value(inst, sol)) {
+    return reassigned;
+  }
+  return sol;
+}
+
+model::Solution solve_local_search(const model::Instance& inst,
+                                   const LocalSearchConfig& config) {
+  GreedyConfig gc;
+  gc.oracle = config.oracle;
+  gc.parallel = config.parallel;
+  return improve(inst, solve_greedy(inst, gc), config);
+}
+
+}  // namespace sectorpack::sectors

@@ -1,0 +1,67 @@
+#pragma once
+// P3 -- packing to sectors: the general problem. Multiple antennas with
+// individual widths, ranges and capacities; choose all orientations and the
+// assignment.
+//
+// solve_greedy implements the submodular-style greedy the approximation
+// literature for this problem family builds on: k rounds, each committing
+// the (antenna, orientation, packed set) triple of maximum marginal served
+// demand over the still-unserved customers, where the per-round packing is
+// delegated to a knapsack oracle with guarantee beta. For the coverage-type
+// relaxation the classical analysis gives a (1 - e^{-beta}) factor; with
+// binding capacities the greedy is the standard heuristic whose empirical
+// ratio experiments T4/F1/F2 chart against certified upper bounds.
+//
+// solve_local_search improves any feasible solution by round-robin
+// re-orientation (free one antenna's customers, re-solve its best window
+// over everything unserved, keep if better) followed by a global
+// reassignment; the result never degrades.
+//
+// solve_exact enumerates candidate orientation tuples (leading edges at
+// customer angles -- lossless by the candidate-orientation lemma, applied
+// per antenna since each customer is served by at most one antenna) with
+// exact assignment per tuple. Exponential; reference for small instances.
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/model/solution.hpp"
+
+namespace sectorpack::sectors {
+
+struct GreedyConfig {
+  knapsack::Oracle oracle = knapsack::Oracle::exact();
+  bool parallel = false;  // parallelize each round's window sweeps
+};
+
+[[nodiscard]] model::Solution solve_greedy(const model::Instance& inst,
+                                           const GreedyConfig& config = {});
+
+struct LocalSearchConfig {
+  knapsack::Oracle oracle = knapsack::Oracle::exact();
+  std::size_t max_passes = 16;  // full antenna sweeps without improvement cap
+  bool parallel = false;
+};
+
+/// Greedy start + local search + global reassignment.
+[[nodiscard]] model::Solution solve_local_search(
+    const model::Instance& inst, const LocalSearchConfig& config = {});
+
+/// Improve a given feasible solution; the returned solution serves at least
+/// as much demand as `start`.
+[[nodiscard]] model::Solution improve(const model::Instance& inst,
+                                      model::Solution start,
+                                      const LocalSearchConfig& config = {});
+
+/// Exact solver. Throws std::invalid_argument when the candidate tuple
+/// space exceeds `tuple_limit` and std::runtime_error on assignment node
+/// exhaustion.
+[[nodiscard]] model::Solution solve_exact(const model::Instance& inst,
+                                          std::uint64_t tuple_limit = 1u << 20,
+                                          std::uint64_t node_limit = 1u << 26);
+
+/// Baseline: orientations evenly spaced (alpha_j = j * 2*pi / k), customers
+/// assigned by successive knapsack. What a non-adaptive deployment does.
+[[nodiscard]] model::Solution solve_uniform_orientations(
+    const model::Instance& inst,
+    const knapsack::Oracle& oracle = knapsack::Oracle::exact());
+
+}  // namespace sectorpack::sectors

@@ -1,0 +1,41 @@
+#pragma once
+// Adversarial gadget instances: constructions on which the approximation
+// algorithms approach their proven floors. Used by experiment T6 and by
+// tests that pin the floors from below.
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/model/instance.hpp"
+
+namespace sectorpack::sim {
+
+/// Knapsack items on which density-greedy-with-best-single tends to 1/2:
+/// three equal-density items {C/2 + 1, C/2, C/2} with capacity C. Greedy
+/// (largest first on density ties) takes C/2+1 and nothing else fits;
+/// OPT takes the two C/2 items. Ratio -> 1/2 as C grows.
+struct KnapsackGadget {
+  std::vector<knapsack::Item> items;
+  double capacity = 0.0;
+  double opt_value = 0.0;
+};
+[[nodiscard]] KnapsackGadget greedy_half_gadget(double capacity);
+
+/// Single-antenna instance embedding greedy_half_gadget in one window, so
+/// single::solve_greedy's ratio vs single::solve_exact approaches 1/2.
+[[nodiscard]] model::Instance single_antenna_trap(double capacity);
+
+/// Range-shadowing trap for the multi-antenna greedy (k = 2): customer v
+/// (demand 5, close in) is visible to both antennas; customer u (demand
+/// 4.9, far out) only to the long-range antenna. Both antennas have
+/// capacity 5. Greedy's first round grabs v with the long-range antenna
+/// (5 > 4.9), stranding u: greedy serves 5 while OPT serves 9.9 by giving
+/// v to the short-range antenna. Ratio 5/9.9 ~ 0.505 -- essentially the
+/// 1/2 floor for capacitated greedy, unreachable in the uncapacitated
+/// coverage regime where greedy guarantees 1 - (1 - 1/k)^k.
+[[nodiscard]] model::Instance range_shadow_trap();
+
+/// Capacity-fragmentation trap for fixed-orientation greedy assignment:
+/// two antennas see overlapping customer sets; demand-descending best-fit
+/// strands capacity while the exact assignment packs perfectly.
+[[nodiscard]] model::Instance fragmentation_trap();
+
+}  // namespace sectorpack::sim

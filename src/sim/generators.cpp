@@ -1,0 +1,114 @@
+#include "src/sim/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sectorpack::sim {
+
+namespace {
+
+geom::Vec2 sample_position(const WorkloadConfig& c, Rng& rng) {
+  switch (c.spatial) {
+    case Spatial::kUniformDisk: {
+      // Area-uniform: r = R * sqrt(u).
+      const double r = c.disk_radius * std::sqrt(rng.uniform01());
+      const double theta = rng.uniform(0.0, geom::kTwoPi);
+      return geom::from_polar(theta, r);
+    }
+    case Spatial::kHotspots: {
+      const std::size_t h =
+          c.num_hotspots == 0 ? 0 : rng.uniform_int(c.num_hotspots);
+      // Hotspot centers are deterministic in the hotspot index so that a
+      // given config yields stable geography across trials: evenly spaced
+      // directions at 60% of the disk radius.
+      const double center_theta =
+          geom::kTwoPi * static_cast<double>(h) /
+          static_cast<double>(std::max<std::size_t>(c.num_hotspots, 1));
+      const geom::Vec2 center =
+          geom::from_polar(center_theta, 0.6 * c.disk_radius);
+      return {center.x + rng.normal(0.0, c.hotspot_sigma),
+              center.y + rng.normal(0.0, c.hotspot_sigma)};
+    }
+    case Spatial::kRing: {
+      const double r = std::max(0.0, rng.normal(c.ring_radius, c.ring_sigma));
+      const double theta = rng.uniform(0.0, geom::kTwoPi);
+      return geom::from_polar(theta, r);
+    }
+    case Spatial::kArcBand: {
+      const double theta = geom::normalize(
+          rng.uniform(c.band_center - c.band_halfwidth,
+                      c.band_center + c.band_halfwidth));
+      const double r = c.disk_radius * std::sqrt(rng.uniform01());
+      return geom::from_polar(theta, r);
+    }
+  }
+  return {};
+}
+
+double sample_demand(const WorkloadConfig& c, Rng& rng) {
+  switch (c.demand) {
+    case DemandDist::kUnit:
+      return 1.0;
+    case DemandDist::kUniformInt:
+      return static_cast<double>(rng.uniform_int(c.demand_min, c.demand_max));
+    case DemandDist::kParetoInt: {
+      const double raw = rng.pareto(1.0, c.pareto_alpha);
+      const auto d = static_cast<std::int64_t>(std::ceil(raw));
+      return static_cast<double>(std::min(d, c.pareto_cap));
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::vector<model::Customer> generate_customers(const WorkloadConfig& config,
+                                                Rng& rng) {
+  std::vector<model::Customer> customers;
+  customers.reserve(config.num_customers);
+  for (std::size_t i = 0; i < config.num_customers; ++i) {
+    model::Customer c;
+    c.pos = sample_position(config, rng);
+    // Guard against a degenerate customer exactly at the base station (its
+    // angle would be arbitrary); nudge it off the origin.
+    if (c.pos.norm2() == 0.0) c.pos.x = 1e-9;
+    c.demand = sample_demand(config, rng);
+    customers.push_back(c);
+  }
+  return customers;
+}
+
+model::Instance make_instance(const WorkloadConfig& workload,
+                              const AntennaConfig& antennas, Rng& rng) {
+  std::vector<model::Customer> customers =
+      generate_customers(workload, rng);
+  double total_demand = 0.0;
+  for (const model::Customer& c : customers) total_demand += c.demand;
+
+  const double per_antenna_capacity =
+      antennas.count == 0
+          ? 0.0
+          : std::floor(total_demand * antennas.capacity_fraction /
+                       static_cast<double>(antennas.count));
+
+  std::vector<model::AntennaSpec> specs(
+      antennas.count,
+      model::AntennaSpec{antennas.rho, antennas.range, per_antenna_capacity});
+  return model::Instance{std::move(customers), std::move(specs)};
+}
+
+model::Instance uniform_disk_instance(std::size_t n, std::size_t k,
+                                      double rho, double capacity,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  WorkloadConfig wc;
+  wc.num_customers = n;
+  wc.spatial = Spatial::kUniformDisk;
+  wc.demand = DemandDist::kUnit;
+  std::vector<model::Customer> customers = generate_customers(wc, rng);
+  std::vector<model::AntennaSpec> specs(
+      k, model::AntennaSpec{rho, wc.disk_radius * 2.0, capacity});
+  return model::Instance{std::move(customers), std::move(specs)};
+}
+
+}  // namespace sectorpack::sim

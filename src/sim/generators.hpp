@@ -1,0 +1,67 @@
+#pragma once
+// Synthetic workload generators.
+//
+// The paper's motivating scenario is a base station serving customers spread
+// over a service area with heterogeneous demands. These generators produce
+// the spatial and demand distributions the experiment suite sweeps over:
+//   kUniformDisk -- customers uniform over a disk (area-uniform, not r-uniform)
+//   kHotspots    -- Gaussian clusters (dense neighbourhoods / malls)
+//   kRing        -- customers near a fixed radius (ring road)
+//   kArcBand     -- customers concentrated in an angular band (coastal city)
+// Demands: unit, uniform integer, or heavy-tailed Pareto rounded to integers
+// (integer demands keep the exact DP applicable for reference solutions).
+
+#include "src/model/instance.hpp"
+#include "src/sim/rng.hpp"
+
+namespace sectorpack::sim {
+
+enum class Spatial { kUniformDisk, kHotspots, kRing, kArcBand };
+enum class DemandDist { kUnit, kUniformInt, kParetoInt };
+
+struct WorkloadConfig {
+  std::size_t num_customers = 100;
+
+  Spatial spatial = Spatial::kUniformDisk;
+  double disk_radius = 100.0;
+  std::size_t num_hotspots = 3;     // kHotspots
+  double hotspot_sigma = 8.0;       // kHotspots
+  double ring_radius = 80.0;        // kRing
+  double ring_sigma = 5.0;          // kRing
+  double band_center = 0.0;         // kArcBand: central angle
+  double band_halfwidth = 0.6;      // kArcBand: angular half-width
+
+  DemandDist demand = DemandDist::kUniformInt;
+  std::int64_t demand_min = 1;      // kUniformInt
+  std::int64_t demand_max = 20;     // kUniformInt
+  double pareto_alpha = 1.5;        // kParetoInt
+  std::int64_t pareto_cap = 1000;   // kParetoInt: truncation
+};
+
+[[nodiscard]] std::vector<model::Customer> generate_customers(
+    const WorkloadConfig& config, Rng& rng);
+
+/// Full instance: generated customers plus k identical antennas whose
+/// capacity is chosen so that total capacity = load_factor_inverse of total
+/// demand (capacity_j = total_demand * capacity_fraction / k).
+struct AntennaConfig {
+  std::size_t count = 1;
+  double rho = geom::kPi / 3.0;   // 60 degree beam
+  double range = 120.0;
+  /// Total capacity as a fraction of total generated demand. 1.0 means the
+  /// antennas could in principle serve everything.
+  double capacity_fraction = 0.5;
+};
+
+[[nodiscard]] model::Instance make_instance(const WorkloadConfig& workload,
+                                            const AntennaConfig& antennas,
+                                            Rng& rng);
+
+/// Shorthand used by tests: n customers uniform in a disk, unit demands,
+/// k identical antennas with absolute capacity `capacity`.
+[[nodiscard]] model::Instance uniform_disk_instance(std::size_t n,
+                                                    std::size_t k, double rho,
+                                                    double capacity,
+                                                    std::uint64_t seed);
+
+}  // namespace sectorpack::sim

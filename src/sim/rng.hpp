@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic, seedable random number generation (xoshiro256++ with
+// splitmix64 seeding, implemented here so results are reproducible across
+// standard libraries and platforms). All workload generators take an
+// explicit Rng so every experiment is replayable from its seed.
+
+#include <cstdint>
+
+namespace sectorpack::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; caches the pair).
+  double normal() noexcept;
+  double normal(double mean, double sigma) noexcept {
+    return mean + sigma * normal();
+  }
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate) noexcept;
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed demands).
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Derive an independent stream (for per-trial seeding in sweeps).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sectorpack::sim

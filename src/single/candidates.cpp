@@ -1,0 +1,88 @@
+#include <algorithm>
+
+#include "src/geom/sweep.hpp"
+#include "src/par/parallel_for.hpp"
+#include "src/single/single.hpp"
+
+namespace sectorpack::single {
+
+namespace {
+
+WindowChoice scan_range(const geom::WindowSweep& sweep,
+                        std::span<const double> values,
+                        std::span<const double> weights, double capacity,
+                        const knapsack::Oracle& oracle, std::size_t begin,
+                        std::size_t end) {
+  WindowChoice best;
+  std::vector<knapsack::Item> items;
+  for (std::size_t w = begin; w < end; ++w) {
+    const auto members = sweep.members(w);
+    items.clear();
+    items.reserve(members.size());
+    double window_value = 0.0;
+    for (std::size_t m : members) {
+      items.push_back({values[m], weights[m]});
+      window_value += values[m];
+    }
+    // Cheap skip: even taking every member cannot beat the incumbent.
+    if (window_value <= best.value) continue;
+
+    knapsack::Result res = oracle.solve(items, capacity);
+    if (res.value > best.value) {
+      best.value = res.value;
+      best.alpha = sweep.alpha(w);
+      best.chosen.clear();
+      best.chosen.reserve(res.chosen.size());
+      for (std::size_t pick : res.chosen) {
+        best.chosen.push_back(members[pick]);
+      }
+    }
+  }
+  std::sort(best.chosen.begin(), best.chosen.end());
+  return best;
+}
+
+// Deterministic combine: higher value wins, ties to the smaller alpha.
+WindowChoice better_of(WindowChoice a, WindowChoice b) {
+  if (b.value > a.value ||
+      (b.value == a.value && !b.chosen.empty() && b.alpha < a.alpha)) {
+    return b;
+  }
+  return a;
+}
+
+}  // namespace
+
+WindowChoice best_window_weighted(std::span<const double> thetas,
+                                  std::span<const double> values,
+                                  std::span<const double> demands, double rho,
+                                  double capacity,
+                                  const knapsack::Oracle& oracle,
+                                  bool parallel, par::ThreadPool* pool) {
+  const geom::WindowSweep sweep(thetas, rho);
+  const std::size_t nw = sweep.num_windows();
+  if (nw == 0) return {};
+
+  if (!parallel) {
+    return scan_range(sweep, values, demands, capacity, oracle, 0, nw);
+  }
+  return par::parallel_reduce<WindowChoice>(
+      nw, /*grain=*/8, WindowChoice{},
+      [&](std::size_t b, std::size_t e) {
+        return scan_range(sweep, values, demands, capacity, oracle, b, e);
+      },
+      [](WindowChoice a, WindowChoice b) {
+        return better_of(std::move(a), std::move(b));
+      },
+      pool);
+}
+
+WindowChoice best_window(std::span<const double> thetas,
+                         std::span<const double> demands, double rho,
+                         double capacity, const knapsack::Oracle& oracle,
+                         bool parallel, par::ThreadPool* pool) {
+  return best_window_weighted(thetas, demands, demands, rho, capacity,
+                              oracle, parallel, pool);
+}
+
+}  // namespace sectorpack::single

@@ -1,0 +1,51 @@
+#include <algorithm>
+#include <cmath>
+
+#include "src/geom/sweep.hpp"
+#include "src/single/single.hpp"
+
+namespace sectorpack::single {
+
+bool uniform_demands(std::span<const double> values,
+                     std::span<const double> demands) {
+  if (demands.empty()) return true;
+  const double d0 = demands[0];
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (std::abs(demands[i] - d0) > 1e-12) return false;
+    if (std::abs(values[i] - demands[i]) > 1e-12) return false;
+  }
+  return true;
+}
+
+WindowChoice best_window_uniform(std::span<const double> thetas,
+                                 double demand, double rho,
+                                 double capacity) {
+  WindowChoice best;
+  if (thetas.empty() || demand <= 0.0 || capacity < demand) return best;
+
+  const auto fit =
+      static_cast<std::size_t>(std::floor(capacity / demand + 1e-12));
+
+  const geom::WindowSweep sweep(thetas, rho);
+  std::size_t best_count = 0;
+  std::size_t best_w = 0;
+  for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+    const std::size_t count = std::min(sweep.members(w).size(), fit);
+    if (count > best_count) {
+      best_count = count;
+      best_w = w;
+    }
+  }
+  if (best_count == 0) return best;
+
+  best.alpha = sweep.alpha(best_w);
+  best.value = static_cast<double>(best_count) * demand;
+  const auto members = sweep.members(best_w);
+  best.chosen.assign(members.begin(), members.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              best_count));
+  std::sort(best.chosen.begin(), best.chosen.end());
+  return best;
+}
+
+}  // namespace sectorpack::single

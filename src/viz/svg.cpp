@@ -1,0 +1,146 @@
+#include "src/viz/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/geom/sector.hpp"
+
+namespace sectorpack::viz {
+
+namespace {
+
+// Categorical palette for antennas (cycled); unserved customers are gray.
+constexpr const char* kPalette[] = {
+    "#4363d8", "#e6194b", "#3cb44b", "#f58231", "#911eb4",
+    "#46f0f0", "#f032e6", "#bcf60c", "#008080", "#9a6324",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+const char* antenna_color(std::size_t j) {
+  return kPalette[j % kPaletteSize];
+}
+
+struct Mapper {
+  double scale;
+  double center;
+  // World (x, y) -> SVG pixel; SVG's y axis points down.
+  [[nodiscard]] double px(double x) const { return center + x * scale; }
+  [[nodiscard]] double py(double y) const { return center - y * scale; }
+};
+
+void append_wedge(std::ostringstream& os, const Mapper& map, double alpha,
+                  double rho, double radius, const char* color) {
+  if (rho >= geom::kTwoPi - geom::kAngleEps) {
+    os << "  <circle cx='" << map.px(0) << "' cy='" << map.py(0) << "' r='"
+       << radius * map.scale << "' fill='" << color
+       << "' fill-opacity='0.12' stroke='" << color << "'/>\n";
+    return;
+  }
+  const geom::Vec2 p1 = geom::from_polar(alpha, radius);
+  const geom::Vec2 p2 = geom::from_polar(alpha + rho, radius);
+  const int large_arc = rho > geom::kPi ? 1 : 0;
+  // CCW in world coordinates is CW in SVG pixel coordinates (flipped y),
+  // hence sweep flag 0.
+  os << "  <path d='M " << map.px(0) << " " << map.py(0) << " L "
+     << map.px(p1.x) << " " << map.py(p1.y) << " A " << radius * map.scale
+     << " " << radius * map.scale << " 0 " << large_arc << " 0 "
+     << map.px(p2.x) << " " << map.py(p2.y) << " Z' fill='" << color
+     << "' fill-opacity='0.12' stroke='" << color << "'/>\n";
+}
+
+}  // namespace
+
+std::string render_svg(const model::Instance& inst,
+                       const model::Solution* sol,
+                       const SvgOptions& options) {
+  // World extent: the larger of the farthest customer and the longest range.
+  double extent = 1.0;
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    extent = std::max(extent, inst.radius(i));
+  }
+  for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+    extent = std::max(extent, inst.antenna(j).range);
+  }
+  extent *= 1.08;  // margin
+
+  const double size = options.size_px;
+  const Mapper map{size / (2.0 * extent), size / 2.0};
+
+  double max_demand = 1e-12;
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    max_demand = std::max(max_demand, inst.demand(i));
+  }
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << size
+     << "' height='" << size << "' viewBox='0 0 " << size << " " << size
+     << "'>\n";
+  os << "  <rect width='100%' height='100%' fill='white'/>\n";
+
+  if (options.draw_range_rings) {
+    std::vector<double> ranges;
+    for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+      ranges.push_back(inst.antenna(j).range);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    ranges.erase(std::unique(ranges.begin(), ranges.end()), ranges.end());
+    for (double r : ranges) {
+      os << "  <circle cx='" << map.px(0) << "' cy='" << map.py(0)
+         << "' r='" << r * map.scale
+         << "' fill='none' stroke='#cccccc' stroke-dasharray='6 4'/>\n";
+    }
+  }
+
+  if (sol != nullptr && options.draw_sectors) {
+    for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+      append_wedge(os, map, sol->alpha[j], inst.antenna(j).rho,
+                   inst.antenna(j).range, antenna_color(j));
+      if (options.label_antennas) {
+        const geom::Vec2 label_at = geom::from_polar(
+            sol->alpha[j] + inst.antenna(j).rho / 2.0,
+            inst.antenna(j).range * 0.85);
+        os << "  <text x='" << map.px(label_at.x) << "' y='"
+           << map.py(label_at.y) << "' font-size='" << size / 40.0
+           << "' fill='" << antenna_color(j) << "'>A" << j << "</text>\n";
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    const geom::Vec2 p = inst.customer(i).pos;
+    const double r_px =
+        3.0 + 7.0 * std::sqrt(inst.demand(i) / max_demand);
+    const char* color = "#888888";
+    double opacity = 0.55;
+    if (sol != nullptr && sol->assign[i] != model::kUnserved) {
+      color = antenna_color(static_cast<std::size_t>(sol->assign[i]));
+      opacity = 0.9;
+    }
+    os << "  <circle cx='" << map.px(p.x) << "' cy='" << map.py(p.y)
+       << "' r='" << r_px << "' fill='" << color << "' fill-opacity='"
+       << opacity << "'/>\n";
+  }
+
+  // Base station.
+  os << "  <rect x='" << map.px(0) - 5 << "' y='" << map.py(0) - 5
+     << "' width='10' height='10' fill='black'/>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg(const std::string& path, const model::Instance& inst,
+               const model::Solution* sol, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_svg: cannot open " + path);
+  }
+  out << render_svg(inst, sol, options);
+  if (!out) {
+    throw std::runtime_error("write_svg: write failed for " + path);
+  }
+}
+
+}  // namespace sectorpack::viz

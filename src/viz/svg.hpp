@@ -1,0 +1,33 @@
+#pragma once
+// SVG rendering of instances and solutions: the base station at the center,
+// customers as demand-scaled dots colored by their serving antenna, and
+// each antenna's oriented sector as a translucent wedge. Pure string
+// generation -- no external dependencies -- intended for reports, debugging
+// and the examples.
+
+#include <string>
+
+#include "src/model/solution.hpp"
+
+namespace sectorpack::viz {
+
+struct SvgOptions {
+  double size_px = 800.0;       // square canvas edge
+  bool draw_sectors = true;     // antenna wedges (needs a solution)
+  bool draw_range_rings = true; // dashed circle per distinct antenna range
+  bool label_antennas = true;
+};
+
+/// Render the instance (and optionally a solution's sectors/assignment)
+/// as a standalone SVG document.
+[[nodiscard]] std::string render_svg(const model::Instance& inst,
+                                     const model::Solution* sol = nullptr,
+                                     const SvgOptions& options = {});
+
+/// Convenience: render_svg + write to `path`. Throws std::runtime_error on
+/// I/O failure.
+void write_svg(const std::string& path, const model::Instance& inst,
+               const model::Solution* sol = nullptr,
+               const SvgOptions& options = {});
+
+}  // namespace sectorpack::viz

@@ -1,0 +1,217 @@
+#include "src/angles/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/geom/arc.hpp"
+#include "src/model/validate.hpp"
+#include "src/sectors/sectors.hpp"
+#include "src/sim/rng.hpp"
+
+namespace angles = sectorpack::angles;
+namespace model = sectorpack::model;
+namespace geom = sectorpack::geom;
+namespace sim = sectorpack::sim;
+
+namespace {
+
+void random_circle(sim::Rng& rng, std::size_t n, std::vector<double>& thetas,
+                   std::vector<double>& demands) {
+  thetas.resize(n);
+  demands.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    thetas[i] = rng.uniform(0.0, geom::kTwoPi);
+    demands[i] = static_cast<double>(rng.uniform_int(1, 9));
+  }
+}
+
+double coverage_of(const std::vector<double>& thetas,
+                   const std::vector<double>& demands,
+                   const std::vector<double>& alphas, double rho) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    for (double a : alphas) {
+      if (geom::Arc(a, rho).contains(geom::normalize(thetas[i]))) {
+        total += demands[i];
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(UncapDp, MatchesBruteForceSmall) {
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(9);
+    const std::size_t k = 1 + rng.uniform_int(3);
+    const double rho = rng.uniform(0.2, 2.0);
+    std::vector<double> thetas;
+    std::vector<double> demands;
+    random_circle(rng, n, thetas, demands);
+    const auto dp = angles::solve_uncap_dp(thetas, demands, rho, k);
+    const auto bf = angles::solve_uncap_brute(thetas, demands, rho, k);
+    EXPECT_NEAR(dp.covered, bf.covered, 1e-9)
+        << "trial " << trial << " n=" << n << " k=" << k << " rho=" << rho;
+  }
+}
+
+TEST(UncapDp, ResultSelfConsistent) {
+  sim::Rng rng(32);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 5 + rng.uniform_int(80);
+    const std::size_t k = 1 + rng.uniform_int(5);
+    const double rho = rng.uniform(0.1, 1.5);
+    std::vector<double> thetas;
+    std::vector<double> demands;
+    random_circle(rng, n, thetas, demands);
+    const auto res = angles::solve_uncap_dp(thetas, demands, rho, k);
+    EXPECT_LE(res.alphas.size(), k);
+    // Geometric re-evaluation of the chosen arcs equals the DP value.
+    EXPECT_NEAR(coverage_of(thetas, demands, res.alphas, rho), res.covered,
+                1e-9)
+        << "trial " << trial;
+    // covered_customers is exactly the geometric cover set.
+    double listed = 0.0;
+    for (std::size_t i : res.covered_customers) listed += demands[i];
+    EXPECT_NEAR(listed, res.covered, 1e-9);
+  }
+}
+
+TEST(UncapDp, FullCoverageWhenArcsSpanCircle) {
+  sim::Rng rng(33);
+  std::vector<double> thetas;
+  std::vector<double> demands;
+  random_circle(rng, 30, thetas, demands);
+  const double total = std::accumulate(demands.begin(), demands.end(), 0.0);
+  // 4 arcs of width pi/2+ cover everything.
+  const auto res =
+      angles::solve_uncap_dp(thetas, demands, geom::kPi / 2.0 + 0.01, 4);
+  EXPECT_NEAR(res.covered, total, 1e-9);
+  EXPECT_EQ(res.covered_customers.size(), 30u);
+}
+
+TEST(UncapDp, MonotoneInK) {
+  sim::Rng rng(34);
+  std::vector<double> thetas;
+  std::vector<double> demands;
+  random_circle(rng, 50, thetas, demands);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const auto res = angles::solve_uncap_dp(thetas, demands, 0.6, k);
+    EXPECT_GE(res.covered + 1e-9, prev) << "k=" << k;
+    prev = res.covered;
+  }
+}
+
+TEST(UncapDp, MonotoneInRho) {
+  sim::Rng rng(35);
+  std::vector<double> thetas;
+  std::vector<double> demands;
+  random_circle(rng, 50, thetas, demands);
+  double prev = 0.0;
+  for (double rho = 0.2; rho < geom::kTwoPi; rho += 0.4) {
+    const auto res = angles::solve_uncap_dp(thetas, demands, rho, 2);
+    EXPECT_GE(res.covered + 1e-9, prev) << "rho=" << rho;
+    prev = res.covered;
+  }
+}
+
+TEST(UncapDp, EdgeCases) {
+  EXPECT_DOUBLE_EQ(angles::solve_uncap_dp({}, {}, 1.0, 3).covered, 0.0);
+  const std::vector<double> one_theta = {1.0};
+  const std::vector<double> one_demand = {5.0};
+  EXPECT_DOUBLE_EQ(
+      angles::solve_uncap_dp(one_theta, one_demand, 1.0, 0).covered, 0.0);
+  const auto res = angles::solve_uncap_dp(one_theta, one_demand, 0.5, 1);
+  EXPECT_DOUBLE_EQ(res.covered, 5.0);
+  ASSERT_EQ(res.alphas.size(), 1u);
+  EXPECT_TRUE(geom::Arc(res.alphas[0], 0.5).contains(1.0));
+}
+
+TEST(UncapDp, MismatchedSpansThrow) {
+  const std::vector<double> thetas = {1.0, 2.0};
+  const std::vector<double> demands = {1.0};
+  EXPECT_THROW((void)angles::solve_uncap_dp(thetas, demands, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(UncapDp, AllSameAngle) {
+  const std::vector<double> thetas(6, 2.5);
+  const std::vector<double> demands = {1, 2, 3, 4, 5, 6};
+  const auto res = angles::solve_uncap_dp(thetas, demands, 0.1, 1);
+  EXPECT_DOUBLE_EQ(res.covered, 21.0);
+}
+
+TEST(UncapDp, DemandConcentrationWins) {
+  // Heavy cluster at angle 0, light spread elsewhere: a single arc must
+  // take the cluster.
+  std::vector<double> thetas = {0.0, 0.05, 0.1, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> demands = {10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0};
+  const auto res = angles::solve_uncap_dp(thetas, demands, 0.3, 1);
+  EXPECT_DOUBLE_EQ(res.covered, 30.0);
+}
+
+TEST(CapacitatedAngles, ThrowsOnOutOfRange) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.0, 50.0, 1.0)
+                                   .add_antenna(1.0, 10.0, 5.0)
+                                   .build();
+  EXPECT_THROW((void)angles::solve_capacitated(inst), std::invalid_argument);
+  EXPECT_THROW((void)angles::solve_capacitated_exact(inst),
+               std::invalid_argument);
+}
+
+TEST(CapacitatedAngles, HeuristicBelowExactAndFeasible) {
+  sim::Rng rng(36);
+  for (int trial = 0; trial < 12; ++trial) {
+    model::InstanceBuilder b;
+    const std::size_t n = 4 + rng.uniform_int(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                           rng.uniform(1.0, 9.0),
+                           static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    b.add_identical_antennas(2, rng.uniform(0.8, 2.5), 10.0,
+                             static_cast<double>(rng.uniform_int(4, 15)));
+    const model::Instance inst = b.build();
+
+    const model::Solution heur = angles::solve_capacitated(inst);
+    const model::Solution exact = angles::solve_capacitated_exact(inst);
+    EXPECT_TRUE(model::is_feasible(inst, heur));
+    EXPECT_TRUE(model::is_feasible(inst, exact));
+    EXPECT_LE(model::served_demand(inst, heur),
+              model::served_demand(inst, exact) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+// Parameterized k-sweep: DP coverage never exceeds total demand and is
+// achieved exactly when k*rho wraps the circle.
+class UncapKProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UncapKProperty, CoverageBounds) {
+  const std::size_t k = GetParam();
+  sim::Rng rng(40 + k);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 5 + rng.uniform_int(60);
+    const double rho = rng.uniform(0.1, 2.2);
+    std::vector<double> thetas;
+    std::vector<double> demands;
+    random_circle(rng, n, thetas, demands);
+    const double total =
+        std::accumulate(demands.begin(), demands.end(), 0.0);
+    const auto res = angles::solve_uncap_dp(thetas, demands, rho, k);
+    EXPECT_LE(res.covered, total + 1e-9);
+    EXPECT_GE(res.covered, 0.0);
+    if (static_cast<double>(k) * rho >= geom::kTwoPi) {
+      EXPECT_NEAR(res.covered, total, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, UncapKProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));

@@ -1,0 +1,125 @@
+#include "src/sectors/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/model/validate.hpp"
+#include "src/sectors/sectors.hpp"
+#include "src/sim/adversarial.hpp"
+#include "src/sim/generators.hpp"
+
+namespace sectors = sectorpack::sectors;
+namespace model = sectorpack::model;
+namespace geom = sectorpack::geom;
+namespace sim = sectorpack::sim;
+
+namespace {
+
+model::Instance random_inst(std::uint64_t seed, std::size_t n,
+                            std::size_t k) {
+  sim::Rng rng(seed);
+  model::InstanceBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                         rng.uniform(1.0, 12.0),
+                         static_cast<double>(rng.uniform_int(1, 7)));
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    b.add_antenna(rng.uniform(0.8, 2.2), rng.uniform(6.0, 14.0),
+                  static_cast<double>(rng.uniform_int(6, 16)));
+  }
+  return b.build();
+}
+
+}  // namespace
+
+TEST(Annealing, AlwaysFeasible) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const model::Instance inst = random_inst(seed, 18, 3);
+    sectors::AnnealConfig config;
+    config.seed = seed;
+    config.iterations = 300;
+    const model::Solution sol = sectors::solve_annealing(inst, config);
+    const auto report = model::validate(inst, sol);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": "
+                           << (report.errors.empty() ? "" : report.errors[0]);
+  }
+}
+
+TEST(Annealing, NeverWorseThanGreedy) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const model::Instance inst = random_inst(seed + 20, 16, 3);
+    const double greedy =
+        model::served_demand(inst, sectors::solve_greedy(inst));
+    sectors::AnnealConfig config;
+    config.seed = seed;
+    config.iterations = 400;
+    const double annealed =
+        model::served_demand(inst, sectors::solve_annealing(inst, config));
+    EXPECT_GE(annealed + 1e-9, greedy) << "seed " << seed;
+  }
+}
+
+TEST(Annealing, AtMostExactOnSmall) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const model::Instance inst = random_inst(seed + 40, 7, 2);
+    const double exact =
+        model::served_demand(inst, sectors::solve_exact(inst));
+    sectors::AnnealConfig config;
+    config.seed = seed;
+    config.iterations = 500;
+    const double annealed =
+        model::served_demand(inst, sectors::solve_annealing(inst, config));
+    EXPECT_LE(annealed, exact + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Annealing, EscapesRangeShadowTrap) {
+  // The random restart structure lets annealing fix greedy's stranding:
+  // any proposal that re-points the long-range antenna while the
+  // reassignment gives v to the short-range one serves 9.9.
+  const model::Instance inst = sim::range_shadow_trap();
+  sectors::AnnealConfig config;
+  config.seed = 3;
+  config.iterations = 500;
+  const double annealed =
+      model::served_demand(inst, sectors::solve_annealing(inst, config));
+  const double greedy =
+      model::served_demand(inst, sectors::solve_greedy(inst));
+  EXPECT_GE(annealed, greedy);  // never worse by construction
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const model::Instance inst = random_inst(99, 15, 3);
+  sectors::AnnealConfig config;
+  config.seed = 7;
+  config.iterations = 250;
+  const model::Solution a = sectors::solve_annealing(inst, config);
+  const model::Solution b = sectors::solve_annealing(inst, config);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.assign, b.assign);
+}
+
+TEST(Annealing, DegenerateInstances) {
+  // No customers.
+  const model::Instance empty{{}, {model::AntennaSpec{1.0, 10.0, 5.0}}};
+  EXPECT_DOUBLE_EQ(
+      model::served_demand(empty, sectors::solve_annealing(empty)), 0.0);
+  // No antennas.
+  model::InstanceBuilder b;
+  b.add_customer_polar(0.1, 5.0, 2.0);
+  const model::Instance no_ant = b.build();
+  EXPECT_DOUBLE_EQ(
+      model::served_demand(no_ant, sectors::solve_annealing(no_ant)), 0.0);
+}
+
+TEST(Annealing, ZeroIterationsIsGreedy) {
+  const model::Instance inst = random_inst(5, 12, 2);
+  sectors::AnnealConfig config;
+  config.iterations = 0;
+  config.final_exact_assign = false;
+  const double annealed =
+      model::served_demand(inst, sectors::solve_annealing(inst, config));
+  const double greedy =
+      model::served_demand(inst, sectors::solve_greedy(inst));
+  EXPECT_DOUBLE_EQ(annealed, greedy);
+}

@@ -1,0 +1,167 @@
+// Annular sectors: antennas with a near-field dead zone (min_range > 0).
+// The default min_range = 0 recovers the paper's plain pie-slice sector;
+// these tests pin the annular semantics end to end.
+
+#include <gtest/gtest.h>
+
+#include "src/cover/cover.hpp"
+#include "src/sectorpack.hpp"
+
+using namespace sectorpack;
+
+TEST(AnnulusSector, GeometryContainment) {
+  const geom::Sector s{0.0, geom::kPi / 2.0, 10.0, 3.0};
+  EXPECT_TRUE(s.contains(geom::Polar{0.5, 5.0}));
+  EXPECT_TRUE(s.contains(geom::Polar{0.5, 3.0}));   // inner edge closed
+  EXPECT_TRUE(s.contains(geom::Polar{0.5, 10.0}));  // outer edge closed
+  EXPECT_FALSE(s.contains(geom::Polar{0.5, 2.9}));  // inside dead zone
+  EXPECT_FALSE(s.contains(geom::Polar{0.5, 10.1}));
+  EXPECT_FALSE(s.contains(geom::Polar{2.0, 5.0}));  // wrong angle
+  EXPECT_FALSE(s.contains(geom::Polar{0.0, 0.0}));  // origin in dead zone
+}
+
+TEST(AnnulusSector, AreaFormula) {
+  const geom::Sector s{0.0, geom::kPi, 10.0, 6.0};
+  EXPECT_NEAR(s.area(), 0.5 * geom::kPi * (100.0 - 36.0), 1e-12);
+}
+
+TEST(AnnulusSector, RotationPreservesMinRadius) {
+  const geom::Sector s{1.0, 0.5, 8.0, 2.0};
+  EXPECT_DOUBLE_EQ(s.rotated(0.7).min_radius(), 2.0);
+}
+
+TEST(AnnulusModel, ValidationBounds) {
+  model::InstanceBuilder b;
+  b.add_customer_polar(0.1, 5.0, 1.0);
+  b.add_antenna(1.0, 10.0, 5.0, /*min_range=*/-1.0);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+  model::InstanceBuilder b2;
+  b2.add_customer_polar(0.1, 5.0, 1.0);
+  b2.add_antenna(1.0, 10.0, 5.0, /*min_range=*/10.0);  // == range
+  EXPECT_THROW((void)b2.build(), std::invalid_argument);
+}
+
+TEST(AnnulusModel, InRangeRespectsDeadZone) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.1, 2.0, 1.0)
+                                   .add_customer_polar(0.1, 5.0, 1.0)
+                                   .add_antenna(1.0, 10.0, 5.0, 3.0)
+                                   .build();
+  EXPECT_FALSE(inst.in_range(0, 0));
+  EXPECT_TRUE(inst.in_range(1, 0));
+  EXPECT_TRUE(inst.has_annular_antennas());
+}
+
+TEST(AnnulusModel, ValidatorRejectsDeadZoneAssignment) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.1, 2.0, 1.0)
+                                   .add_antenna(1.0, 10.0, 5.0, 3.0)
+                                   .build();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.assign[0] = 0;
+  EXPECT_FALSE(model::is_feasible(inst, sol));
+}
+
+TEST(AnnulusSolvers, SingleExactSkipsDeadZone) {
+  // Near customer is richer but inside the dead zone.
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.1, 2.0, 9.0)
+                                   .add_customer_polar(0.1, 6.0, 4.0)
+                                   .add_antenna(1.0, 10.0, 20.0, 3.0)
+                                   .build();
+  const model::Solution sol = single::solve_exact(inst);
+  EXPECT_DOUBLE_EQ(model::served_demand(inst, sol), 4.0);
+  EXPECT_EQ(sol.assign[0], model::kUnserved);
+  EXPECT_TRUE(model::is_feasible(inst, sol));
+}
+
+TEST(AnnulusSolvers, MixedFleetUsesComplementaryBands) {
+  // A short-range antenna covers the near band, an annular long-range
+  // antenna the far band; both customers get served only by the pair.
+  model::InstanceBuilder b;
+  b.add_customer_polar(0.1, 2.0, 5.0);
+  b.add_customer_polar(0.1, 8.0, 5.0);
+  b.add_antenna(1.0, 4.0, 5.0);         // near band only
+  b.add_antenna(1.0, 10.0, 5.0, 5.0);   // far band only
+  const model::Instance inst = b.build();
+  const model::Solution sol = sectors::solve_exact(inst);
+  EXPECT_DOUBLE_EQ(model::served_demand(inst, sol), 10.0);
+  EXPECT_TRUE(model::is_feasible(inst, sol));
+  // Greedy also gets both: the two antennas see disjoint customers.
+  EXPECT_DOUBLE_EQ(
+      model::served_demand(inst, sectors::solve_greedy(inst)), 10.0);
+}
+
+TEST(AnnulusSolvers, BoundsStillDominate) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    sim::Rng rng(seed + 61);
+    model::InstanceBuilder b;
+    for (int i = 0; i < 7; ++i) {
+      b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                           rng.uniform(1.0, 10.0),
+                           static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    b.add_antenna(1.5, 10.0, 12.0, 3.0);
+    b.add_antenna(1.5, 5.0, 12.0);
+    const model::Instance inst = b.build();
+    const double exact =
+        model::served_demand(inst, sectors::solve_exact(inst));
+    EXPECT_GE(bounds::orientation_free_bound(inst) + 1e-6, exact) << seed;
+    EXPECT_GE(bounds::flow_window_bound(inst) + 1e-6, exact) << seed;
+  }
+}
+
+TEST(AnnulusCover, BlockersIncludeDeadZone) {
+  const std::vector<model::Customer> customers = {
+      {geom::from_polar(0.0, 1.0), 1.0},  // inside dead zone
+      {geom::from_polar(1.0, 5.0), 1.0},
+  };
+  const model::AntennaSpec type{geom::kPi, 10.0, 5.0, 2.0};
+  const cover::CoverResult r = cover::solve_greedy(customers, type);
+  EXPECT_FALSE(r.feasible);
+  ASSERT_EQ(r.blockers.size(), 1u);
+  EXPECT_EQ(r.blockers[0], 0u);
+}
+
+TEST(AnnulusIO, V2RoundtripPreservesMinRange) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.1, 5.0, 2.0)
+                                   .add_antenna(1.0, 10.0, 5.0, 2.5)
+                                   .build();
+  const std::string text = model::to_string(inst);
+  EXPECT_NE(text.find("sectorpack-instance v2"), std::string::npos);
+  const model::Instance back = model::instance_from_string(text);
+  ASSERT_EQ(back.num_antennas(), 1u);
+  EXPECT_DOUBLE_EQ(back.antenna(0).min_range, 2.5);
+  EXPECT_TRUE(back.has_annular_antennas());
+}
+
+TEST(AnnulusIO, PlainInstanceStaysV1) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.1, 5.0, 2.0)
+                                   .add_antenna(1.0, 10.0, 5.0)
+                                   .build();
+  EXPECT_NE(model::to_string(inst).find("sectorpack-instance v1"),
+            std::string::npos);
+  EXPECT_FALSE(inst.has_annular_antennas());
+}
+
+TEST(AnnulusIdentity, MinRangeZeroBehavesAsBefore) {
+  // Differential check: adding min_range = 0 explicitly changes nothing.
+  sim::Rng rng(5);
+  model::InstanceBuilder b1;
+  model::InstanceBuilder b2;
+  for (int i = 0; i < 12; ++i) {
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    const double r = rng.uniform(1.0, 9.0);
+    const double d = static_cast<double>(rng.uniform_int(1, 5));
+    b1.add_customer_polar(theta, r, d);
+    b2.add_customer_polar(theta, r, d);
+  }
+  b1.add_identical_antennas(2, 1.4, 10.0, 9.0);
+  b2.add_antenna(1.4, 10.0, 9.0, 0.0);
+  b2.add_antenna(1.4, 10.0, 9.0, 0.0);
+  EXPECT_DOUBLE_EQ(
+      model::served_demand(b1.build(), sectors::solve_greedy(b1.build())),
+      model::served_demand(b2.build(), sectors::solve_greedy(b2.build())));
+}

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/bench_util/stats.hpp"
+#include "src/bench_util/table.hpp"
+#include "src/bench_util/timer.hpp"
+
+namespace bu = sectorpack::bench_util;
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const bu::Summary s = bu::summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  // Sample stddev of {1,2,3,4} = sqrt(5/3).
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyAndSingleton) {
+  const bu::Summary empty = bu::summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  const std::vector<double> one = {7.5};
+  const bu::Summary s = bu::summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+}
+
+TEST(Stats, SummarizeNegativeValues) {
+  const std::vector<double> v = {-3.0, 0.0, 3.0};
+  const bu::Summary s = bu::summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.125), 15.0);  // interpolated
+}
+
+TEST(Stats, PercentileUnsortedInputAndClamping) {
+  const std::vector<double> v = {50.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(v, -1.0), 10.0);  // clamped to 0
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 2.0), 50.0);   // clamped to 1
+  EXPECT_DOUBLE_EQ(bu::percentile({}, 0.5), 0.0);
+}
+
+TEST(Cell, Formatting) {
+  EXPECT_EQ(bu::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(bu::cell(1.0, 0), "1");
+  EXPECT_EQ(bu::cell(std::size_t{42}), "42");
+  EXPECT_EQ(bu::cell(-7), "-7");
+  EXPECT_EQ(bu::cell("abc"), "abc");
+  EXPECT_EQ(bu::cell(std::string("xyz")), "xyz");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  bu::Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  // Header present, separator present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Every line has the same length (fixed-width rendering).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(lines, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << "line: '" << line << "'";
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  bu::Table table({"a", "b", "c"});
+  table.add_row({"only"});  // missing cells become empty
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, ExperimentHeaderFormat) {
+  std::ostringstream os;
+  bu::print_experiment_header(os, "T9", "demo");
+  EXPECT_EQ(os.str(), "\n=== T9: demo ===\n");
+}
+
+TEST(Timer, MeasuresElapsedMonotonically) {
+  bu::Timer timer;
+  const double t1 = timer.elapsed_seconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double t2 = timer.elapsed_seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  timer.reset();
+  EXPECT_LT(timer.elapsed_seconds(), t2 + 1.0);
+  (void)sink;
+}
+
+TEST(Timer, UnitsConsistent) {
+  bu::Timer timer;
+  const double s = timer.elapsed_seconds();
+  const double ms = timer.elapsed_ms();
+  const double us = timer.elapsed_us();
+  // Allow for time passing between calls; the units must be ordered.
+  EXPECT_LE(s, ms);
+  EXPECT_LE(ms, us);
+}

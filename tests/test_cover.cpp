@@ -1,0 +1,239 @@
+#include "src/cover/cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/generators.hpp"
+
+namespace cover = sectorpack::cover;
+namespace model = sectorpack::model;
+namespace geom = sectorpack::geom;
+namespace sim = sectorpack::sim;
+
+namespace {
+
+std::vector<model::Customer> random_customers(std::uint64_t seed,
+                                              std::size_t n,
+                                              double max_demand = 6.0) {
+  sim::Rng rng(seed);
+  std::vector<model::Customer> customers;
+  customers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    customers.push_back(
+        {geom::from_polar(rng.uniform(0.0, geom::kTwoPi),
+                          rng.uniform(1.0, 9.0)),
+         static_cast<double>(rng.uniform_int(
+             1, static_cast<std::int64_t>(max_demand)))});
+  }
+  return customers;
+}
+
+const model::AntennaSpec kType{geom::kPi / 2.0, 10.0, 15.0};
+
+}  // namespace
+
+TEST(MinArcs, Basics) {
+  EXPECT_EQ(cover::min_arcs_to_cover({}, 1.0), 0u);
+  EXPECT_EQ(cover::min_arcs_to_cover(std::vector<double>{1.0}, 0.5), 1u);
+  // Full-circle arc covers everything.
+  const std::vector<double> spread = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(cover::min_arcs_to_cover(spread, geom::kTwoPi), 1u);
+}
+
+TEST(MinArcs, EvenlySpacedPoints) {
+  // 6 points every 60 degrees; arcs of width just over 120 degrees cover 3
+  // consecutive points each -> 2 arcs suffice.
+  std::vector<double> thetas;
+  for (int i = 0; i < 6; ++i) {
+    thetas.push_back(geom::deg_to_rad(60.0 * i));
+  }
+  EXPECT_EQ(cover::min_arcs_to_cover(thetas, geom::deg_to_rad(121.0)), 2u);
+  EXPECT_EQ(cover::min_arcs_to_cover(thetas, geom::deg_to_rad(61.0)), 3u);
+  EXPECT_EQ(cover::min_arcs_to_cover(thetas, geom::deg_to_rad(1.0)), 6u);
+}
+
+TEST(MinArcs, MatchesBruteForceRandom) {
+  // Brute force: try all subsets of candidate anchors up to size m.
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(6);
+    const double rho = rng.uniform(0.3, 2.5);
+    std::vector<double> thetas(n);
+    for (double& t : thetas) t = rng.uniform(0.0, geom::kTwoPi);
+
+    const std::size_t got = cover::min_arcs_to_cover(thetas, rho);
+
+    // Brute force over anchor subsets (anchors = the points themselves).
+    std::size_t best = n;
+    for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+      std::vector<bool> covered(n, false);
+      for (std::size_t a = 0; a < n; ++a) {
+        if (!(mask & (1u << a))) continue;
+        const geom::Arc arc(geom::normalize(thetas[a]), rho);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (arc.contains(geom::normalize(thetas[i]))) covered[i] = true;
+        }
+      }
+      bool all = true;
+      for (bool c : covered) all &= c;
+      if (all) {
+        best = std::min(best,
+                        static_cast<std::size_t>(__builtin_popcount(mask)));
+      }
+    }
+    EXPECT_EQ(got, best) << "trial " << trial << " rho " << rho;
+  }
+}
+
+TEST(CoverValidate, RejectsPartialAndOverload) {
+  const auto customers = random_customers(1, 5);
+  cover::CoverResult r;
+  r.assign.assign(5, model::kUnserved);
+  r.alphas.push_back(0.0);
+  EXPECT_FALSE(cover::validate_cover(customers, kType, r));  // unserved
+}
+
+TEST(CoverGreedy, ProducesValidCover) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto customers = random_customers(seed, 15);
+    const cover::CoverResult r = cover::solve_greedy(customers, kType);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(cover::validate_cover(customers, kType, r)) << seed;
+    EXPECT_GE(r.num_antennas(), cover::lower_bound(customers, kType));
+    EXPECT_LE(r.num_antennas(), customers.size());
+  }
+}
+
+TEST(CoverNextFit, ProducesValidCover) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto customers = random_customers(seed + 100, 15);
+    const cover::CoverResult r =
+        cover::solve_sweep_nextfit(customers, kType);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(cover::validate_cover(customers, kType, r)) << seed;
+    EXPECT_GE(r.num_antennas(), cover::lower_bound(customers, kType));
+  }
+}
+
+TEST(CoverExact, MinimalAndDominatesLowerBound) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto customers = random_customers(seed + 200, 6);
+    const cover::CoverResult exact =
+        cover::solve_exact(customers, kType, /*max_k=*/6);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_TRUE(cover::validate_cover(customers, kType, exact)) << seed;
+    const std::size_t lb = cover::lower_bound(customers, kType);
+    EXPECT_GE(exact.num_antennas(), lb);
+    // Heuristics cannot beat exact.
+    EXPECT_LE(exact.num_antennas(),
+              cover::solve_greedy(customers, kType).num_antennas());
+    EXPECT_LE(exact.num_antennas(),
+              cover::solve_sweep_nextfit(customers, kType).num_antennas());
+  }
+}
+
+TEST(CoverExact, NextFitExactForUncapacitated) {
+  // With non-binding capacity, next-fit anchored at every cut is optimal
+  // for covering points by arcs; cross-check against min_arcs_to_cover.
+  const model::AntennaSpec uncap{geom::kPi / 2.0, 10.0, 1e9};
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto customers = random_customers(seed + 300, 10);
+    std::vector<double> thetas;
+    for (const auto& c : customers) {
+      thetas.push_back(sectorpack::geom::to_polar(c.pos).theta);
+    }
+    const std::size_t arcs = cover::min_arcs_to_cover(thetas, uncap.rho);
+    const cover::CoverResult nf =
+        cover::solve_sweep_nextfit(customers, uncap);
+    EXPECT_EQ(nf.num_antennas(), arcs) << seed;
+  }
+}
+
+TEST(CoverInfeasibility, DetectsBlockers) {
+  std::vector<model::Customer> customers = {
+      {geom::from_polar(0.0, 50.0), 1.0},   // out of range
+      {geom::from_polar(1.0, 5.0), 100.0},  // demand above capacity
+      {geom::from_polar(2.0, 5.0), 1.0},    // fine
+  };
+  for (const auto* solver :
+       {"greedy", "nextfit"}) {
+    const cover::CoverResult r =
+        std::string(solver) == "greedy"
+            ? cover::solve_greedy(customers, kType)
+            : cover::solve_sweep_nextfit(customers, kType);
+    EXPECT_FALSE(r.feasible);
+    ASSERT_EQ(r.blockers.size(), 2u);
+    EXPECT_EQ(r.blockers[0], 0u);
+    EXPECT_EQ(r.blockers[1], 1u);
+  }
+}
+
+TEST(CoverEdgeCases, EmptyCustomerSet) {
+  const cover::CoverResult g = cover::solve_greedy({}, kType);
+  EXPECT_TRUE(g.feasible);
+  EXPECT_EQ(g.num_antennas(), 0u);
+  EXPECT_EQ(cover::lower_bound({}, kType), 0u);
+  const cover::CoverResult e = cover::solve_exact({}, kType);
+  EXPECT_EQ(e.num_antennas(), 0u);
+}
+
+TEST(CoverEdgeCases, SingleCustomer) {
+  const std::vector<model::Customer> one = {
+      {geom::from_polar(1.5, 5.0), 3.0}};
+  for (const cover::CoverResult& r :
+       {cover::solve_greedy(one, kType), cover::solve_sweep_nextfit(one, kType),
+        cover::solve_exact(one, kType)}) {
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.num_antennas(), 1u);
+    EXPECT_TRUE(cover::validate_cover(one, kType, r));
+  }
+}
+
+TEST(CoverCapacityBinding, SplitsOneCluster) {
+  // 4 customers at the same angle, demand 10 each, capacity 15: geometry
+  // needs 1 arc and the volume bound says ceil(40/15) = 3, but no two
+  // demand-10 items share a capacity-15 antenna, so the true optimum is 4
+  // -- the bin-packing gap between the volume lower bound and OPT.
+  std::vector<model::Customer> cluster;
+  for (int i = 0; i < 4; ++i) {
+    cluster.push_back({geom::from_polar(0.5, 5.0), 10.0});
+  }
+  EXPECT_EQ(cover::lower_bound(cluster, kType), 3u);
+  const cover::CoverResult exact = cover::solve_exact(cluster, kType, 5);
+  EXPECT_EQ(exact.num_antennas(), 4u);
+  EXPECT_TRUE(cover::validate_cover(cluster, kType, exact));
+  // With capacity 20 two items pair up and the volume bound is tight.
+  const model::AntennaSpec roomy{kType.rho, kType.range, 20.0};
+  EXPECT_EQ(cover::lower_bound(cluster, roomy), 2u);
+  EXPECT_EQ(cover::solve_exact(cluster, roomy, 5).num_antennas(), 2u);
+}
+
+// Parameterized: cover size is monotone nonincreasing in rho and in
+// capacity.
+class CoverMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverMonotone, WiderBeamNeverNeedsMore) {
+  const auto customers = random_customers(GetParam(), 12);
+  std::size_t prev = customers.size() + 1;
+  for (double rho_deg : {30.0, 60.0, 120.0, 240.0, 360.0}) {
+    const model::AntennaSpec type{geom::deg_to_rad(rho_deg), 10.0, 1e9};
+    const std::size_t count =
+        cover::solve_sweep_nextfit(customers, type).num_antennas();
+    EXPECT_LE(count, prev) << "rho " << rho_deg;
+    prev = count;
+  }
+}
+
+TEST_P(CoverMonotone, MoreCapacityNeverNeedsMore) {
+  const auto customers = random_customers(GetParam() + 50, 8, 4.0);
+  std::size_t prev = customers.size() + 1;
+  for (double cap : {8.0, 15.0, 30.0, 1e9}) {
+    const model::AntennaSpec type{geom::kPi, 10.0, cap};
+    const std::size_t count =
+        cover::solve_exact(customers, type, 8).num_antennas();
+    EXPECT_LE(count, prev) << "cap " << cap;
+    prev = count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverMonotone,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));

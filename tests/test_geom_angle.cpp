@@ -1,0 +1,118 @@
+#include "src/geom/angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/rng.hpp"
+
+namespace geom = sectorpack::geom;
+
+TEST(Angle, NormalizeBasics) {
+  EXPECT_DOUBLE_EQ(geom::normalize(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(geom::normalize(geom::kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(geom::normalize(-geom::kTwoPi), 0.0);
+  EXPECT_NEAR(geom::normalize(geom::kPi), geom::kPi, 1e-15);
+  EXPECT_NEAR(geom::normalize(-geom::kPi), geom::kPi, 1e-15);
+  EXPECT_NEAR(geom::normalize(3.0 * geom::kPi), geom::kPi, 1e-12);
+}
+
+TEST(Angle, NormalizeRange) {
+  for (double a = -100.0; a <= 100.0; a += 0.37) {
+    const double n = geom::normalize(a);
+    EXPECT_GE(n, 0.0) << "input " << a;
+    EXPECT_LT(n, geom::kTwoPi) << "input " << a;
+  }
+}
+
+TEST(Angle, NormalizeIdempotent) {
+  for (double a = -50.0; a <= 50.0; a += 0.21) {
+    const double once = geom::normalize(a);
+    EXPECT_DOUBLE_EQ(geom::normalize(once), once) << "input " << a;
+  }
+}
+
+TEST(Angle, NormalizeNearMultipleOfTwoPi) {
+  // Values epsilon-below a multiple of 2*pi must stay in [0, 2*pi).
+  const double just_under = std::nextafter(geom::kTwoPi, 0.0);
+  EXPECT_LT(geom::normalize(just_under), geom::kTwoPi);
+  EXPECT_LT(geom::normalize(4.0 * geom::kTwoPi - 1e-18), geom::kTwoPi);
+}
+
+TEST(Angle, CcwDeltaBasics) {
+  EXPECT_DOUBLE_EQ(geom::ccw_delta(1.0, 1.0), 0.0);
+  EXPECT_NEAR(geom::ccw_delta(0.0, geom::kPi), geom::kPi, 1e-15);
+  EXPECT_NEAR(geom::ccw_delta(geom::kPi, 0.0), geom::kPi, 1e-15);
+  EXPECT_NEAR(geom::ccw_delta(6.0, 0.5), 0.5 + geom::kTwoPi - 6.0, 1e-12);
+}
+
+TEST(Angle, CcwDeltaAntisymmetry) {
+  // ccw_delta(a, b) + ccw_delta(b, a) == 2*pi for distinct directions.
+  sectorpack::sim::Rng rng(7);
+  for (int t = 0; t < 200; ++t) {
+    const double a = rng.uniform(0.0, geom::kTwoPi);
+    const double b = rng.uniform(0.0, geom::kTwoPi);
+    if (geom::angles_equal(a, b)) continue;
+    EXPECT_NEAR(geom::ccw_delta(a, b) + geom::ccw_delta(b, a), geom::kTwoPi,
+                1e-9);
+  }
+}
+
+TEST(Angle, AngularDistanceSymmetricAndBounded) {
+  sectorpack::sim::Rng rng(11);
+  for (int t = 0; t < 200; ++t) {
+    const double a = rng.uniform(-10.0, 10.0);
+    const double b = rng.uniform(-10.0, 10.0);
+    const double d1 = geom::angular_distance(a, b);
+    const double d2 = geom::angular_distance(b, a);
+    EXPECT_NEAR(d1, d2, 1e-12);
+    EXPECT_GE(d1, 0.0);
+    EXPECT_LE(d1, geom::kPi + 1e-12);
+  }
+}
+
+TEST(Angle, AngularDistanceTriangleInequality) {
+  sectorpack::sim::Rng rng(13);
+  for (int t = 0; t < 200; ++t) {
+    const double a = rng.uniform(0.0, geom::kTwoPi);
+    const double b = rng.uniform(0.0, geom::kTwoPi);
+    const double c = rng.uniform(0.0, geom::kTwoPi);
+    EXPECT_LE(geom::angular_distance(a, c),
+              geom::angular_distance(a, b) + geom::angular_distance(b, c) +
+                  1e-9);
+  }
+}
+
+TEST(Angle, AnglesEqualWrap) {
+  EXPECT_TRUE(geom::angles_equal(0.0, geom::kTwoPi));
+  EXPECT_TRUE(geom::angles_equal(geom::kTwoPi - 1e-12, 0.0));
+  EXPECT_TRUE(geom::angles_equal(1e-12, geom::kTwoPi - 1e-12));
+  EXPECT_FALSE(geom::angles_equal(0.0, 0.1));
+  EXPECT_FALSE(geom::angles_equal(0.0, geom::kPi));
+}
+
+TEST(Angle, DegreesRoundtrip) {
+  for (double deg = -720.0; deg <= 720.0; deg += 13.5) {
+    EXPECT_NEAR(geom::rad_to_deg(geom::deg_to_rad(deg)), deg, 1e-10);
+  }
+  EXPECT_NEAR(geom::deg_to_rad(180.0), geom::kPi, 1e-15);
+  EXPECT_NEAR(geom::deg_to_rad(90.0), geom::kPi / 2.0, 1e-15);
+}
+
+// Property sweep: rotation by a full turn is the identity on normalized
+// angles, for a range of starting points and turn counts.
+class AngleTurnProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AngleTurnProperty, FullTurnsAreIdentity) {
+  const int turns = GetParam();
+  sectorpack::sim::Rng rng(static_cast<std::uint64_t>(turns) * 97 + 1);
+  for (int t = 0; t < 100; ++t) {
+    const double a = rng.uniform(0.0, geom::kTwoPi);
+    const double rotated = geom::normalize(a + turns * geom::kTwoPi);
+    EXPECT_TRUE(geom::angles_equal(a, rotated))
+        << "a=" << a << " turns=" << turns << " rotated=" << rotated;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Turns, AngleTurnProperty,
+                         ::testing::Values(-17, -5, -1, 1, 2, 3, 8, 33));

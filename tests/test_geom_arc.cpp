@@ -1,0 +1,209 @@
+#include "src/geom/arc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.hpp"
+
+namespace geom = sectorpack::geom;
+using geom::Arc;
+
+TEST(Arc, DefaultIsFullCircle) {
+  const Arc full;
+  EXPECT_TRUE(full.is_full());
+  EXPECT_FALSE(full.is_empty());
+  for (double a = 0.0; a < geom::kTwoPi; a += 0.1) {
+    EXPECT_TRUE(full.contains(a));
+  }
+}
+
+TEST(Arc, WidthClamped) {
+  EXPECT_DOUBLE_EQ(Arc(0.0, -1.0).width(), 0.0);
+  EXPECT_DOUBLE_EQ(Arc(0.0, 100.0).width(), geom::kTwoPi);
+}
+
+TEST(Arc, ContainsBasics) {
+  const Arc arc(1.0, 0.5);
+  EXPECT_TRUE(arc.contains(1.0));
+  EXPECT_TRUE(arc.contains(1.25));
+  EXPECT_TRUE(arc.contains(1.5));
+  EXPECT_FALSE(arc.contains(0.99));
+  EXPECT_FALSE(arc.contains(1.51));
+  EXPECT_FALSE(arc.contains(4.0));
+}
+
+TEST(Arc, ContainsWrapAround) {
+  const Arc arc(geom::kTwoPi - 0.2, 0.5);  // spans the 0 crossing
+  EXPECT_TRUE(arc.contains(geom::kTwoPi - 0.1));
+  EXPECT_TRUE(arc.contains(0.0));
+  EXPECT_TRUE(arc.contains(0.29));
+  EXPECT_FALSE(arc.contains(0.31));
+  EXPECT_FALSE(arc.contains(geom::kPi));
+  EXPECT_NEAR(arc.end(), 0.3, 1e-12);
+}
+
+TEST(Arc, ContainsClosedEndpointsWithTolerance) {
+  const Arc arc(2.0, 1.0);
+  EXPECT_TRUE(arc.contains(2.0 - 0.5 * geom::kAngleEps));
+  EXPECT_TRUE(arc.contains(3.0 + 0.5 * geom::kAngleEps));
+}
+
+TEST(Arc, EmptyArcContainsOnlyItsPoint) {
+  const Arc point(1.5, 0.0);
+  EXPECT_TRUE(point.is_empty());
+  EXPECT_TRUE(point.contains(1.5));
+  EXPECT_FALSE(point.contains(1.6));
+}
+
+TEST(Arc, ArcContainment) {
+  const Arc outer(1.0, 2.0);
+  EXPECT_TRUE(outer.contains(Arc(1.2, 1.0)));
+  EXPECT_TRUE(outer.contains(Arc(1.0, 2.0)));
+  EXPECT_FALSE(outer.contains(Arc(0.8, 1.0)));
+  EXPECT_FALSE(outer.contains(Arc(2.5, 1.0)));
+  EXPECT_TRUE(Arc().contains(outer));
+  EXPECT_FALSE(outer.contains(Arc()));
+}
+
+TEST(Arc, IntersectsBasics) {
+  EXPECT_TRUE(Arc(0.0, 1.0).intersects(Arc(0.5, 1.0)));
+  EXPECT_TRUE(Arc(0.0, 1.0).intersects(Arc(1.0, 1.0)));  // touching
+  EXPECT_FALSE(Arc(0.0, 1.0).intersects(Arc(2.0, 1.0)));
+  // Wrap: [5.5, 0.5] and [0.2, 1.0] share [0.2, 0.5].
+  EXPECT_TRUE(Arc(5.5, geom::kTwoPi - 5.0).intersects(Arc(0.2, 0.8)));
+}
+
+TEST(Arc, IntersectionLengthDisjoint) {
+  EXPECT_DOUBLE_EQ(Arc(0.0, 1.0).intersection_length(Arc(2.0, 1.0)), 0.0);
+}
+
+TEST(Arc, IntersectionLengthNested) {
+  EXPECT_NEAR(Arc(0.0, 2.0).intersection_length(Arc(0.5, 1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(Arc(0.5, 1.0).intersection_length(Arc(0.0, 2.0)), 1.0, 1e-12);
+}
+
+TEST(Arc, IntersectionLengthPartialOverlap) {
+  EXPECT_NEAR(Arc(0.0, 1.0).intersection_length(Arc(0.6, 1.0)), 0.4, 1e-12);
+  EXPECT_NEAR(Arc(0.6, 1.0).intersection_length(Arc(0.0, 1.0)), 0.4, 1e-12);
+}
+
+TEST(Arc, IntersectionLengthTwoPieces) {
+  // Two wide arcs can overlap in two disjoint pieces.
+  const Arc a(0.0, 4.0);
+  const Arc b(3.0, 4.0);  // covers [3, 7] i.e. wraps to [3, 0.717]
+  // Overlap: [3, 4] (length 1) and [0, 0.717] (length ~0.717).
+  const double expect = 1.0 + (7.0 - geom::kTwoPi);
+  EXPECT_NEAR(a.intersection_length(b), expect, 1e-9);
+  EXPECT_NEAR(b.intersection_length(a), expect, 1e-9);
+}
+
+TEST(Arc, IntersectionSymmetricProperty) {
+  sectorpack::sim::Rng rng(42);
+  for (int t = 0; t < 500; ++t) {
+    const Arc a(rng.uniform(0.0, geom::kTwoPi), rng.uniform(0.0, geom::kTwoPi));
+    const Arc b(rng.uniform(0.0, geom::kTwoPi), rng.uniform(0.0, geom::kTwoPi));
+    EXPECT_NEAR(a.intersection_length(b), b.intersection_length(a), 1e-9)
+        << "a=[" << a.start() << "," << a.width() << "] b=[" << b.start()
+        << "," << b.width() << "]";
+  }
+}
+
+TEST(Arc, IntersectionBoundedByWidths) {
+  sectorpack::sim::Rng rng(43);
+  for (int t = 0; t < 500; ++t) {
+    const Arc a(rng.uniform(0.0, geom::kTwoPi), rng.uniform(0.0, geom::kTwoPi));
+    const Arc b(rng.uniform(0.0, geom::kTwoPi), rng.uniform(0.0, geom::kTwoPi));
+    const double inter = a.intersection_length(b);
+    EXPECT_LE(inter, std::min(a.width(), b.width()) + 1e-9);
+    EXPECT_GE(inter, -1e-12);
+  }
+}
+
+TEST(Arc, RotationPreservesWidthAndMembership) {
+  sectorpack::sim::Rng rng(44);
+  for (int t = 0; t < 200; ++t) {
+    const Arc a(rng.uniform(0.0, geom::kTwoPi), rng.uniform(0.1, 3.0));
+    const double delta = rng.uniform(-20.0, 20.0);
+    const Arc r = a.rotated(delta);
+    EXPECT_NEAR(r.width(), a.width(), 1e-12);
+    for (int s = 0; s < 20; ++s) {
+      const double angle = rng.uniform(0.0, geom::kTwoPi);
+      // Stay away from the boundary where the epsilon tolerance could
+      // legitimately flip the predicate after rotation round-off.
+      const double d_start = geom::angular_distance(angle, a.start());
+      const double d_end = geom::angular_distance(angle, a.end());
+      if (d_start < 1e-6 || d_end < 1e-6) continue;
+      EXPECT_EQ(a.contains(angle), r.contains(geom::normalize(angle + delta)))
+          << "angle=" << angle << " delta=" << delta;
+    }
+  }
+}
+
+TEST(Arc, UnionLengthDisjointSumsWidths) {
+  const std::vector<Arc> arcs = {Arc(0.0, 0.5), Arc(1.0, 0.5), Arc(3.0, 1.0)};
+  EXPECT_NEAR(geom::union_length(arcs), 2.0, 1e-12);
+  EXPECT_TRUE(geom::pairwise_disjoint(arcs));
+}
+
+TEST(Arc, UnionLengthOverlapping) {
+  const std::vector<Arc> arcs = {Arc(0.0, 1.0), Arc(0.5, 1.0)};
+  EXPECT_NEAR(geom::union_length(arcs), 1.5, 1e-12);
+  EXPECT_FALSE(geom::pairwise_disjoint(arcs));
+}
+
+TEST(Arc, UnionLengthWrapAround) {
+  const std::vector<Arc> arcs = {Arc(geom::kTwoPi - 0.5, 1.0)};
+  EXPECT_NEAR(geom::union_length(arcs), 1.0, 1e-12);
+}
+
+TEST(Arc, UnionLengthFullCoverage) {
+  const std::vector<Arc> arcs = {Arc(0.0, 3.0), Arc(2.5, 3.0),
+                                 Arc(5.0, 2.0)};
+  EXPECT_NEAR(geom::union_length(arcs), geom::kTwoPi, 1e-12);
+}
+
+TEST(Arc, UnionLengthEmptyInput) {
+  EXPECT_DOUBLE_EQ(geom::union_length({}), 0.0);
+  EXPECT_TRUE(geom::pairwise_disjoint({}));
+}
+
+TEST(Arc, UnionNeverExceedsSumOrCircle) {
+  sectorpack::sim::Rng rng(45);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<Arc> arcs;
+    double sum = 0.0;
+    const int m = 1 + static_cast<int>(rng.uniform_int(6));
+    for (int a = 0; a < m; ++a) {
+      arcs.emplace_back(rng.uniform(0.0, geom::kTwoPi),
+                        rng.uniform(0.0, 2.0));
+      sum += arcs.back().width();
+    }
+    const double u = geom::union_length(arcs);
+    EXPECT_LE(u, std::min(sum, geom::kTwoPi) + 1e-9);
+    EXPECT_GE(u + 1e-9, arcs.empty() ? 0.0 : arcs[0].width() * 0.0);
+    // Union at least as large as the widest arc.
+    double widest = 0.0;
+    for (const Arc& a : arcs) widest = std::max(widest, a.width());
+    EXPECT_GE(u + 1e-9, widest);
+  }
+}
+
+// Parameterized width sweep: membership count along a dense sampling of the
+// circle should match the arc width to within sampling resolution.
+class ArcWidthProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArcWidthProperty, MembershipMeasureMatchesWidth) {
+  const double width = GetParam();
+  const Arc arc(1.234, width);
+  const int samples = 100000;
+  int inside = 0;
+  for (int s = 0; s < samples; ++s) {
+    const double angle = geom::kTwoPi * s / samples;
+    if (arc.contains(angle)) ++inside;
+  }
+  const double measured = geom::kTwoPi * inside / samples;
+  EXPECT_NEAR(measured, width, geom::kTwoPi * 3.0 / samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ArcWidthProperty,
+                         ::testing::Values(0.01, 0.5, 1.0, geom::kPi, 4.0,
+                                           6.0, geom::kTwoPi));

@@ -1,0 +1,181 @@
+#include "src/geom/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/geom/arc.hpp"
+#include "src/sim/rng.hpp"
+
+namespace geom = sectorpack::geom;
+
+namespace {
+
+std::vector<double> random_angles(sectorpack::sim::Rng& rng, std::size_t n) {
+  std::vector<double> thetas(n);
+  for (double& t : thetas) t = rng.uniform(0.0, geom::kTwoPi);
+  return thetas;
+}
+
+// Reference: members of a window computed by direct containment checks.
+std::set<std::size_t> naive_members(const std::vector<double>& thetas,
+                                    double alpha, double rho) {
+  std::set<std::size_t> members;
+  const geom::Arc arc(alpha, rho);
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    if (arc.contains(geom::normalize(thetas[i]))) members.insert(i);
+  }
+  return members;
+}
+
+}  // namespace
+
+TEST(Candidates, LeadingEdgeSetIsCustomerAngles) {
+  const std::vector<double> thetas = {0.5, 1.5, 3.0};
+  const auto cands = geom::candidate_orientations(thetas, 1.0);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cands.begin(), cands.end()));
+  EXPECT_NEAR(cands[0], 0.5, 1e-12);
+  EXPECT_NEAR(cands[1], 1.5, 1e-12);
+  EXPECT_NEAR(cands[2], 3.0, 1e-12);
+}
+
+TEST(Candidates, BothEdgesDoublesTheSet) {
+  const std::vector<double> thetas = {1.0, 2.0};
+  const auto cands = geom::candidate_orientations(
+      thetas, 0.5, geom::CandidateEdges::kBoth);
+  ASSERT_EQ(cands.size(), 4u);
+  // {1.0, 2.0} u {0.5, 1.5}
+  EXPECT_NEAR(cands[0], 0.5, 1e-12);
+  EXPECT_NEAR(cands[1], 1.0, 1e-12);
+  EXPECT_NEAR(cands[2], 1.5, 1e-12);
+  EXPECT_NEAR(cands[3], 2.0, 1e-12);
+}
+
+TEST(Candidates, DuplicatesRemoved) {
+  const std::vector<double> thetas = {1.0, 1.0, 1.0 + geom::kTwoPi};
+  const auto cands = geom::candidate_orientations(thetas, 0.5);
+  EXPECT_EQ(cands.size(), 1u);
+}
+
+TEST(Candidates, EmptyInput) {
+  EXPECT_TRUE(geom::candidate_orientations({}, 1.0).empty());
+}
+
+TEST(WindowSweep, EmptyInput) {
+  const geom::WindowSweep sweep(std::vector<double>{}, 1.0);
+  EXPECT_EQ(sweep.num_windows(), 0u);
+}
+
+TEST(WindowSweep, SingleCustomer) {
+  const std::vector<double> thetas = {2.0};
+  const geom::WindowSweep sweep(thetas, 0.5);
+  ASSERT_EQ(sweep.num_windows(), 1u);
+  EXPECT_NEAR(sweep.alpha(0), 2.0, 1e-12);
+  ASSERT_EQ(sweep.members(0).size(), 1u);
+  EXPECT_EQ(sweep.members(0)[0], 0u);
+}
+
+TEST(WindowSweep, MembersMatchNaive) {
+  sectorpack::sim::Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(40);
+    const double rho = rng.uniform(0.05, geom::kTwoPi);
+    const auto thetas = random_angles(rng, n);
+    const geom::WindowSweep sweep(thetas, rho);
+    ASSERT_GT(sweep.num_windows(), 0u);
+    for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+      const auto span = sweep.members(w);
+      const std::set<std::size_t> got(span.begin(), span.end());
+      const auto want = naive_members(thetas, sweep.alpha(w), rho);
+      EXPECT_EQ(got, want) << "trial=" << trial << " w=" << w
+                           << " alpha=" << sweep.alpha(w) << " rho=" << rho;
+    }
+  }
+}
+
+TEST(WindowSweep, FullCircleWindowContainsEveryone) {
+  sectorpack::sim::Rng rng(102);
+  const auto thetas = random_angles(rng, 25);
+  const geom::WindowSweep sweep(thetas, geom::kTwoPi);
+  for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+    EXPECT_EQ(sweep.members(w).size(), thetas.size());
+  }
+}
+
+TEST(WindowSweep, DuplicateAnglesShareWindow) {
+  const std::vector<double> thetas = {1.0, 1.0, 2.0};
+  const geom::WindowSweep sweep(thetas, 0.5);
+  EXPECT_EQ(sweep.num_windows(), 2u);
+  EXPECT_EQ(sweep.members(0).size(), 2u);  // both duplicates
+}
+
+TEST(WindowSweep, CandidateCompleteness) {
+  // Candidate-orientation lemma, checked empirically: for any random
+  // orientation alpha, the member set of [alpha, alpha+rho] is a subset of
+  // the member set of some candidate window.
+  sectorpack::sim::Rng rng(103);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(25);
+    const double rho = rng.uniform(0.1, 3.0);
+    const auto thetas = random_angles(rng, n);
+    const geom::WindowSweep sweep(thetas, rho);
+
+    for (int probe = 0; probe < 20; ++probe) {
+      const double alpha = rng.uniform(0.0, geom::kTwoPi);
+      const auto arbitrary = naive_members(thetas, alpha, rho);
+      bool dominated = arbitrary.empty();
+      for (std::size_t w = 0; w < sweep.num_windows() && !dominated; ++w) {
+        const auto span = sweep.members(w);
+        const std::set<std::size_t> cand(span.begin(), span.end());
+        dominated = std::includes(cand.begin(), cand.end(),
+                                  arbitrary.begin(), arbitrary.end());
+      }
+      EXPECT_TRUE(dominated)
+          << "window at alpha=" << alpha << " rho=" << rho
+          << " not dominated by any candidate window (trial " << trial << ")";
+    }
+  }
+}
+
+TEST(WindowSweep, MembersOrderedCcwFromLeadingEdge) {
+  sectorpack::sim::Rng rng(104);
+  const auto thetas = random_angles(rng, 30);
+  const double rho = 2.0;
+  const geom::WindowSweep sweep(thetas, rho);
+  for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+    const auto span = sweep.members(w);
+    double prev = -1.0;
+    for (std::size_t idx : span) {
+      const double off =
+          geom::ccw_delta(sweep.alpha(w), geom::normalize(thetas[idx]));
+      const double off_adj = off >= geom::kTwoPi - 1e-9 ? 0.0 : off;
+      EXPECT_GE(off_adj + 1e-9, prev);
+      prev = off_adj;
+    }
+  }
+}
+
+// Parameterized: number of windows never exceeds the number of distinct
+// angles, across widths.
+class SweepWidthProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SweepWidthProperty, WindowCountBoundedByDistinctAngles) {
+  sectorpack::sim::Rng rng(200 + static_cast<std::uint64_t>(GetParam() * 10));
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(60);
+    const auto thetas = random_angles(rng, n);
+    const geom::WindowSweep sweep(thetas, GetParam());
+    EXPECT_LE(sweep.num_windows(), n);
+    EXPECT_GE(sweep.num_windows(), 1u);
+    for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+      EXPECT_GE(sweep.members(w).size(), 1u);  // leading edge is a member
+      EXPECT_LE(sweep.members(w).size(), n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SweepWidthProperty,
+                         ::testing::Values(0.01, 0.3, 1.0, geom::kPi, 5.0,
+                                           geom::kTwoPi));

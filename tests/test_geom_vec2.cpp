@@ -1,0 +1,78 @@
+#include "src/geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.hpp"
+
+namespace geom = sectorpack::geom;
+using geom::Vec2;
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is CCW of a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);  // a is CW of b
+  EXPECT_DOUBLE_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, Norms) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec2{}.norm(), 0.0);
+}
+
+TEST(Vec2, PolarAxes) {
+  EXPECT_NEAR(geom::to_polar({1.0, 0.0}).theta, 0.0, 1e-15);
+  EXPECT_NEAR(geom::to_polar({0.0, 1.0}).theta, geom::kPi / 2.0, 1e-15);
+  EXPECT_NEAR(geom::to_polar({-1.0, 0.0}).theta, geom::kPi, 1e-15);
+  EXPECT_NEAR(geom::to_polar({0.0, -1.0}).theta, 1.5 * geom::kPi, 1e-15);
+}
+
+TEST(Vec2, OriginPolarConvention) {
+  const geom::Polar p = geom::to_polar({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.theta, 0.0);
+  EXPECT_DOUBLE_EQ(p.r, 0.0);
+}
+
+TEST(Vec2, PolarThetaAlwaysNormalized) {
+  sectorpack::sim::Rng rng(5);
+  for (int t = 0; t < 1000; ++t) {
+    const Vec2 v{rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)};
+    const geom::Polar p = geom::to_polar(v);
+    EXPECT_GE(p.theta, 0.0);
+    EXPECT_LT(p.theta, geom::kTwoPi);
+    EXPECT_GE(p.r, 0.0);
+  }
+}
+
+TEST(Vec2, PolarRoundtripCartesian) {
+  sectorpack::sim::Rng rng(6);
+  for (int t = 0; t < 1000; ++t) {
+    const Vec2 v{rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)};
+    const Vec2 back = geom::from_polar(geom::to_polar(v));
+    EXPECT_NEAR(back.x, v.x, 1e-9 * (1.0 + v.norm()));
+    EXPECT_NEAR(back.y, v.y, 1e-9 * (1.0 + v.norm()));
+  }
+}
+
+TEST(Vec2, PolarRoundtripAngular) {
+  sectorpack::sim::Rng rng(9);
+  for (int t = 0; t < 1000; ++t) {
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    const double r = rng.uniform(0.1, 50.0);
+    const geom::Polar p = geom::to_polar(geom::from_polar(theta, r));
+    EXPECT_NEAR(p.r, r, 1e-9 * r);
+    EXPECT_LE(geom::angular_distance(p.theta, theta), 1e-9);
+  }
+}

@@ -1,0 +1,186 @@
+// End-to-end pipeline tests: generate -> solve (every solver family) ->
+// validate -> serialize -> reload -> re-validate, plus cross-solver
+// dominance orderings and whole-instance invariances.
+
+#include <gtest/gtest.h>
+
+#include "src/sectorpack.hpp"
+
+using namespace sectorpack;
+
+namespace {
+
+model::Instance rotated_copy(const model::Instance& inst, double offset) {
+  model::InstanceBuilder b;
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    b.add_customer_polar(geom::normalize(inst.theta(i) + offset),
+                         inst.radius(i), inst.demand(i));
+  }
+  for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+    const model::AntennaSpec& a = inst.antenna(j);
+    b.add_antenna(a.rho, a.range, a.capacity);
+  }
+  return b.build();
+}
+
+}  // namespace
+
+TEST(Pipeline, GenerateSolveValidateSerializeReload) {
+  sim::Rng rng(2024);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 40;
+  wc.spatial = sim::Spatial::kHotspots;
+  wc.demand = sim::DemandDist::kUniformInt;
+  sim::AntennaConfig ac;
+  ac.count = 3;
+  ac.capacity_fraction = 0.4;
+  const model::Instance inst = sim::make_instance(wc, ac, rng);
+
+  const model::Solution sol = sectors::solve_local_search(inst);
+  ASSERT_TRUE(model::is_feasible(inst, sol));
+  EXPECT_GT(model::served_demand(inst, sol), 0.0);
+
+  // Roundtrip both instance and solution through text serialization.
+  const model::Instance inst2 =
+      model::instance_from_string(model::to_string(inst));
+  const model::Solution sol2 =
+      model::solution_from_string(model::to_string(sol));
+  ASSERT_TRUE(model::is_feasible(inst2, sol2));
+  EXPECT_DOUBLE_EQ(model::served_demand(inst2, sol2),
+                   model::served_demand(inst, sol));
+}
+
+TEST(Pipeline, SolverDominanceOrderingSmall) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    sim::Rng rng(seed);
+    model::InstanceBuilder b;
+    for (int i = 0; i < 8; ++i) {
+      b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                           rng.uniform(1.0, 9.0),
+                           static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    b.add_identical_antennas(2, 1.5, 10.0, 10.0);
+    const model::Instance inst = b.build();
+
+    const double exact = model::served_demand(inst, sectors::solve_exact(inst));
+    const double ls =
+        model::served_demand(inst, sectors::solve_local_search(inst));
+    const double greedy =
+        model::served_demand(inst, sectors::solve_greedy(inst));
+    const double uniform = model::served_demand(
+        inst, sectors::solve_uniform_orientations(inst));
+    const double bound = bounds::orientation_free_bound(inst);
+
+    EXPECT_GE(exact + 1e-9, ls) << "seed " << seed;
+    EXPECT_GE(ls + 1e-9, greedy) << "seed " << seed;
+    EXPECT_GE(exact + 1e-9, uniform) << "seed " << seed;
+    EXPECT_GE(bound + 1e-6, exact) << "seed " << seed;
+  }
+}
+
+TEST(Pipeline, RotationInvarianceOfAllSolvers) {
+  sim::Rng rng(99);
+  model::InstanceBuilder b;
+  for (int i = 0; i < 15; ++i) {
+    b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                         rng.uniform(1.0, 9.0),
+                         static_cast<double>(rng.uniform_int(1, 5)));
+  }
+  b.add_identical_antennas(2, 1.2, 10.0, 9.0);
+  const model::Instance inst = b.build();
+  const model::Instance rot = rotated_copy(inst, 2.345);
+
+  EXPECT_NEAR(model::served_demand(inst, sectors::solve_greedy(inst)),
+              model::served_demand(rot, sectors::solve_greedy(rot)), 1e-9);
+  EXPECT_NEAR(model::served_demand(inst, sectors::solve_local_search(inst)),
+              model::served_demand(rot, sectors::solve_local_search(rot)),
+              1e-9);
+  EXPECT_NEAR(bounds::orientation_free_bound(inst),
+              bounds::orientation_free_bound(rot), 1e-9);
+}
+
+TEST(Pipeline, DemandScaleInvarianceOfRatios) {
+  // Scaling all demands and capacities by the same factor scales every
+  // solver's value by that factor.
+  sim::Rng rng(123);
+  model::InstanceBuilder b1;
+  model::InstanceBuilder b2;
+  const double scale = 7.0;
+  for (int i = 0; i < 12; ++i) {
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    const double r = rng.uniform(1.0, 9.0);
+    const double d = static_cast<double>(rng.uniform_int(1, 6));
+    b1.add_customer_polar(theta, r, d);
+    b2.add_customer_polar(theta, r, d * scale);
+  }
+  b1.add_identical_antennas(2, 1.3, 10.0, 8.0);
+  b2.add_identical_antennas(2, 1.3, 10.0, 8.0 * scale);
+  const model::Instance i1 = b1.build();
+  const model::Instance i2 = b2.build();
+  EXPECT_NEAR(model::served_demand(i2, sectors::solve_greedy(i2)),
+              scale * model::served_demand(i1, sectors::solve_greedy(i1)),
+              1e-6);
+}
+
+TEST(Pipeline, UncapacitatedMatchesCapacitatedWhenCapacityAmple) {
+  // With capacity >= total demand, capacitated greedy over identical
+  // antennas should cover at least as much as... exactly the uncapacitated
+  // DP optimum is an upper bound; exact capacitated == uncap DP.
+  sim::Rng rng(321);
+  model::InstanceBuilder b;
+  std::vector<double> thetas;
+  std::vector<double> demands;
+  for (int i = 0; i < 9; ++i) {
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    const double d = static_cast<double>(rng.uniform_int(1, 5));
+    thetas.push_back(theta);
+    demands.push_back(d);
+    b.add_customer_polar(theta, 5.0, d);
+  }
+  b.add_identical_antennas(2, 1.0, 10.0, 1000.0);
+  const model::Instance inst = b.build();
+
+  const auto uncap = angles::solve_uncap_dp(thetas, demands, 1.0, 2);
+  const model::Solution exact = sectors::solve_exact(inst);
+  EXPECT_NEAR(model::served_demand(inst, exact), uncap.covered, 1e-9);
+}
+
+TEST(Pipeline, StressManySolversOnMediumInstance) {
+  sim::Rng rng(5150);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 120;
+  wc.spatial = sim::Spatial::kRing;
+  wc.demand = sim::DemandDist::kParetoInt;
+  sim::AntennaConfig ac;
+  ac.count = 5;
+  ac.rho = geom::kPi / 4.0;
+  ac.capacity_fraction = 0.35;
+  const model::Instance inst = sim::make_instance(wc, ac, rng);
+
+  for (const auto& sol :
+       {sectors::solve_greedy(inst), sectors::solve_local_search(inst),
+        sectors::solve_uniform_orientations(inst)}) {
+    const auto report = model::validate(inst, sol);
+    EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+    EXPECT_LE(model::served_demand(inst, sol),
+              bounds::trivial_bound(inst) + 1e-9);
+  }
+}
+
+TEST(Pipeline, SingleAntennaAgreesWithSectorsExact) {
+  // For k=1 the P1 solver and the P3 exact solver are the same problem.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sim::Rng rng(seed + 31);
+    model::InstanceBuilder b;
+    for (int i = 0; i < 8; ++i) {
+      b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                           rng.uniform(1.0, 12.0),
+                           static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    b.add_antenna(1.4, 9.0, 11.0);
+    const model::Instance inst = b.build();
+    EXPECT_NEAR(model::served_demand(inst, single::solve_exact(inst)),
+                model::served_demand(inst, sectors::solve_exact(inst)), 1e-9)
+        << "seed " << seed;
+  }
+}

@@ -1,0 +1,350 @@
+#include "src/knapsack/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/sim/adversarial.hpp"
+#include "src/sim/rng.hpp"
+
+namespace ks = sectorpack::knapsack;
+namespace sim = sectorpack::sim;
+
+namespace {
+
+std::vector<ks::Item> random_items(sim::Rng& rng, std::size_t n,
+                                   bool integral, bool demand_packing) {
+  std::vector<ks::Item> items(n);
+  for (ks::Item& it : items) {
+    if (integral) {
+      it.weight = static_cast<double>(rng.uniform_int(1, 30));
+    } else {
+      it.weight = rng.uniform(0.1, 30.0);
+    }
+    it.value = demand_packing ? it.weight
+                              : (integral
+                                     ? static_cast<double>(
+                                           rng.uniform_int(1, 50))
+                                     : rng.uniform(0.1, 50.0));
+  }
+  return items;
+}
+
+double chosen_value(const std::vector<ks::Item>& items,
+                    const ks::Result& res) {
+  double v = 0.0;
+  for (std::size_t i : res.chosen) v += items[i].value;
+  return v;
+}
+
+double chosen_weight(const std::vector<ks::Item>& items,
+                     const ks::Result& res) {
+  double w = 0.0;
+  for (std::size_t i : res.chosen) w += items[i].weight;
+  return w;
+}
+
+void expect_consistent(const std::vector<ks::Item>& items,
+                       const ks::Result& res, double capacity) {
+  EXPECT_NEAR(chosen_value(items, res), res.value, 1e-9);
+  EXPECT_NEAR(chosen_weight(items, res), res.weight, 1e-9);
+  EXPECT_LE(res.weight, capacity + 1e-9);
+  // No duplicate picks.
+  for (std::size_t p = 1; p < res.chosen.size(); ++p) {
+    EXPECT_LT(res.chosen[p - 1], res.chosen[p]);
+  }
+}
+
+}  // namespace
+
+TEST(BruteForce, TinyCases) {
+  const std::vector<ks::Item> items = {{6.0, 5.0}, {5.0, 4.0}, {5.0, 4.0}};
+  const ks::Result res = ks::solve_brute_force(items, 8.0);
+  EXPECT_DOUBLE_EQ(res.value, 10.0);  // two 4-weight items
+  expect_consistent(items, res, 8.0);
+}
+
+TEST(BruteForce, EmptyAndInfeasible) {
+  EXPECT_DOUBLE_EQ(ks::solve_brute_force({}, 10.0).value, 0.0);
+  const std::vector<ks::Item> items = {{5.0, 20.0}};
+  EXPECT_DOUBLE_EQ(ks::solve_brute_force(items, 10.0).value, 0.0);
+}
+
+TEST(BruteForce, RejectsLargeN) {
+  std::vector<ks::Item> items(26, ks::Item{1.0, 1.0});
+  EXPECT_THROW((void)ks::solve_brute_force(items, 5.0),
+               std::invalid_argument);
+}
+
+TEST(ExactDp, MatchesBruteForce) {
+  sim::Rng rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(12);
+    const auto items = random_items(rng, n, /*integral=*/true,
+                                    /*demand_packing=*/trial % 2 == 0);
+    const double cap = static_cast<double>(rng.uniform_int(1, 120));
+    const ks::Result dp = ks::solve_exact_dp(items, cap);
+    const ks::Result bf = ks::solve_brute_force(items, cap);
+    EXPECT_NEAR(dp.value, bf.value, 1e-9) << "trial " << trial;
+    expect_consistent(items, dp, cap);
+  }
+}
+
+TEST(ExactDp, FractionalCapacityFloors) {
+  const std::vector<ks::Item> items = {{3.0, 3.0}, {2.0, 2.0}};
+  // Capacity 4.7 floors to 4: best is 3 + nothing? 3+2=5 > 4, so 3.
+  const ks::Result res = ks::solve_exact_dp(items, 4.7);
+  EXPECT_DOUBLE_EQ(res.value, 3.0);
+}
+
+TEST(ExactDp, RejectsNonIntegralWeights) {
+  const std::vector<ks::Item> items = {{1.0, 1.5}};
+  EXPECT_FALSE(ks::dp_applicable(items, 10.0));
+  EXPECT_THROW((void)ks::solve_exact_dp(items, 10.0), std::invalid_argument);
+}
+
+TEST(ExactDp, RejectsHugeTables) {
+  const std::vector<ks::Item> items = {{1.0, 1.0}};
+  EXPECT_FALSE(ks::dp_applicable(items, 1e15));
+}
+
+TEST(ExactDp, NegativeCapacityEmpty) {
+  const std::vector<ks::Item> items = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(ks::solve_exact_dp(items, -1.0).value, 0.0);
+}
+
+TEST(BranchBound, MatchesDpOnIntegral) {
+  sim::Rng rng(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(16);
+    const auto items = random_items(rng, n, true, trial % 2 == 0);
+    const double cap = static_cast<double>(rng.uniform_int(1, 150));
+    const ks::Result bb = ks::solve_bb(items, cap);
+    const ks::Result dp = ks::solve_exact_dp(items, cap);
+    EXPECT_NEAR(bb.value, dp.value, 1e-9) << "trial " << trial;
+    expect_consistent(items, bb, cap);
+  }
+}
+
+TEST(BranchBound, MatchesBruteForceOnDoubles) {
+  sim::Rng rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(14);
+    const auto items = random_items(rng, n, false, trial % 2 == 0);
+    const double cap = rng.uniform(5.0, 120.0);
+    const ks::Result bb = ks::solve_bb(items, cap);
+    const ks::Result bf = ks::solve_brute_force(items, cap);
+    EXPECT_NEAR(bb.value, bf.value, 1e-9) << "trial " << trial;
+    expect_consistent(items, bb, cap);
+  }
+}
+
+TEST(BranchBound, NodeLimitThrows) {
+  // 40 equal-density items with incommensurate weights defeat pruning long
+  // enough to trip a tiny node budget.
+  sim::Rng rng(4);
+  std::vector<ks::Item> items;
+  for (int i = 0; i < 40; ++i) {
+    const double w = rng.uniform(1.0, 2.0);
+    items.push_back({w, w});
+  }
+  EXPECT_THROW((void)ks::solve_bb(items, 30.0, /*node_limit=*/50),
+               std::runtime_error);
+}
+
+TEST(Mim, MatchesBruteForceOnDoubles) {
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(16);
+    const auto items = random_items(rng, n, false, trial % 2 == 0);
+    const double cap = rng.uniform(5.0, 120.0);
+    const ks::Result mim = ks::solve_mim(items, cap);
+    const ks::Result bf = ks::solve_brute_force(items, cap);
+    EXPECT_NEAR(mim.value, bf.value, 1e-9) << "trial " << trial;
+    expect_consistent(items, mim, cap);
+  }
+}
+
+TEST(Mim, HandlesEqualDensityItemsThatStallBranchAndBound) {
+  // The construction from BranchBound.NodeLimitThrows: 40 equal-density
+  // items. MIM solves it in bounded time where B&B trips a node limit.
+  sim::Rng rng(32);
+  std::vector<ks::Item> items;
+  for (int i = 0; i < 40; ++i) {
+    const double w = rng.uniform(1.0, 2.0);
+    items.push_back({w, w});
+  }
+  const ks::Result res = ks::solve_mim(items, 30.0);
+  expect_consistent(items, res, 30.0);
+  EXPECT_GT(res.value, 29.0);  // plenty of combinations land near capacity
+}
+
+TEST(Mim, RejectsTooManyItems) {
+  std::vector<ks::Item> items(41, ks::Item{1.0, 1.0});
+  EXPECT_THROW((void)ks::solve_mim(items, 10.0), std::invalid_argument);
+}
+
+TEST(Mim, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ks::solve_mim({}, 5.0).value, 0.0);
+  const std::vector<ks::Item> heavy = {{5.0, 100.0}};
+  EXPECT_DOUBLE_EQ(ks::solve_mim(heavy, 10.0).value, 0.0);
+  const std::vector<ks::Item> one = {{5.0, 3.0}};
+  EXPECT_DOUBLE_EQ(ks::solve_mim(one, 10.0).value, 5.0);
+  EXPECT_DOUBLE_EQ(ks::solve_mim(one, -1.0).value, 0.0);
+}
+
+TEST(Mim, ValueWeightDecoupled) {
+  // High-value light item + filler; MIM must pick by value.
+  const std::vector<ks::Item> items = {
+      {100.0, 1.0}, {10.0, 9.0}, {10.0, 9.0}};
+  const ks::Result res = ks::solve_mim(items, 10.0);
+  EXPECT_DOUBLE_EQ(res.value, 110.0);  // the 100 + one 10
+}
+
+TEST(ExactAuto, DispatchesBothWays) {
+  const std::vector<ks::Item> integral = {{3.0, 3.0}, {4.0, 4.0}};
+  EXPECT_DOUBLE_EQ(ks::solve_exact_auto(integral, 7.0).value, 7.0);
+  const std::vector<ks::Item> fractional = {{3.5, 3.5}, {4.25, 4.25}};
+  EXPECT_DOUBLE_EQ(ks::solve_exact_auto(fractional, 7.75).value, 7.75);
+}
+
+TEST(Greedy, HalfGuarantee) {
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(16);
+    const auto items = random_items(rng, n, trial % 2 == 0, trial % 3 == 0);
+    const double cap = rng.uniform(5.0, 150.0);
+    const ks::Result greedy = ks::solve_greedy(items, cap);
+    const ks::Result exact = ks::solve_bb(items, cap);
+    expect_consistent(items, greedy, cap);
+    EXPECT_GE(greedy.value + 1e-9, 0.5 * exact.value) << "trial " << trial;
+    EXPECT_LE(greedy.value, exact.value + 1e-9);
+  }
+}
+
+TEST(Greedy, AdversarialGadgetApproachesHalf) {
+  const sim::KnapsackGadget g = sim::greedy_half_gadget(1000.0);
+  const ks::Result greedy = ks::solve_greedy(g.items, g.capacity);
+  const ks::Result exact = ks::solve_bb(g.items, g.capacity);
+  EXPECT_DOUBLE_EQ(exact.value, g.opt_value);
+  const double ratio = greedy.value / exact.value;
+  EXPECT_GE(ratio, 0.5);
+  EXPECT_LE(ratio, 0.51);  // the gadget pins greedy near its floor
+}
+
+TEST(Fptas, GuaranteeAcrossEps) {
+  sim::Rng rng(6);
+  for (double eps : {0.5, 0.25, 0.1, 0.05}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t n = 1 + rng.uniform_int(14);
+      const auto items = random_items(rng, n, false, trial % 2 == 0);
+      const double cap = rng.uniform(5.0, 120.0);
+      const ks::Result approx = ks::solve_fptas(items, cap, eps);
+      const ks::Result exact = ks::solve_bb(items, cap);
+      expect_consistent(items, approx, cap);
+      EXPECT_GE(approx.value + 1e-9, (1.0 - eps) * exact.value)
+          << "eps=" << eps << " trial=" << trial;
+      EXPECT_LE(approx.value, exact.value + 1e-9);
+    }
+  }
+}
+
+TEST(Fptas, RejectsBadEps) {
+  const std::vector<ks::Item> items = {{1.0, 1.0}};
+  EXPECT_THROW((void)ks::solve_fptas(items, 5.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ks::solve_fptas(items, 5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ks::solve_fptas(items, 5.0, -0.5),
+               std::invalid_argument);
+}
+
+TEST(Fptas, EmptyAndAllTooHeavy) {
+  EXPECT_DOUBLE_EQ(ks::solve_fptas({}, 5.0, 0.1).value, 0.0);
+  const std::vector<ks::Item> items = {{10.0, 100.0}};
+  EXPECT_DOUBLE_EQ(ks::solve_fptas(items, 5.0, 0.1).value, 0.0);
+}
+
+TEST(Fractional, UpperBoundsExact) {
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(14);
+    const auto items = random_items(rng, n, false, trial % 2 == 0);
+    const double cap = rng.uniform(5.0, 120.0);
+    const double frac = ks::fractional_upper_bound(items, cap);
+    const ks::Result exact = ks::solve_bb(items, cap);
+    EXPECT_GE(frac + 1e-9, exact.value) << "trial " << trial;
+  }
+}
+
+TEST(Fractional, SolveDetailConsistent) {
+  sim::Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(12);
+    const auto items = random_items(rng, n, false, false);
+    const double cap = rng.uniform(5.0, 80.0);
+    const ks::FractionalResult fr = ks::fractional_solve(items, cap);
+    EXPECT_NEAR(fr.value, ks::fractional_upper_bound(items, cap), 1e-9);
+    EXPECT_LE(fr.weight, cap + 1e-9);
+    if (fr.split_item != ks::FractionalResult::kNoSplit) {
+      EXPECT_GT(fr.split_fraction, 0.0);
+      EXPECT_LT(fr.split_fraction, 1.0);
+    }
+    // Recompute value from parts.
+    double v = 0.0;
+    for (std::size_t i : fr.full) v += items[i].value;
+    if (fr.split_item != ks::FractionalResult::kNoSplit) {
+      v += items[fr.split_item].value * fr.split_fraction;
+    }
+    EXPECT_NEAR(v, fr.value, 1e-9);
+  }
+}
+
+TEST(Oracle, GuaranteesAndNames) {
+  EXPECT_DOUBLE_EQ(ks::Oracle::exact().guarantee(), 1.0);
+  EXPECT_DOUBLE_EQ(ks::Oracle::greedy().guarantee(), 0.5);
+  EXPECT_NEAR(ks::Oracle::fptas(0.2).guarantee(), 0.8, 1e-12);
+  EXPECT_STREQ(ks::Oracle::exact().name(), "exact");
+  EXPECT_STREQ(ks::Oracle::greedy().name(), "greedy");
+  EXPECT_STREQ(ks::Oracle::fptas(0.1).name(), "fptas");
+}
+
+TEST(Oracle, SolveRespectsGuarantee) {
+  sim::Rng rng(9);
+  const std::vector<ks::Oracle> oracles = {
+      ks::Oracle::exact(), ks::Oracle::greedy(), ks::Oracle::fptas(0.3)};
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(12);
+    const auto items = random_items(rng, n, true, true);
+    const double cap = static_cast<double>(rng.uniform_int(5, 100));
+    const ks::Result exact = ks::solve_exact_dp(items, cap);
+    for (const ks::Oracle& o : oracles) {
+      const ks::Result res = o.solve(items, cap);
+      EXPECT_GE(res.value + 1e-9, o.guarantee() * exact.value)
+          << o.name() << " trial " << trial;
+    }
+  }
+}
+
+// Parameterized subset-sum density sweep: value == weight items where the
+// capacity is a fraction of total weight, across fill ratios.
+class SubsetSumProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SubsetSumProperty, DpOptimalAndGreedyHalf) {
+  const double fill = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(fill * 1000) + 17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(14);
+    auto items = random_items(rng, n, true, true);
+    double total = 0.0;
+    for (const auto& it : items) total += it.weight;
+    const double cap = std::max(1.0, std::floor(total * fill));
+    const ks::Result dp = ks::solve_exact_dp(items, cap);
+    const ks::Result bf = ks::solve_brute_force(items, cap);
+    const ks::Result gr = ks::solve_greedy(items, cap);
+    EXPECT_NEAR(dp.value, bf.value, 1e-9);
+    EXPECT_GE(gr.value + 1e-9, 0.5 * dp.value);
+    EXPECT_LE(dp.value, cap + 1e-9);  // subset-sum value bounded by capacity
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FillRatios, SubsetSumProperty,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 1.0));

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/model/instance.hpp"
+#include "src/model/solution.hpp"
+#include "src/model/validate.hpp"
+
+namespace model = sectorpack::model;
+namespace geom = sectorpack::geom;
+
+namespace {
+
+model::Instance tiny_instance() {
+  return model::InstanceBuilder{}
+      .add_customer_polar(0.1, 5.0, 3.0)
+      .add_customer_polar(0.2, 8.0, 4.0)
+      .add_customer_polar(geom::kPi, 5.0, 2.0)
+      .add_antenna(geom::kPi / 2.0, 10.0, 6.0)
+      .build();
+}
+
+}  // namespace
+
+TEST(Instance, BasicAccessors) {
+  const model::Instance inst = tiny_instance();
+  EXPECT_EQ(inst.num_customers(), 3u);
+  EXPECT_EQ(inst.num_antennas(), 1u);
+  EXPECT_DOUBLE_EQ(inst.total_demand(), 9.0);
+  EXPECT_DOUBLE_EQ(inst.total_capacity(), 6.0);
+  EXPECT_NEAR(inst.theta(0), 0.1, 1e-12);
+  EXPECT_NEAR(inst.radius(1), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(inst.demand(2), 2.0);
+}
+
+TEST(Instance, InRange) {
+  const model::Instance inst = tiny_instance();
+  EXPECT_TRUE(inst.in_range(0, 0));
+  EXPECT_TRUE(inst.in_range(1, 0));
+  // Customer exactly at the range boundary counts as in range.
+  const model::Instance edge = model::InstanceBuilder{}
+                                   .add_customer_polar(0.0, 10.0, 1.0)
+                                   .add_antenna(1.0, 10.0, 5.0)
+                                   .build();
+  EXPECT_TRUE(edge.in_range(0, 0));
+}
+
+TEST(Instance, RejectsBadCustomers) {
+  EXPECT_THROW(model::InstanceBuilder{}
+                   .add_customer(1.0, 0.0, 0.0)
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW(model::InstanceBuilder{}
+                   .add_customer(1.0, 0.0, -2.0)
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(Instance, RejectsBadAntennas) {
+  EXPECT_THROW(
+      model::InstanceBuilder{}.add_antenna(0.0, 10.0, 5.0).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      model::InstanceBuilder{}.add_antenna(7.0, 10.0, 5.0).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      model::InstanceBuilder{}.add_antenna(1.0, -1.0, 5.0).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      model::InstanceBuilder{}.add_antenna(1.0, 10.0, -5.0).build(),
+      std::invalid_argument);
+}
+
+TEST(Instance, IdenticalAntennasDetection) {
+  model::InstanceBuilder b;
+  b.add_customer(1.0, 0.0, 1.0);
+  b.add_identical_antennas(3, 1.0, 10.0, 5.0);
+  EXPECT_TRUE(b.build().antennas_identical());
+
+  b.add_antenna(1.0, 10.0, 6.0);
+  EXPECT_FALSE(b.build().antennas_identical());
+}
+
+TEST(Instance, AnglesOnlyDetection) {
+  const model::Instance in_range = model::InstanceBuilder{}
+                                       .add_customer_polar(1.0, 5.0, 1.0)
+                                       .add_customer_polar(2.0, 9.0, 1.0)
+                                       .add_antenna(1.0, 10.0, 5.0)
+                                       .build();
+  EXPECT_TRUE(in_range.is_angles_only());
+
+  const model::Instance out = model::InstanceBuilder{}
+                                  .add_customer_polar(1.0, 15.0, 1.0)
+                                  .add_antenna(1.0, 10.0, 5.0)
+                                  .build();
+  EXPECT_FALSE(out.is_angles_only());
+}
+
+TEST(Solution, EmptyForShape) {
+  const model::Instance inst = tiny_instance();
+  const model::Solution sol = model::Solution::empty_for(inst);
+  EXPECT_EQ(sol.alpha.size(), 1u);
+  EXPECT_EQ(sol.assign.size(), 3u);
+  EXPECT_DOUBLE_EQ(model::served_demand(inst, sol), 0.0);
+  EXPECT_EQ(model::served_count(sol), 0u);
+}
+
+TEST(Solution, ServedDemandAndLoads) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha[0] = 0.0;
+  sol.assign[0] = 0;
+  sol.assign[1] = 0;
+  EXPECT_DOUBLE_EQ(model::served_demand(inst, sol), 7.0);
+  EXPECT_EQ(model::served_count(sol), 2u);
+  const auto loads = model::antenna_loads(inst, sol);
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_DOUBLE_EQ(loads[0], 7.0);
+}
+
+TEST(Validate, AcceptsFeasible) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha[0] = 0.0;  // sector [0, pi/2] radius 10 covers customers 0, 1
+  sol.assign[0] = 0;
+  sol.assign[1] = 0;  // load 7 > capacity 6? demand(0)=3, demand(1)=4 -> 7.
+  // That overloads; assign only customer 1.
+  sol.assign[0] = model::kUnserved;
+  const auto report = model::validate(inst, sol);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(Validate, CatchesOverload) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha[0] = 0.0;
+  sol.assign[0] = 0;
+  sol.assign[1] = 0;  // 3 + 4 = 7 > 6
+  const auto report = model::validate(inst, sol);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors[0].find("overloaded"), std::string::npos);
+}
+
+TEST(Validate, CatchesOutOfSector) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha[0] = 0.0;
+  sol.assign[2] = 0;  // customer 2 is at angle pi, outside [0, pi/2]
+  const auto report = model::validate(inst, sol);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validate, CatchesOutOfRange) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.1, 50.0, 1.0)
+                                   .add_antenna(geom::kPi, 10.0, 5.0)
+                                   .build();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.assign[0] = 0;  // angle fits, radius 50 > range 10
+  EXPECT_FALSE(model::is_feasible(inst, sol));
+}
+
+TEST(Validate, CatchesShapeMismatch) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol;  // empty vectors
+  EXPECT_FALSE(model::validate(inst, sol).ok);
+}
+
+TEST(Validate, CatchesBadAssignmentIndex) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.assign[0] = 7;
+  EXPECT_FALSE(model::validate(inst, sol).ok);
+  sol.assign[0] = -3;
+  EXPECT_FALSE(model::validate(inst, sol).ok);
+}
+
+TEST(Validate, CatchesNonFiniteAlpha) {
+  const model::Instance inst = tiny_instance();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(model::validate(inst, sol).ok);
+}
+
+TEST(Validate, BoundaryCustomerAccepted) {
+  // Customer exactly on the sector's trailing edge and exactly at range.
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.5, 10.0, 1.0)
+                                   .add_antenna(0.5, 10.0, 5.0)
+                                   .build();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.alpha[0] = 0.0;  // sector [0, 0.5]; customer at theta = 0.5
+  sol.assign[0] = 0;
+  EXPECT_TRUE(model::is_feasible(inst, sol));
+}

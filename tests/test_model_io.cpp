@@ -1,0 +1,114 @@
+#include "src/model/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/model/validate.hpp"
+#include "src/sim/generators.hpp"
+
+namespace model = sectorpack::model;
+namespace sim = sectorpack::sim;
+
+TEST(InstanceIO, RoundtripSmall) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer(3.0, 4.0, 2.5)
+                                   .add_customer(-1.0, 0.5, 7.0)
+                                   .add_antenna(1.25, 10.0, 9.0)
+                                   .add_antenna(0.5, 20.0, 4.0)
+                                   .build();
+  const model::Instance back =
+      model::instance_from_string(model::to_string(inst));
+
+  ASSERT_EQ(back.num_customers(), inst.num_customers());
+  ASSERT_EQ(back.num_antennas(), inst.num_antennas());
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    EXPECT_DOUBLE_EQ(back.customer(i).pos.x, inst.customer(i).pos.x);
+    EXPECT_DOUBLE_EQ(back.customer(i).pos.y, inst.customer(i).pos.y);
+    EXPECT_DOUBLE_EQ(back.demand(i), inst.demand(i));
+  }
+  for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+    EXPECT_DOUBLE_EQ(back.antenna(j).rho, inst.antenna(j).rho);
+    EXPECT_DOUBLE_EQ(back.antenna(j).range, inst.antenna(j).range);
+    EXPECT_DOUBLE_EQ(back.antenna(j).capacity, inst.antenna(j).capacity);
+  }
+}
+
+TEST(InstanceIO, RoundtripGeneratedExactBits) {
+  sim::Rng rng(77);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 60;
+  wc.spatial = sim::Spatial::kHotspots;
+  wc.demand = sim::DemandDist::kParetoInt;
+  const model::Instance inst = sim::make_instance(wc, sim::AntennaConfig{}, rng);
+  const model::Instance back =
+      model::instance_from_string(model::to_string(inst));
+  // precision 17 means doubles roundtrip bit-exactly.
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    EXPECT_EQ(back.customer(i).pos.x, inst.customer(i).pos.x);
+    EXPECT_EQ(back.customer(i).pos.y, inst.customer(i).pos.y);
+    EXPECT_EQ(back.demand(i), inst.demand(i));
+    EXPECT_EQ(back.theta(i), inst.theta(i));
+    EXPECT_EQ(back.radius(i), inst.radius(i));
+  }
+}
+
+TEST(InstanceIO, CommentsAndBlankLinesIgnored) {
+  const std::string text = R"(# a comment
+sectorpack-instance v1
+
+customers 1   # trailing comment
+  1.0 2.0 3.0
+
+antennas 1
+0.5 10.0 4.0
+)";
+  const model::Instance inst = model::instance_from_string(text);
+  EXPECT_EQ(inst.num_customers(), 1u);
+  EXPECT_DOUBLE_EQ(inst.demand(0), 3.0);
+  EXPECT_DOUBLE_EQ(inst.antenna(0).capacity, 4.0);
+}
+
+TEST(InstanceIO, RejectsBadHeader) {
+  EXPECT_THROW(model::instance_from_string("not-a-header\n"),
+               std::runtime_error);
+}
+
+TEST(InstanceIO, RejectsTruncated) {
+  EXPECT_THROW(
+      model::instance_from_string("sectorpack-instance v1\ncustomers 2\n"
+                                  "1 2 3\n"),
+      std::runtime_error);
+}
+
+TEST(InstanceIO, RejectsMalformedCounts) {
+  EXPECT_THROW(
+      model::instance_from_string("sectorpack-instance v1\ncustomers -1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      model::instance_from_string("sectorpack-instance v1\nantennas 0\n"),
+      std::runtime_error);
+}
+
+TEST(SolutionIO, Roundtrip) {
+  model::Solution sol;
+  sol.alpha = {0.25, 3.75};
+  sol.assign = {0, model::kUnserved, 1, 1, model::kUnserved};
+  const model::Solution back =
+      model::solution_from_string(model::to_string(sol));
+  EXPECT_EQ(back.alpha, sol.alpha);
+  EXPECT_EQ(back.assign, sol.assign);
+}
+
+TEST(SolutionIO, RejectsBadHeader) {
+  EXPECT_THROW(model::solution_from_string("sectorpack-instance v1\n"),
+               std::runtime_error);
+}
+
+TEST(SolutionIO, EmptySolutionRoundtrips) {
+  model::Solution sol;
+  const model::Solution back =
+      model::solution_from_string(model::to_string(sol));
+  EXPECT_TRUE(back.alpha.empty());
+  EXPECT_TRUE(back.assign.empty());
+}

@@ -1,0 +1,170 @@
+#include "src/par/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace par = sectorpack::par;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  par::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int t = 0; t < 50; ++t) {
+    pool.submit([&] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(mu);
+        ++done;
+      }
+      cv.notify_one();
+    });
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return done == 50; });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  par::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    par::ThreadPool pool(1);
+    for (int t = 0; t < 20; ++t) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ChunkPlan, SingleChunkWhenSmallOrSerial) {
+  const par::ChunkPlan serial = par::plan_chunks(1000, 1, /*workers=*/1);
+  EXPECT_EQ(serial.num_chunks, 1u);
+  const par::ChunkPlan tiny = par::plan_chunks(5, 100, 8);
+  EXPECT_EQ(tiny.num_chunks, 1u);
+  const par::ChunkPlan empty = par::plan_chunks(0, 1, 8);
+  EXPECT_EQ(empty.num_chunks, 0u);
+}
+
+TEST(ChunkPlan, CoversRangeExactly) {
+  for (std::size_t n : {1u, 7u, 100u, 1001u, 4096u}) {
+    for (unsigned workers : {1u, 2u, 4u, 16u}) {
+      const par::ChunkPlan plan = par::plan_chunks(n, 4, workers);
+      if (plan.num_chunks == 0) {
+        EXPECT_EQ(n, 0u);
+        continue;
+      }
+      EXPECT_EQ((n + plan.chunk_size - 1) / plan.chunk_size,
+                plan.num_chunks);
+      EXPECT_GE(plan.chunk_size * plan.num_chunks, n);
+      EXPECT_LT(plan.chunk_size * (plan.num_chunks - 1), n);
+    }
+  }
+}
+
+TEST(ParallelFor, TouchesEveryIndexOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  par::parallel_for(
+      1000, 1,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) touched[i].fetch_add(1);
+      },
+      &pool);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  par::ThreadPool pool(2);
+  bool called = false;
+  par::parallel_for(
+      0, 1, [&](std::size_t, std::size_t) { called = true; }, &pool);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(
+      par::parallel_for(
+          100, 1,
+          [&](std::size_t b, std::size_t) {
+            if (b == 0) throw std::runtime_error("boom");
+          },
+          &pool),
+      std::runtime_error);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  par::ThreadPool pool(4);
+  std::vector<double> data(5000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.001 * static_cast<double>(i * 7 % 1000);
+  }
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+  const double parallel = par::parallel_reduce<double>(
+      data.size(), 16, 0.0,
+      [&](std::size_t b, std::size_t e) {
+        double s = 0.0;
+        for (std::size_t i = b; i < e; ++i) s += data[i];
+        return s;
+      },
+      [](double a, double b) { return a + b; }, &pool);
+  // Deterministic chunk-ordered combination: repeated runs must agree
+  // bit-for-bit with each other (not necessarily with the serial order).
+  const double parallel2 = par::parallel_reduce<double>(
+      data.size(), 16, 0.0,
+      [&](std::size_t b, std::size_t e) {
+        double s = 0.0;
+        for (std::size_t i = b; i < e; ++i) s += data[i];
+        return s;
+      },
+      [](double a, double b) { return a + b; }, &pool);
+  EXPECT_EQ(parallel, parallel2);
+  EXPECT_NEAR(parallel, serial, 1e-9);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  par::ThreadPool pool(3);
+  const std::size_t n = 10000;
+  const double got = par::parallel_reduce<double>(
+      n, 8, -1.0,
+      [&](std::size_t b, std::size_t e) {
+        double m = -1.0;
+        for (std::size_t i = b; i < e; ++i) {
+          const double v =
+              static_cast<double>((i * 2654435761u) % 100000);
+          m = std::max(m, v);
+        }
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); }, &pool);
+  double want = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    want = std::max(want, static_cast<double>((i * 2654435761u) % 100000));
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(ParallelReduce, EmptyReturnsInit) {
+  par::ThreadPool pool(2);
+  const double got = par::parallel_reduce<double>(
+      0, 1, 42.0, [](std::size_t, std::size_t) { return 0.0; },
+      [](double a, double b) { return a + b; }, &pool);
+  EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(GlobalPool, Available) {
+  par::ThreadPool& pool = par::ThreadPool::global();
+  EXPECT_GE(pool.size(), 1u);
+  // Configuring after first use is rejected.
+  EXPECT_FALSE(par::ThreadPool::set_global_threads(7));
+}

@@ -1,0 +1,233 @@
+#include "src/sim/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/adversarial.hpp"
+#include "src/sim/rng.hpp"
+
+namespace sim = sectorpack::sim;
+namespace geom = sectorpack::geom;
+namespace model = sectorpack::model;
+
+TEST(Rng, DeterministicForSeed) {
+  sim::Rng a(123);
+  sim::Rng b(123);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  sim::Rng a(1);
+  sim::Rng b(2);
+  int same = 0;
+  for (int t = 0; t < 64; ++t) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01Range) {
+  sim::Rng rng(5);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int t = 0; t < 10000; ++t) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);  // covers the low end
+  EXPECT_GT(hi, 0.99);  // covers the high end
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  sim::Rng rng(6);
+  std::vector<int> hits(10, 0);
+  for (int t = 0; t < 10000; ++t) {
+    const auto v = rng.uniform_int(std::uint64_t{10});
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  sim::Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int t = 0; t < 5000; ++t) {
+    const auto v = rng.uniform_int(std::int64_t{-3}, std::int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  sim::Rng rng(8);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int t = 0; t < n; ++t) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  sim::Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int t = 0; t < n; ++t) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoBounds) {
+  sim::Rng rng(10);
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  sim::Rng parent(11);
+  sim::Rng child = parent.split();
+  int same = 0;
+  for (int t = 0; t < 64; ++t) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Generators, CountAndPositiveDemands) {
+  sim::Rng rng(20);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 500;
+  for (auto spatial : {sim::Spatial::kUniformDisk, sim::Spatial::kHotspots,
+                       sim::Spatial::kRing, sim::Spatial::kArcBand}) {
+    wc.spatial = spatial;
+    const auto customers = sim::generate_customers(wc, rng);
+    ASSERT_EQ(customers.size(), 500u);
+    for (const auto& c : customers) {
+      EXPECT_GT(c.demand, 0.0);
+    }
+  }
+}
+
+TEST(Generators, UniformDiskStaysInDisk) {
+  sim::Rng rng(21);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 2000;
+  wc.disk_radius = 50.0;
+  const auto customers = sim::generate_customers(wc, rng);
+  for (const auto& c : customers) {
+    EXPECT_LE(c.pos.norm(), 50.0 + 1e-9);
+  }
+}
+
+TEST(Generators, ArcBandRespectsAngularBand) {
+  sim::Rng rng(22);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 1000;
+  wc.spatial = sim::Spatial::kArcBand;
+  wc.band_center = 1.0;
+  wc.band_halfwidth = 0.5;
+  const auto customers = sim::generate_customers(wc, rng);
+  for (const auto& c : customers) {
+    const double theta = geom::to_polar(c.pos).theta;
+    EXPECT_LE(geom::angular_distance(theta, 1.0), 0.5 + 1e-6);
+  }
+}
+
+TEST(Generators, UniformIntDemandInRange) {
+  sim::Rng rng(23);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 1000;
+  wc.demand = sim::DemandDist::kUniformInt;
+  wc.demand_min = 3;
+  wc.demand_max = 9;
+  for (const auto& c : sim::generate_customers(wc, rng)) {
+    EXPECT_GE(c.demand, 3.0);
+    EXPECT_LE(c.demand, 9.0);
+    EXPECT_DOUBLE_EQ(c.demand, std::round(c.demand));
+  }
+}
+
+TEST(Generators, ParetoIntCappedAndIntegral) {
+  sim::Rng rng(24);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 2000;
+  wc.demand = sim::DemandDist::kParetoInt;
+  wc.pareto_cap = 50;
+  for (const auto& c : sim::generate_customers(wc, rng)) {
+    EXPECT_GE(c.demand, 1.0);
+    EXPECT_LE(c.demand, 50.0);
+    EXPECT_DOUBLE_EQ(c.demand, std::round(c.demand));
+  }
+}
+
+TEST(Generators, MakeInstanceCapacityFraction) {
+  sim::Rng rng(25);
+  sim::WorkloadConfig wc;
+  wc.num_customers = 200;
+  sim::AntennaConfig ac;
+  ac.count = 4;
+  ac.capacity_fraction = 0.5;
+  const model::Instance inst = sim::make_instance(wc, ac, rng);
+  EXPECT_EQ(inst.num_antennas(), 4u);
+  EXPECT_LE(inst.total_capacity(), 0.5 * inst.total_demand() + 4.0);
+  EXPECT_GE(inst.total_capacity(), 0.5 * inst.total_demand() - 4.0);
+}
+
+TEST(Generators, SameSeedSameInstance) {
+  sim::WorkloadConfig wc;
+  wc.num_customers = 50;
+  sim::Rng r1(42);
+  sim::Rng r2(42);
+  const auto a = sim::generate_customers(wc, r1);
+  const auto b = sim::generate_customers(wc, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos.x, b[i].pos.x);
+    EXPECT_EQ(a[i].pos.y, b[i].pos.y);
+    EXPECT_EQ(a[i].demand, b[i].demand);
+  }
+}
+
+TEST(Generators, UniformDiskShortcut) {
+  const model::Instance inst = sim::uniform_disk_instance(30, 2, 1.0, 7.0, 5);
+  EXPECT_EQ(inst.num_customers(), 30u);
+  EXPECT_EQ(inst.num_antennas(), 2u);
+  EXPECT_TRUE(inst.is_angles_only());  // range is 2x the disk radius
+  EXPECT_TRUE(inst.antennas_identical());
+}
+
+TEST(Adversarial, KnapsackGadgetShape) {
+  const sim::KnapsackGadget g = sim::greedy_half_gadget(100.0);
+  ASSERT_EQ(g.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.opt_value, 100.0);
+  EXPECT_DOUBLE_EQ(g.items[0].weight, 51.0);
+}
+
+TEST(Adversarial, InstancesAreValid) {
+  // Builders must produce structurally valid instances.
+  const model::Instance a = sim::single_antenna_trap(50.0);
+  EXPECT_EQ(a.num_antennas(), 1u);
+  EXPECT_EQ(a.num_customers(), 4u);
+  const model::Instance b = sim::range_shadow_trap();
+  EXPECT_EQ(b.num_antennas(), 2u);
+  EXPECT_EQ(b.num_customers(), 2u);
+  EXPECT_DOUBLE_EQ(b.total_demand(), 9.9);
+  const model::Instance c = sim::fragmentation_trap();
+  EXPECT_EQ(c.num_antennas(), 2u);
+  EXPECT_DOUBLE_EQ(c.total_demand(), 16.0);
+}

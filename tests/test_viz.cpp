@@ -1,0 +1,101 @@
+#include "src/viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/sectors/sectors.hpp"
+#include "src/sim/generators.hpp"
+
+namespace viz = sectorpack::viz;
+namespace model = sectorpack::model;
+namespace geom = sectorpack::geom;
+namespace sim = sectorpack::sim;
+
+namespace {
+
+model::Instance sample_instance() {
+  return sim::uniform_disk_instance(25, 3, geom::kPi / 3.0, 8.0, 11);
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TEST(Svg, WellFormedDocument) {
+  const model::Instance inst = sample_instance();
+  const std::string svg = viz::render_svg(inst);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, OneCircleMarkPerCustomer) {
+  const model::Instance inst = sample_instance();
+  viz::SvgOptions options;
+  options.draw_range_rings = false;
+  const std::string svg = viz::render_svg(inst, nullptr, options);
+  // 25 customers, no rings, no solution -> exactly 25 circles.
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 25u);
+}
+
+TEST(Svg, SolutionAddsWedges) {
+  const model::Instance inst = sample_instance();
+  const model::Solution sol = sectorpack::sectors::solve_greedy(inst);
+  const std::string svg = viz::render_svg(inst, &sol);
+  // One wedge path per antenna (rho < 2*pi here).
+  EXPECT_EQ(count_occurrences(svg, "<path"), inst.num_antennas());
+  EXPECT_EQ(count_occurrences(svg, "<text"), inst.num_antennas());
+}
+
+TEST(Svg, FullCircleAntennaRendersAsCircle) {
+  model::InstanceBuilder b;
+  b.add_customer_polar(0.5, 5.0, 1.0);
+  b.add_antenna(geom::kTwoPi, 10.0, 5.0);
+  const model::Instance inst = b.build();
+  model::Solution sol = model::Solution::empty_for(inst);
+  sol.assign[0] = 0;
+  const std::string svg = viz::render_svg(inst, &sol);
+  EXPECT_EQ(count_occurrences(svg, "<path"), 0u);  // circle, not a wedge
+}
+
+TEST(Svg, RespectsCanvasSize) {
+  const model::Instance inst = sample_instance();
+  viz::SvgOptions options;
+  options.size_px = 400.0;
+  const std::string svg = viz::render_svg(inst, nullptr, options);
+  EXPECT_NE(svg.find("width='400'"), std::string::npos);
+}
+
+TEST(Svg, WriteSvgRoundtrip) {
+  const model::Instance inst = sample_instance();
+  const std::string path = "test_viz_out.svg";
+  viz::write_svg(path, inst);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, viz::render_svg(inst));
+  std::remove(path.c_str());
+}
+
+TEST(Svg, WriteSvgBadPathThrows) {
+  const model::Instance inst = sample_instance();
+  EXPECT_THROW(viz::write_svg("/nonexistent-dir/x.svg", inst),
+               std::runtime_error);
+}
+
+TEST(Svg, EmptyInstanceStillRenders) {
+  const model::Instance inst{{}, {}};
+  const std::string svg = viz::render_svg(inst);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}

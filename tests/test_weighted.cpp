@@ -1,0 +1,239 @@
+// Value-weighted packing: value (objective) decoupled from demand
+// (capacity consumption). These tests pin the weighted semantics across
+// the model, the solver stack, the bounds, and serialization.
+
+#include <gtest/gtest.h>
+
+#include "src/sectorpack.hpp"
+#include "src/sectors/annealing.hpp"
+
+using namespace sectorpack;
+
+namespace {
+
+model::Instance random_weighted(std::uint64_t seed, std::size_t n,
+                                std::size_t k) {
+  sim::Rng rng(seed);
+  model::InstanceBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_weighted_customer_polar(
+        rng.uniform(0.0, geom::kTwoPi), rng.uniform(1.0, 9.0),
+        static_cast<double>(rng.uniform_int(1, 8)),
+        static_cast<double>(rng.uniform_int(1, 20)));
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    b.add_antenna(rng.uniform(0.8, 2.2), 10.0,
+                  static_cast<double>(rng.uniform_int(6, 16)));
+  }
+  return b.build();
+}
+
+}  // namespace
+
+TEST(WeightedModel, DetectionAndAccessors) {
+  model::InstanceBuilder b;
+  b.add_customer_polar(0.1, 5.0, 3.0);
+  b.add_weighted_customer_polar(0.2, 5.0, 3.0, 10.0);
+  b.add_antenna(1.0, 10.0, 5.0);
+  const model::Instance inst = b.build();
+  EXPECT_TRUE(inst.is_value_weighted());
+  EXPECT_DOUBLE_EQ(inst.value(0), 3.0);  // defaulted to demand
+  EXPECT_DOUBLE_EQ(inst.value(1), 10.0);
+  EXPECT_DOUBLE_EQ(inst.total_value(), 13.0);
+  EXPECT_DOUBLE_EQ(inst.total_demand(), 6.0);
+}
+
+TEST(WeightedModel, ValueEqualDemandIsUnweighted) {
+  model::InstanceBuilder b;
+  b.add_weighted_customer_polar(0.1, 5.0, 3.0, 3.0);
+  b.add_antenna(1.0, 10.0, 5.0);
+  EXPECT_FALSE(b.build().is_value_weighted());
+}
+
+TEST(WeightedModel, RejectsBadValues) {
+  model::InstanceBuilder b;
+  b.add_weighted_customer_polar(0.1, 5.0, 3.0,
+                                std::numeric_limits<double>::infinity());
+  b.add_antenna(1.0, 10.0, 5.0);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+  // Zero value is allowed (a customer you may serve but gain nothing for).
+  model::InstanceBuilder b2;
+  b2.add_weighted_customer_polar(0.1, 5.0, 3.0, 0.0);
+  b2.add_antenna(1.0, 10.0, 5.0);
+  EXPECT_NO_THROW((void)b2.build());
+}
+
+TEST(WeightedSingle, PrefersValueDensity) {
+  // Capacity 4: one heavy high-value customer (d=4, v=10) vs two cheap
+  // low-value ones (d=2, v=3 each). Value-optimal takes the heavy one (10
+  // > 6) even though it serves less... equal demand. Served VALUE must be
+  // the objective.
+  model::InstanceBuilder b;
+  b.add_weighted_customer_polar(0.1, 5.0, 4.0, 10.0);
+  b.add_weighted_customer_polar(0.12, 5.0, 2.0, 3.0);
+  b.add_weighted_customer_polar(0.14, 5.0, 2.0, 3.0);
+  b.add_antenna(1.0, 10.0, 4.0);
+  const model::Instance inst = b.build();
+  const model::Solution sol = single::solve_exact(inst);
+  EXPECT_DOUBLE_EQ(model::served_value(inst, sol), 10.0);
+  EXPECT_EQ(sol.assign[0], 0);
+  EXPECT_EQ(sol.assign[1], model::kUnserved);
+}
+
+TEST(WeightedSingle, ZeroValueCustomerNeverBlocks) {
+  model::InstanceBuilder b;
+  b.add_weighted_customer_polar(0.1, 5.0, 5.0, 0.0);  // worthless, heavy
+  b.add_weighted_customer_polar(0.12, 5.0, 3.0, 7.0);
+  b.add_antenna(1.0, 10.0, 5.0);
+  const model::Instance inst = b.build();
+  const model::Solution sol = single::solve_exact(inst);
+  EXPECT_DOUBLE_EQ(model::served_value(inst, sol), 7.0);
+}
+
+TEST(WeightedSingle, ExactMatchesReference) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const model::Instance inst = random_weighted(seed, 3 + seed % 9, 1);
+    const model::Solution fast = single::solve_exact(inst);
+    const model::Solution ref = single::solve_reference(inst);
+    EXPECT_TRUE(model::is_feasible(inst, fast)) << seed;
+    EXPECT_NEAR(model::served_value(inst, fast),
+                model::served_value(inst, ref), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(WeightedSingle, OracleFloorsOnValue) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const model::Instance inst = random_weighted(seed + 50, 8, 1);
+    const double exact =
+        model::served_value(inst, single::solve_exact(inst));
+    const double greedy =
+        model::served_value(inst, single::solve_greedy(inst));
+    const double fptas =
+        model::served_value(inst, single::solve_fptas(inst, 0.1));
+    EXPECT_GE(greedy + 1e-9, 0.5 * exact) << seed;
+    EXPECT_GE(fptas + 1e-9, 0.9 * exact) << seed;
+  }
+}
+
+TEST(WeightedSectors, SolversFeasibleAndOrdered) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const model::Instance inst = random_weighted(seed + 100, 8, 2);
+    const model::Solution greedy = sectors::solve_greedy(inst);
+    const model::Solution ls = sectors::solve_local_search(inst);
+    const model::Solution exact = sectors::solve_exact(inst);
+    EXPECT_TRUE(model::is_feasible(inst, greedy)) << seed;
+    EXPECT_TRUE(model::is_feasible(inst, ls)) << seed;
+    EXPECT_TRUE(model::is_feasible(inst, exact)) << seed;
+    EXPECT_GE(model::served_value(inst, ls) + 1e-9,
+              model::served_value(inst, greedy))
+        << seed;
+    EXPECT_GE(model::served_value(inst, exact) + 1e-9,
+              model::served_value(inst, ls))
+        << seed;
+  }
+}
+
+TEST(WeightedSectors, ExactMaximizesValueNotDemand) {
+  // Two clusters far apart; one antenna. Cluster A: demand 10, value 1.
+  // Cluster B: demand 2, value 50. Demand-maximizing would pick A; the
+  // objective is value, so the optimum picks B.
+  model::InstanceBuilder b;
+  b.add_weighted_customer_polar(0.0, 5.0, 10.0, 1.0);
+  b.add_weighted_customer_polar(geom::kPi, 5.0, 2.0, 50.0);
+  b.add_antenna(0.5, 10.0, 10.0);
+  const model::Instance inst = b.build();
+  const model::Solution sol = sectors::solve_exact(inst);
+  EXPECT_DOUBLE_EQ(model::served_value(inst, sol), 50.0);
+  EXPECT_DOUBLE_EQ(model::served_demand(inst, sol), 2.0);
+}
+
+TEST(WeightedAnnealing, FeasibleAndNotWorseThanGreedy) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const model::Instance inst = random_weighted(seed + 200, 12, 3);
+    sectors::AnnealConfig config;
+    config.seed = seed;
+    config.iterations = 200;
+    const model::Solution sol = sectors::solve_annealing(inst, config);
+    EXPECT_TRUE(model::is_feasible(inst, sol)) << seed;
+    EXPECT_GE(model::served_value(inst, sol) + 1e-9,
+              model::served_value(inst, sectors::solve_greedy(inst)))
+        << seed;
+  }
+}
+
+TEST(WeightedBounds, OrientationFreeDominatesExact) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const model::Instance inst = random_weighted(seed + 300, 7, 2);
+    const double exact =
+        model::served_value(inst, sectors::solve_exact(inst));
+    EXPECT_GE(bounds::orientation_free_bound(inst) + 1e-6, exact) << seed;
+  }
+}
+
+TEST(WeightedBounds, FlowBoundsRejectWeighted) {
+  const model::Instance inst = random_weighted(1, 5, 2);
+  EXPECT_THROW((void)bounds::flow_window_bound(inst), std::invalid_argument);
+  const std::vector<double> alphas = {0.0, 1.0};
+  EXPECT_THROW(
+      (void)bounds::fixed_orientation_fractional_bound(inst, alphas),
+      std::invalid_argument);
+}
+
+TEST(WeightedAssign, ExactBeatsSuccessive) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const model::Instance inst = random_weighted(seed + 400, 10, 3);
+    sim::Rng rng(seed);
+    std::vector<double> alphas;
+    for (int j = 0; j < 3; ++j) {
+      alphas.push_back(rng.uniform(0.0, geom::kTwoPi));
+    }
+    const double exact = model::served_value(
+        inst, assign::solve_exact(inst, alphas));
+    const double succ = model::served_value(
+        inst, assign::solve_successive(inst, alphas));
+    EXPECT_GE(exact + 1e-9, succ) << seed;
+  }
+}
+
+TEST(WeightedIO, V2RoundtripPreservesValues) {
+  const model::Instance inst = random_weighted(7, 15, 2);
+  const std::string text = model::to_string(inst);
+  EXPECT_NE(text.find("sectorpack-instance v2"), std::string::npos);
+  const model::Instance back = model::instance_from_string(text);
+  ASSERT_TRUE(back.is_value_weighted());
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    EXPECT_EQ(back.value(i), inst.value(i));
+    EXPECT_EQ(back.demand(i), inst.demand(i));
+  }
+}
+
+TEST(WeightedIO, UnweightedStaysV1) {
+  model::InstanceBuilder b;
+  b.add_customer_polar(0.1, 5.0, 3.0);
+  b.add_antenna(1.0, 10.0, 5.0);
+  const std::string text = model::to_string(b.build());
+  EXPECT_NE(text.find("sectorpack-instance v1"), std::string::npos);
+}
+
+TEST(WeightedIO, V2RejectsMissingColumn) {
+  const std::string text =
+      "sectorpack-instance v2\ncustomers 1\n1.0 2.0 3.0\nantennas 1\n"
+      "0.5 10.0 4.0\n";
+  EXPECT_THROW((void)model::instance_from_string(text), std::runtime_error);
+}
+
+TEST(WeightedObjective, ServedValueVsServedDemand) {
+  const model::Instance inst = random_weighted(9, 10, 2);
+  const model::Solution sol = sectors::solve_greedy(inst);
+  double demand = 0.0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    if (sol.assign[i] != model::kUnserved) {
+      demand += inst.demand(i);
+      value += inst.value(i);
+    }
+  }
+  EXPECT_DOUBLE_EQ(model::served_demand(inst, sol), demand);
+  EXPECT_DOUBLE_EQ(model::served_value(inst, sol), value);
+}

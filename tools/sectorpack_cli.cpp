@@ -1,0 +1,383 @@
+// sectorpack CLI: generate, solve, validate, bound, cover, render.
+//
+//   sectorpack generate --n 200 --k 4 --spatial hotspots -o city.inst
+//   sectorpack solve --in city.inst --solver local-search -o plan.sol
+//   sectorpack validate --in city.inst --solution plan.sol
+//   sectorpack bound --in city.inst
+//   sectorpack cover --in city.inst --algo greedy
+//   sectorpack render --in city.inst --solution plan.sol -o plan.svg
+//   sectorpack info --in city.inst
+//
+// Instances and solutions use the plain-text formats documented in
+// src/model/io.hpp. "-" for --in/-o means stdin/stdout.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/cover/cover.hpp"
+#include "src/sectorpack.hpp"
+#include "src/sectors/annealing.hpp"
+#include "src/viz/svg.hpp"
+
+using namespace sectorpack;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> named;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback
+                             : static_cast<std::size_t>(
+                                   std::stoull(it->second));
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return named.count(key) > 0;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      key = key.substr(2);
+    } else if (key == "-o") {
+      key = "out";
+    } else {
+      throw std::runtime_error("unexpected argument: " + key);
+    }
+    if (i + 1 >= argc) {
+      throw std::runtime_error("missing value for --" + key);
+    }
+    args.named[key] = argv[++i];
+  }
+  return args;
+}
+
+model::Instance load_instance(const Args& args) {
+  const std::string path = args.get("in", "");
+  if (path.empty()) {
+    throw std::runtime_error("--in <instance file> is required");
+  }
+  if (path == "-") return model::read_instance(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return model::read_instance(in);
+}
+
+model::Solution load_solution(const std::string& path) {
+  if (path == "-") return model::read_solution(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return model::read_solution(in);
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << text;
+}
+
+int cmd_generate(const Args& args) {
+  sim::WorkloadConfig wc;
+  wc.num_customers = args.get_size("n", 100);
+  const std::string spatial = args.get("spatial", "uniform");
+  if (spatial == "uniform") {
+    wc.spatial = sim::Spatial::kUniformDisk;
+  } else if (spatial == "hotspots") {
+    wc.spatial = sim::Spatial::kHotspots;
+  } else if (spatial == "ring") {
+    wc.spatial = sim::Spatial::kRing;
+  } else if (spatial == "arcband") {
+    wc.spatial = sim::Spatial::kArcBand;
+  } else {
+    throw std::runtime_error("unknown --spatial: " + spatial);
+  }
+  const std::string demand = args.get("demand", "uniform-int");
+  if (demand == "unit") {
+    wc.demand = sim::DemandDist::kUnit;
+  } else if (demand == "uniform-int") {
+    wc.demand = sim::DemandDist::kUniformInt;
+  } else if (demand == "pareto") {
+    wc.demand = sim::DemandDist::kParetoInt;
+  } else {
+    throw std::runtime_error("unknown --demand: " + demand);
+  }
+  wc.disk_radius = args.get_double("radius", wc.disk_radius);
+
+  sim::AntennaConfig ac;
+  ac.count = args.get_size("k", 3);
+  ac.rho = geom::deg_to_rad(args.get_double("rho-deg", 60.0));
+  ac.range = args.get_double("range", 1.3 * wc.disk_radius);
+  ac.capacity_fraction = args.get_double("capacity-fraction", 0.5);
+
+  sim::Rng rng(args.get_size("seed", 1));
+  const model::Instance inst = sim::make_instance(wc, ac, rng);
+  write_text(args.get("out", "-"), model::to_string(inst));
+  std::cerr << "generated " << inst.num_customers() << " customers, "
+            << inst.num_antennas() << " antennas (demand "
+            << inst.total_demand() << ", capacity " << inst.total_capacity()
+            << ")\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  const std::string solver = args.get("solver", "local-search");
+
+  model::Solution sol;
+  if (solver == "greedy") {
+    sol = sectors::solve_greedy(inst);
+  } else if (solver == "local-search") {
+    sol = sectors::solve_local_search(inst);
+  } else if (solver == "uniform") {
+    sol = sectors::solve_uniform_orientations(inst);
+  } else if (solver == "annealing") {
+    sectors::AnnealConfig config;
+    config.seed = args.get_size("seed", 1);
+    config.iterations = args.get_size("iterations", 2000);
+    sol = sectors::solve_annealing(inst, config);
+  } else if (solver == "exact") {
+    sol = sectors::solve_exact(inst);
+  } else {
+    throw std::runtime_error("unknown --solver: " + solver);
+  }
+
+  const double served = model::served_value(inst, sol);
+  const double bound = inst.is_value_weighted()
+                           ? bounds::orientation_free_bound(inst)
+                           : bounds::flow_window_bound(inst);
+  std::cerr << "solver=" << solver << " served_value=" << served
+            << " bound=" << bound << " ratio="
+            << (bound > 0 ? served / bound : 1.0) << " feasible="
+            << (model::is_feasible(inst, sol) ? "yes" : "NO") << "\n";
+
+  if (args.has("out")) {
+    write_text(args.get("out", "-"), model::to_string(sol));
+  }
+  if (args.has("svg")) {
+    viz::write_svg(args.get("svg", ""), inst, &sol);
+    std::cerr << "wrote " << args.get("svg", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  const model::Solution sol = load_solution(args.get("solution", "-"));
+  const model::ValidationReport report = model::validate(inst, sol);
+  if (report.ok) {
+    std::cout << "OK: served " << model::served_demand(inst, sol) << " of "
+              << inst.total_demand() << "\n";
+    return 0;
+  }
+  std::cout << "INFEASIBLE (" << report.errors.size() << " errors):\n";
+  for (const std::string& e : report.errors) {
+    std::cout << "  " << e << "\n";
+  }
+  return 1;
+}
+
+int cmd_bound(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  std::cout << "trivial            " << bounds::trivial_bound(inst) << "\n";
+  std::cout << "orientation-free   " << bounds::orientation_free_bound(inst)
+            << "\n";
+  if (inst.is_value_weighted()) {
+    std::cout << "flow-window        (n/a: value-weighted instance)\n";
+  } else {
+    std::cout << "flow-window        " << bounds::flow_window_bound(inst)
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_cover(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  if (inst.num_antennas() == 0) {
+    throw std::runtime_error("cover needs an antenna type (antenna 0)");
+  }
+  const model::AntennaSpec type = inst.antenna(0);
+  const std::vector<model::Customer> customers(inst.customers().begin(),
+                                               inst.customers().end());
+  const std::string algo = args.get("algo", "greedy");
+  cover::CoverResult result;
+  if (algo == "greedy") {
+    result = cover::solve_greedy(customers, type);
+  } else if (algo == "nextfit") {
+    result = cover::solve_sweep_nextfit(customers, type);
+  } else if (algo == "exact") {
+    result = cover::solve_exact(customers, type, args.get_size("max-k", 8));
+  } else {
+    throw std::runtime_error("unknown --algo: " + algo);
+  }
+  if (!result.feasible) {
+    std::cout << "INFEASIBLE: " << result.blockers.size()
+              << " customers can never be served by this antenna type\n";
+    return 1;
+  }
+  std::cout << "antennas needed (" << algo << "): " << result.num_antennas()
+            << "  [lower bound: " << cover::lower_bound(customers, type)
+            << "]\n";
+  for (std::size_t j = 0; j < result.alphas.size(); ++j) {
+    std::cout << "  antenna " << j << " at "
+              << geom::rad_to_deg(result.alphas[j]) << " deg\n";
+  }
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  std::optional<model::Solution> sol;
+  if (args.has("solution")) {
+    sol = load_solution(args.get("solution", "-"));
+  }
+  const std::string out = args.get("out", "out.svg");
+  viz::write_svg(out, inst, sol ? &*sol : nullptr);
+  std::cerr << "wrote " << out << "\n";
+  return 0;
+}
+
+// Sweep one parameter of the instance's antenna fleet and print a CSV of
+// served value per solver -- the CLI face of experiments F1/F2/F4.
+int cmd_sweep(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  if (inst.num_antennas() == 0) {
+    throw std::runtime_error("sweep needs an antenna type (antenna 0)");
+  }
+  const model::AntennaSpec base = inst.antenna(0);
+  const std::vector<model::Customer> customers(inst.customers().begin(),
+                                               inst.customers().end());
+  const std::string param = args.get("param", "k");
+
+  std::cout << param << ",uniform,greedy,local_search,bound\n";
+  const auto run_point = [&](const std::string& label,
+                             const std::vector<model::AntennaSpec>& specs) {
+    const model::Instance point{customers, specs};
+    const double uniform = model::served_value(
+        point, sectors::solve_uniform_orientations(point));
+    const double greedy =
+        model::served_value(point, sectors::solve_greedy(point));
+    const double ls =
+        model::served_value(point, sectors::solve_local_search(point));
+    const double bound = bounds::orientation_free_bound(point);
+    std::cout << label << "," << uniform << "," << greedy << "," << ls
+              << "," << bound << "\n";
+  };
+
+  if (param == "k") {
+    const std::size_t k_max = args.get_size("max", 8);
+    for (std::size_t k = 1; k <= k_max; ++k) {
+      run_point(std::to_string(k),
+                std::vector<model::AntennaSpec>(k, base));
+    }
+  } else if (param == "rho") {
+    const std::size_t k = std::max<std::size_t>(inst.num_antennas(), 1);
+    for (double deg : {15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 270.0,
+                       360.0}) {
+      model::AntennaSpec spec = base;
+      spec.rho = geom::deg_to_rad(deg);
+      std::ostringstream label;
+      label << deg;
+      run_point(label.str(), std::vector<model::AntennaSpec>(k, spec));
+    }
+  } else if (param == "capacity") {
+    const std::size_t k = std::max<std::size_t>(inst.num_antennas(), 1);
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      model::AntennaSpec spec = base;
+      spec.capacity = base.capacity * scale;
+      std::ostringstream label;
+      label << scale;
+      run_point(label.str(), std::vector<model::AntennaSpec>(k, spec));
+    }
+  } else {
+    throw std::runtime_error("unknown --param (use k|rho|capacity)");
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const model::Instance inst = load_instance(args);
+  std::cout << "customers        " << inst.num_customers() << "\n";
+  std::cout << "antennas         " << inst.num_antennas() << "\n";
+  std::cout << "total demand     " << inst.total_demand() << "\n";
+  std::cout << "total value      " << inst.total_value() << "\n";
+  std::cout << "value-weighted   "
+            << (inst.is_value_weighted() ? "yes" : "no") << "\n";
+  std::cout << "total capacity   " << inst.total_capacity() << "\n";
+  std::cout << "angles-only      " << (inst.is_angles_only() ? "yes" : "no")
+            << "\n";
+  std::cout << "identical specs  "
+            << (inst.antennas_identical() ? "yes" : "no") << "\n";
+  for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+    const model::AntennaSpec& a = inst.antenna(j);
+    std::cout << "  antenna " << j << ": rho="
+              << geom::rad_to_deg(a.rho) << "deg range=" << a.range
+              << " capacity=" << a.capacity;
+    if (a.min_range > 0.0) std::cout << " min_range=" << a.min_range;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: sectorpack <command> [options]\n"
+      "commands:\n"
+      "  generate  --n N --k K --spatial uniform|hotspots|ring|arcband\n"
+      "            --demand unit|uniform-int|pareto --rho-deg D\n"
+      "            --capacity-fraction F --seed S -o FILE\n"
+      "  solve     --in FILE --solver greedy|local-search|annealing|\n"
+      "            uniform|exact [-o FILE] [--svg FILE]\n"
+      "  validate  --in FILE --solution FILE\n"
+      "  bound     --in FILE\n"
+      "  cover     --in FILE --algo greedy|nextfit|exact [--max-k K]\n"
+      "  render    --in FILE [--solution FILE] -o FILE.svg\n"
+      "  sweep     --in FILE --param k|rho|capacity [--max K]  (CSV)\n"
+      "  info      --in FILE\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "validate") return cmd_validate(args);
+    if (args.command == "bound") return cmd_bound(args);
+    if (args.command == "cover") return cmd_cover(args);
+    if (args.command == "render") return cmd_render(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "info") return cmd_info(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
