@@ -1,10 +1,17 @@
 #pragma once
-// Shared workload builders and ratio plumbing for the experiment benches.
-// Every experiment is seeded and replayable; trial seeds derive from the
-// experiment id so tables are stable across runs.
+// Shared workload builders, ratio plumbing, and machine-readable reporting
+// for the experiment benches. Every experiment is seeded and replayable;
+// trial seeds derive from the experiment id so tables are stable across
+// runs. Besides the human table, each bench can emit a BENCH_<name>.json
+// artifact (wall time, its own metrics, and an obs registry snapshot) so
+// the perf trajectory is diffable across PRs.
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/bench_util/stats.hpp"
@@ -56,5 +63,102 @@ inline double ratio(double value, double reference) {
   if (reference <= 0.0) return 1.0;
   return value / reference;
 }
+
+// ---------------------------------------------------------------------------
+// Repetition timing: benches report min/median/p95 over repetitions rather
+// than a single (noisy) run.
+
+struct RepStats {
+  std::size_t reps = 0;
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+inline RepStats summarize_times(std::span<const double> times_ms) {
+  RepStats s;
+  s.reps = times_ms.size();
+  if (times_ms.empty()) return s;
+  s.min_ms = bench_util::summarize(times_ms).min;
+  s.median_ms = bench_util::percentile(times_ms, 0.5);
+  s.p95_ms = bench_util::percentile(times_ms, 0.95);
+  return s;
+}
+
+/// Run `fn` `reps` times and collect per-repetition wall times (ms).
+template <typename Fn>
+inline std::vector<double> time_repetitions(std::size_t reps, Fn&& fn) {
+  std::vector<double> times_ms;
+  times_ms.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    bench_util::Timer timer;
+    fn();
+    times_ms.push_back(timer.elapsed_ms());
+  }
+  return times_ms;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_<name>.json artifact writer.
+//
+// Schema (docs/observability.md):
+//   { "bench": "<name>", "wall_seconds": W,
+//     "metrics": { "<key>": number, ... },
+//     "obs": <obs::Snapshot::to_json()> }
+//
+// Construction enables obs so the solvers' counters populate the snapshot.
+// Files land in $SECTORPACK_BENCH_DIR if set, else the working directory.
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    obs::set_enabled(true);
+  }
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Record a repetition series as <key>.min_ms/.median_ms/.p95_ms/.reps.
+  void metric_times(const std::string& key,
+                    std::span<const double> times_ms) {
+    const RepStats s = summarize_times(times_ms);
+    metric(key + ".min_ms", s.min_ms);
+    metric(key + ".median_ms", s.median_ms);
+    metric(key + ".p95_ms", s.p95_ms);
+    metric(key + ".reps", static_cast<double>(s.reps));
+  }
+
+  /// Write BENCH_<name>.json; returns the path ("" on failure, which is
+  /// reported to stderr but never fatal: the human table already printed).
+  std::string write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("SECTORPACK_BENCH_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return "";
+    }
+    out << "{\"bench\":\"" << obs::json_escape(name_)
+        << "\",\"wall_seconds\":" << obs::json_number(wall_.elapsed_seconds())
+        << ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << obs::json_escape(metrics_[i].first)
+          << "\":" << obs::json_number(metrics_[i].second);
+    }
+    out << "},\"obs\":" << obs::snapshot().to_json() << "}\n";
+    std::cerr << "wrote " << path << "\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  bench_util::Timer wall_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace bench

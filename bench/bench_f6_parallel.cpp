@@ -18,8 +18,10 @@ using namespace bench;
 int main() {
   bench_util::print_experiment_header(
       std::cout, "F6", "parallel sweep scaling (P1, greedy oracle)");
+  BenchReport report("f6_parallel");
 
   const std::size_t n = 4000;
+  const std::size_t reps = 5;
   sim::Rng rng(4242);
   std::vector<double> thetas(n);
   std::vector<double> demands(n);
@@ -32,37 +34,44 @@ int main() {
   const double cap = total / 4.0;
   const knapsack::Oracle oracle = knapsack::Oracle::greedy();
 
-  // Serial reference.
-  double serial_ms = 0.0;
+  // Serial reference: min over repetitions (least-noise estimator).
   single::WindowChoice serial_choice;
-  {
-    bench_util::Timer timer;
+  const std::vector<double> serial_times = time_repetitions(reps, [&] {
     serial_choice = single::best_window(thetas, demands, 1.0, cap, oracle,
                                         /*parallel=*/false);
-    serial_ms = timer.elapsed_ms();
-  }
+  });
+  const RepStats serial = summarize_times(serial_times);
+  report.metric_times("serial", serial_times);
 
-  bench_util::Table table({"threads", "time_ms", "speedup", "value",
-                           "identical_to_serial"});
-  table.add_row({"serial", bench_util::cell(serial_ms, 1), "1.00",
+  bench_util::Table table({"threads", "t_min_ms", "t_med_ms", "t_p95_ms",
+                           "speedup", "value", "identical_to_serial"});
+  table.add_row({"serial", bench_util::cell(serial.min_ms, 1),
+                 bench_util::cell(serial.median_ms, 1),
+                 bench_util::cell(serial.p95_ms, 1), "1.00",
                  bench_util::cell(serial_choice.value, 0), "-"});
 
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     par::ThreadPool pool(threads);
-    bench_util::Timer timer;
-    const single::WindowChoice via_api = single::best_window(
-        thetas, demands, 1.0, cap, oracle, /*parallel=*/true, &pool);
-    const double ms = timer.elapsed_ms();
+    single::WindowChoice via_api;
+    const std::vector<double> times = time_repetitions(reps, [&] {
+      via_api = single::best_window(thetas, demands, 1.0, cap, oracle,
+                                    /*parallel=*/true, &pool);
+    });
+    const RepStats t = summarize_times(times);
     const bool identical = via_api.value == serial_choice.value &&
                            via_api.alpha == serial_choice.alpha &&
                            via_api.chosen == serial_choice.chosen;
     table.add_row({bench_util::cell(std::size_t{threads}),
-                   bench_util::cell(ms, 1),
-                   bench_util::cell(serial_ms / ms, 2),
+                   bench_util::cell(t.min_ms, 1),
+                   bench_util::cell(t.median_ms, 1),
+                   bench_util::cell(t.p95_ms, 1),
+                   bench_util::cell(serial.min_ms / t.min_ms, 2),
                    bench_util::cell(via_api.value, 0),
                    identical ? "yes" : "NO -- BUG"});
+    report.metric_times("threads_" + std::to_string(threads), times);
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\nhardware_concurrency = "
             << std::thread::hardware_concurrency()
             << "; on a 1-core host speedup ~1.0 is the honest expectation."

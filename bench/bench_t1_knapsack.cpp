@@ -29,6 +29,7 @@ std::vector<knapsack::Item> random_demand_items(sim::Rng& rng,
 int main() {
   bench_util::print_experiment_header(
       std::cout, "T1", "knapsack engine: ratio vs exact, time (ms)");
+  BenchReport report("t1_knapsack");
 
   struct Solver {
     std::string name;
@@ -43,12 +44,12 @@ int main() {
   };
 
   bench_util::Table table({"n", "solver", "ratio_mean", "ratio_min",
-                           "time_ms", "floor"});
+                           "t_min_ms", "t_med_ms", "t_p95_ms", "floor"});
 
   const int trials = 5;
   for (std::size_t n : {20u, 50u, 100u, 200u}) {
     std::vector<std::vector<double>> ratios(solvers.size());
-    std::vector<double> times(solvers.size(), 0.0);
+    std::vector<std::vector<double>> times(solvers.size());
     for (int trial = 0; trial < trials; ++trial) {
       sim::Rng rng(1000 * n + static_cast<std::uint64_t>(trial));
       const auto items = random_demand_items(rng, n);
@@ -59,20 +60,28 @@ int main() {
       for (std::size_t s = 0; s < solvers.size(); ++s) {
         bench_util::Timer timer;
         const double value = solvers[s].oracle.solve(items, cap).value;
-        times[s] += timer.elapsed_ms();
+        times[s].push_back(timer.elapsed_ms());
         ratios[s].push_back(ratio(value, exact));
       }
     }
     for (std::size_t s = 0; s < solvers.size(); ++s) {
       const auto summary = bench_util::summarize(ratios[s]);
+      const RepStats t = summarize_times(times[s]);
       table.add_row({bench_util::cell(n), solvers[s].name,
                      bench_util::cell(summary.mean, 4),
                      bench_util::cell(summary.min, 4),
-                     bench_util::cell(times[s] / trials, 3),
+                     bench_util::cell(t.min_ms, 3),
+                     bench_util::cell(t.median_ms, 3),
+                     bench_util::cell(t.p95_ms, 3),
                      bench_util::cell(solvers[s].oracle.guarantee(), 2)});
+      const std::string key =
+          solvers[s].name + ".n" + std::to_string(n);
+      report.metric_times(key, times[s]);
+      report.metric(key + ".ratio_min", summary.min);
     }
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\nEvery ratio_min must be >= its floor column; exact rows"
                " must be 1.0000.\n";
   return 0;

@@ -15,6 +15,7 @@ using namespace bench;
 int main() {
   bench_util::print_experiment_header(
       std::cout, "T4", "multi-antenna solvers: small exact, large bounded");
+  BenchReport report("t4_sectors");
 
   // Part 1: vs exact (n=9, k=2).
   {
@@ -53,6 +54,8 @@ int main() {
       table.add_row({name, bench_util::cell(s.mean, 4),
                      bench_util::cell(s.min, 4),
                      bench_util::cell(std::size_t(trials))});
+      report.metric(std::string("vs_exact.") + name + ".ratio_mean", s.mean);
+      report.metric(std::string("vs_exact.") + name + ".ratio_min", s.min);
     };
     std::cout << "vs exact (n=9, k=2, rho=80deg, capacity=50%):\n";
     add("greedy", r_greedy);
@@ -94,6 +97,9 @@ int main() {
         table.add_row({spatial_name(spatial), name,
                        bench_util::cell(s.mean, 4),
                        bench_util::cell(s.min, 4)});
+        report.metric(std::string("vs_bound.") + spatial_name(spatial) +
+                          "." + name + ".ratio_mean",
+                      s.mean);
       };
       add("greedy", r_greedy);
       add("local-search", r_ls);
@@ -101,5 +107,6 @@ int main() {
     }
     table.print(std::cout);
   }
+  report.write();
   return 0;
 }

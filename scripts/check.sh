@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build everything with ASan+UBSan (SECTORPACK_SANITIZE=ON)
+# and run the full test suite. The obs metrics shards and trace buffers are
+# concurrent by design; this keeps them provably clean of data races on
+# unsynchronized memory, leaks, and UB from day one.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DSECTORPACK_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo
+echo "Sanitizer check passed (ASan + UBSan, build dir: $BUILD_DIR)."

@@ -4,6 +4,8 @@
 
 #include "src/assign/assign.hpp"
 #include "src/bounds/dinic.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace sectorpack::assign {
 
@@ -14,6 +16,14 @@ model::Solution solve_lp_rounding(const model::Instance& inst,
     // the right tool there.
     return solve_successive(inst, alphas);
   }
+  static const obs::Counter c_calls = obs::counter("assign.lp.calls");
+  static const obs::Counter c_integral = obs::counter("assign.lp.integral");
+  static const obs::Counter c_repair =
+      obs::counter("assign.lp.repair_iterations");
+  static const obs::Counter c_repaired = obs::counter("assign.lp.repaired");
+  const obs::ScopedSpan span("assign.lp_rounding");
+  c_calls.inc();
+
   const Eligibility elig = compute_eligibility(inst, alphas);
   const std::size_t n = inst.num_customers();
   const std::size_t k = inst.num_antennas();
@@ -56,6 +66,7 @@ model::Solution solve_lp_rounding(const model::Instance& inst,
       }
     }
     if (whole != model::kUnserved) {
+      c_integral.inc();
       sol.assign[i] = whole;
       residual[static_cast<std::size_t>(whole)] -= d;
     } else {
@@ -74,6 +85,7 @@ model::Solution solve_lp_rounding(const model::Instance& inst,
               return a < b;
             });
   for (std::size_t i : leftover) {
+    c_repair.inc();
     const double d = inst.demand(i);
     std::int32_t best = model::kUnserved;
     double best_residual = -1.0;
@@ -85,6 +97,7 @@ model::Solution solve_lp_rounding(const model::Instance& inst,
       }
     }
     if (best != model::kUnserved) {
+      c_repaired.inc();
       sol.assign[i] = best;
       residual[static_cast<std::size_t>(best)] -= d;
     }

@@ -4,6 +4,9 @@
 #include <limits>
 #include <queue>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace sectorpack::bounds {
 
 Dinic::Dinic(std::size_t num_nodes)
@@ -53,16 +56,27 @@ double Dinic::dfs(std::size_t u, std::size_t t, double pushed) {
 }
 
 double Dinic::max_flow(std::size_t s, std::size_t t) {
+  static const obs::Counter c_calls = obs::counter("dinic.max_flow_calls");
+  static const obs::Counter c_phases = obs::counter("dinic.bfs_phases");
+  static const obs::Counter c_paths = obs::counter("dinic.augmenting_paths");
+  const obs::ScopedSpan span("dinic.max_flow");
+  std::uint64_t phases = 0;
+  std::uint64_t paths = 0;
   double flow = 0.0;
   while (bfs(s, t)) {
+    ++phases;
     std::fill(iter_.begin(), iter_.end(), std::size_t{0});
     for (;;) {
       const double got =
           dfs(s, t, std::numeric_limits<double>::infinity());
       if (got <= kFlowEps) break;
+      ++paths;
       flow += got;
     }
   }
+  c_calls.inc();
+  c_phases.add(phases);
+  c_paths.add(paths);
   return flow;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/knapsack/knapsack.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace sectorpack::knapsack {
 
@@ -51,6 +52,10 @@ Result solve_fptas(std::span<const Item> items, double capacity, double eps) {
   // Scale values. OPT >= vmax, and rounding loses < mu per item, so the
   // total loss is < n * mu = eps * vmax <= eps * OPT.
   const double mu = eps * vmax / static_cast<double>(n);
+  static const obs::Counter c_calls = obs::counter("knapsack.fptas_calls");
+  static const obs::Gauge g_mu = obs::gauge("knapsack.fptas_scale_mu");
+  c_calls.inc();
+  g_mu.set(mu);
   std::vector<std::uint64_t> sv(n);
   std::uint64_t total_sv = 0;
   for (std::size_t p = 0; p < n; ++p) {
@@ -62,6 +67,8 @@ Result solve_fptas(std::span<const Item> items, double capacity, double eps) {
   if (n * cols > (kMaxDpCells << 3)) {
     throw std::invalid_argument("solve_fptas: scaled DP table too large");
   }
+  static const obs::Counter c_cells = obs::counter("knapsack.fptas_cells");
+  c_cells.add(static_cast<std::uint64_t>(n) * cols);
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> min_weight(cols, kInf);

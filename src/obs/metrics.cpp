@@ -1,0 +1,387 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace sectorpack::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t histogram_bucket_index(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // also catches NaN and negatives
+  const auto e = static_cast<std::size_t>(std::ilogb(value));  // floor(log2)
+  return std::min(e + 1, kHistogramBuckets - 1);
+}
+
+double histogram_bucket_lower(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 1);
+}
+
+namespace detail {
+
+// One writer thread's slice of the registry. Only the owning thread writes;
+// relaxed atomics let snapshot() read concurrently without tearing.
+struct Shard {
+  struct Hist {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{kInf};
+    std::atomic<double> max{-kInf};
+  };
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<Hist, kMaxHistograms> hists{};
+
+  void zero() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(kInf, std::memory_order_relaxed);
+      h.max.store(-kInf, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct State {
+  const std::uint64_t uid;
+  mutable std::mutex mu;
+  std::vector<std::string> counter_names;    // slot id -> name
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  std::vector<std::shared_ptr<Shard>> shards;  // one per writer thread, kept
+  // Gauges are set rarely and need last-write-wins across threads, so they
+  // live directly in the shared state rather than in shards.
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::array<std::atomic<bool>, kMaxGauges> gauge_set{};
+
+  explicit State(std::uint64_t id) : uid(id) {}
+};
+
+namespace {
+
+std::size_t register_name(State& st, std::vector<std::string>& names,
+                          std::size_t limit, std::string_view name,
+                          const char* kind) {
+  std::lock_guard lock(st.mu);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  if (names.size() >= limit) {
+    throw std::length_error(std::string("obs: too many ") + kind +
+                            " metrics (limit " + std::to_string(limit) + ")");
+  }
+  names.emplace_back(name);
+  return names.size() - 1;
+}
+
+// Thread-local cache of this thread's shard per registry. Keyed by the
+// registry's never-reused uid, so a stale entry for a destroyed registry can
+// never alias a new one; the shared_ptr keeps the shard memory valid even if
+// the registry is gone.
+Shard* local_shard(const std::shared_ptr<State>& state) {
+  thread_local std::vector<std::pair<std::uint64_t, std::shared_ptr<Shard>>>
+      cache;
+  for (const auto& [uid, shard] : cache) {
+    if (uid == state->uid) return shard.get();
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard lock(state->mu);
+    state->shards.push_back(shard);
+  }
+  cache.emplace_back(state->uid, shard);
+  return cache.back().second.get();
+}
+
+}  // namespace
+
+}  // namespace detail
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  if (!enabled() || state_ == nullptr) return;
+  detail::local_shard(state_)->counters[id_].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const noexcept {
+  if (!enabled() || state_ == nullptr) return;
+  state_->gauges[id_].store(value, std::memory_order_relaxed);
+  state_->gauge_set[id_].store(true, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const noexcept {
+  if (!enabled() || state_ == nullptr) return;
+  detail::Shard::Hist& h = detail::local_shard(state_)->hists[id_];
+  h.buckets[histogram_bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  // Single-writer slots: load-modify-store without CAS is race-free here.
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+}
+
+Registry::Registry() {
+  static std::atomic<std::uint64_t> next_uid{1};
+  state_ = std::make_shared<detail::State>(
+      next_uid.fetch_add(1, std::memory_order_relaxed));
+}
+
+Registry::~Registry() = default;
+
+Counter Registry::counter(std::string_view name) {
+  const std::size_t id = detail::register_name(
+      *state_, state_->counter_names, kMaxCounters, name, "counter");
+  return Counter(state_, id);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  const std::size_t id = detail::register_name(
+      *state_, state_->gauge_names, kMaxGauges, name, "gauge");
+  return Gauge(state_, id);
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  const std::size_t id = detail::register_name(
+      *state_, state_->hist_names, kMaxHistograms, name, "histogram");
+  return Histogram(state_, id);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard lock(state_->mu);
+
+  snap.counters.reserve(state_->counter_names.size());
+  for (std::size_t i = 0; i < state_->counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : state_->shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(state_->counter_names[i], total);
+  }
+
+  for (std::size_t i = 0; i < state_->gauge_names.size(); ++i) {
+    if (!state_->gauge_set[i].load(std::memory_order_relaxed)) continue;
+    snap.gauges.emplace_back(
+        state_->gauge_names[i],
+        state_->gauges[i].load(std::memory_order_relaxed));
+  }
+
+  for (std::size_t i = 0; i < state_->hist_names.size(); ++i) {
+    HistogramSnapshot h;
+    h.name = state_->hist_names[i];
+    h.min = kInf;
+    h.max = -kInf;
+    for (const auto& shard : state_->shards) {
+      const detail::Shard::Hist& sh = shard->hists[i];
+      h.count += sh.count.load(std::memory_order_relaxed);
+      h.sum += sh.sum.load(std::memory_order_relaxed);
+      h.min = std::min(h.min, sh.min.load(std::memory_order_relaxed));
+      h.max = std::max(h.max, sh.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] += sh.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (h.count == 0) {
+      h.min = 0.0;
+      h.max = 0.0;
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(state_->mu);
+  for (const auto& shard : state_->shards) shard->zero();
+  for (auto& g : state_->gauges) g.store(0.0, std::memory_order_relaxed);
+  for (auto& f : state_->gauge_set) f.store(false, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+Gauge gauge(std::string_view name) { return Registry::global().gauge(name); }
+Histogram histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+Snapshot snapshot() { return Registry::global().snapshot(); }
+void reset() { Registry::global().reset(); }
+
+double HistogramSnapshot::mean() const noexcept {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const auto next = static_cast<double>(seen + buckets[b]);
+    if (next >= target) {
+      // Interpolate inside bucket b, clamped to the observed range.
+      double lo = std::max(histogram_bucket_lower(b), min);
+      double hi = b + 1 < kHistogramBuckets
+                      ? std::min(histogram_bucket_lower(b + 1), max)
+                      : max;
+      if (hi < lo) hi = lo;
+      const double within =
+          buckets[b] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += buckets[b];
+  }
+  return max;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(counters[i].first)
+       << "\":" << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(gauges[i].first)
+       << "\":" << json_number(gauges[i].second);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(h.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_number(h.sum)
+       << ",\"min\":" << json_number(h.min)
+       << ",\"max\":" << json_number(h.max)
+       << ",\"p50\":" << json_number(h.quantile(0.5))
+       << ",\"p95\":" << json_number(h.quantile(0.95)) << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "[" << json_number(histogram_bucket_lower(b)) << ","
+         << h.buckets[b] << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Snapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << name << " " << json_number(value) << "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    os << h.name << " count=" << h.count << " mean=" << json_number(h.mean())
+       << " min=" << json_number(h.min) << " p50="
+       << json_number(h.quantile(0.5)) << " p95="
+       << json_number(h.quantile(0.95)) << " max=" << json_number(h.max)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sectorpack::obs

@@ -1,0 +1,162 @@
+#pragma once
+// Solver telemetry: named counters, gauges, and fixed-bucket histograms
+// behind a process-wide enable switch.
+//
+// Design:
+//  * Hot-path writes go to lock-free per-thread shards: each shard is only
+//    ever written by its owning thread (relaxed atomics so readers can merge
+//    concurrently), so `par::thread_pool` workers never contend on a cache
+//    line. Snapshots merge all shards under a mutex.
+//  * Every write path is a no-op while obs is disabled (the default). The
+//    only residual cost in instrumented code is one relaxed atomic load and
+//    a well-predicted branch, which keeps solvers within the "zero overhead
+//    when off" budget.
+//  * Registration (name -> slot id) takes a mutex but is rare: call sites
+//    hold a static handle (`static const obs::Counter c = obs::counter(...)`).
+//  * Handles keep the registry state alive via shared_ptr, so a handle that
+//    outlives its Registry degrades to writes nobody will read, never UB.
+//
+// Naming scheme (see docs/observability.md): `<subsystem>.<noun>[_<unit>]`,
+// e.g. `anneal.accepted`, `dinic.augmenting_paths`, `cli.solve_ms`.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sectorpack::obs {
+
+/// Process-wide switch; metric writes are dropped while disabled (default).
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+// Per-thread shards are fixed-size arrays so writers never race a
+// reallocation; registering more names than a limit throws std::length_error.
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+
+/// Histogram buckets are fixed powers of two: bucket 0 holds values < 1,
+/// bucket i >= 1 holds [2^(i-1), 2^i), and the last bucket is unbounded.
+/// Units are the caller's choice (latency metrics here use microseconds).
+inline constexpr std::size_t kHistogramBuckets = 40;
+[[nodiscard]] std::size_t histogram_bucket_index(double value) noexcept;
+[[nodiscard]] double histogram_bucket_lower(std::size_t bucket) noexcept;
+
+namespace detail {
+struct State;
+}  // namespace detail
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Bucket-interpolated quantile estimate, q in [0, 1]. Exact at the
+  /// recorded min/max; within a bucket, linear between its bounds.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// A merged, point-in-time view of a Registry. Counters and gauges are
+/// sorted by name; unset gauges are omitted.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t delta) const noexcept;
+  void inc() const noexcept { add(1); }
+
+ private:
+  friend class Registry;
+  Counter(std::shared_ptr<detail::State> state, std::size_t id) noexcept
+      : state_(std::move(state)), id_(id) {}
+  std::shared_ptr<detail::State> state_;
+  std::size_t id_ = 0;
+};
+
+/// Last-written value (temperature, scaling factor, fleet size, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept;
+
+ private:
+  friend class Registry;
+  Gauge(std::shared_ptr<detail::State> state, std::size_t id) noexcept
+      : state_(std::move(state)), id_(id) {}
+  std::shared_ptr<detail::State> state_;
+  std::size_t id_ = 0;
+};
+
+/// Fixed-bucket distribution with count/sum/min/max.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(std::shared_ptr<detail::State> state, std::size_t id) noexcept
+      : state_(std::move(state)), id_(id) {}
+  std::shared_ptr<detail::State> state_;
+  std::size_t id_ = 0;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Fetch-or-register a metric by name. Repeated calls with the same name
+  /// return handles to the same slot.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name);
+
+  /// Merge all shards into a point-in-time view. Safe to call while other
+  /// threads keep writing (their in-flight writes may or may not be seen).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every recorded value; names stay registered.
+  void reset();
+
+  /// Process-wide registry used by the instrumented solvers and the free
+  /// functions below.
+  static Registry& global();
+
+ private:
+  std::shared_ptr<detail::State> state_;
+};
+
+/// Shorthands on the global registry.
+[[nodiscard]] Counter counter(std::string_view name);
+[[nodiscard]] Gauge gauge(std::string_view name);
+[[nodiscard]] Histogram histogram(std::string_view name);
+[[nodiscard]] Snapshot snapshot();
+void reset();
+
+/// JSON string escaping (shared by the snapshot/trace/bench emitters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+/// Format a double as a JSON number token; non-finite values become null.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace sectorpack::obs

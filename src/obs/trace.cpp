@@ -1,0 +1,191 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace sectorpack::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Phase : std::uint8_t { kComplete, kCounter, kInstant };
+
+struct Event {
+  const char* name;
+  std::int64_t ts_us;
+  std::int64_t dur_us;  // complete spans only
+  double value;         // counter samples only
+  Phase phase;
+};
+
+// Buffers from threads that recorded in the current session. Each buffer is
+// locked individually: writers only ever take their own (uncontended) lock,
+// the serializer takes each in turn.
+struct Buffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  std::uint64_t dropped = 0;
+};
+
+// Bound per-thread memory; beyond this events are counted but dropped.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct Session {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  Clock::time_point start{};
+  std::uint32_t next_tid = 1;
+};
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_epoch{0};  // bumped by trace_start
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - session().start)
+      .count();
+}
+
+Buffer* local_buffer() {
+  thread_local std::shared_ptr<Buffer> buffer;
+  thread_local std::uint64_t epoch = 0;
+  const std::uint64_t current = g_epoch.load(std::memory_order_acquire);
+  if (buffer == nullptr || epoch != current) {
+    buffer = std::make_shared<Buffer>();
+    epoch = current;
+    Session& s = session();
+    std::lock_guard lock(s.mu);
+    buffer->tid = s.next_tid++;
+    s.buffers.push_back(buffer);
+  }
+  return buffer.get();
+}
+
+void record(const char* name, Phase phase, std::int64_t ts_us,
+            std::int64_t dur_us, double value) noexcept {
+  Buffer* b = local_buffer();
+  std::lock_guard lock(b->mu);
+  if (b->events.size() >= kMaxEventsPerThread) {
+    ++b->dropped;
+    return;
+  }
+  b->events.push_back({name, ts_us, dur_us, value, phase});
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void trace_start() {
+  Session& s = session();
+  {
+    std::lock_guard lock(s.mu);
+    s.buffers.clear();
+    s.start = Clock::now();
+    s.next_tid = 1;
+  }
+  g_epoch.fetch_add(1, std::memory_order_release);
+  g_tracing.store(true, std::memory_order_release);
+}
+
+void trace_stop(std::ostream& os) {
+  g_tracing.store(false, std::memory_order_release);
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    Session& s = session();
+    std::lock_guard lock(s.mu);
+    buffers = s.buffers;
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mu);
+    dropped += buffer->dropped;
+    for (const Event& e : buffer->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << json_escape(e.name)
+         << "\",\"cat\":\"sectorpack\",\"pid\":1,\"tid\":" << buffer->tid
+         << ",\"ts\":" << e.ts_us;
+      switch (e.phase) {
+        case Phase::kComplete:
+          os << ",\"ph\":\"X\",\"dur\":" << e.dur_us;
+          break;
+        case Phase::kCounter:
+          os << ",\"ph\":\"C\",\"args\":{\"value\":" << json_number(e.value)
+             << "}";
+          break;
+        case Phase::kInstant:
+          os << ",\"ph\":\"i\",\"s\":\"t\"";
+          break;
+      }
+      os << "}";
+    }
+  }
+  os << "],\"otherData\":{\"droppedEvents\":" << dropped << "}}";
+}
+
+bool trace_stop_to_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    // Still end the session so collection does not keep growing.
+    g_tracing.store(false, std::memory_order_release);
+    return false;
+  }
+  trace_stop(out);
+  return bool(out);
+}
+
+std::size_t trace_event_count() {
+  std::size_t n = 0;
+  Session& s = session();
+  std::lock_guard lock(s.mu);
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard block(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+ScopedSpan::ScopedSpan(const char* name) noexcept
+    : name_(name), start_us_(-1) {
+  if (trace_enabled()) start_us_ = now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (start_us_ < 0 || !trace_enabled()) return;
+  const std::int64_t end = now_us();
+  record(name_, Phase::kComplete, start_us_,
+         std::max<std::int64_t>(end - start_us_, 0), 0.0);
+}
+
+void trace_counter(const char* name, double value) noexcept {
+  if (!trace_enabled()) return;
+  record(name, Phase::kCounter, now_us(), 0, value);
+}
+
+void trace_instant(const char* name) noexcept {
+  if (!trace_enabled()) return;
+  record(name, Phase::kInstant, now_us(), 0, 0.0);
+}
+
+}  // namespace sectorpack::obs

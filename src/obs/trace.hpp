@@ -1,0 +1,60 @@
+#pragma once
+// RAII tracing to Chrome trace-event JSON.
+//
+// A tracing session collects events into per-thread buffers (one brief,
+// uncontended lock per event) and serializes them as the Trace Event Format
+// that chrome://tracing / Perfetto load directly:
+//
+//   obs::trace_start();
+//   { obs::ScopedSpan span("sectors.solve_annealing"); ... }
+//   obs::trace_counter("anneal.temperature", t);   // plotted time series
+//   obs::trace_stop_to_file("trace.json");
+//
+// While no session is active (the default), ScopedSpan construction is one
+// relaxed atomic load; nothing is recorded. Span names must be string
+// literals (or otherwise outlive the session) -- they are stored by pointer.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sectorpack::obs {
+
+/// True while a tracing session is collecting events.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Begin a session, discarding any events from a previous one.
+void trace_start();
+
+/// End the session and write chrome://tracing JSON to `os`. No-op events
+/// recorded after this call are dropped. Safe to call with no session.
+void trace_stop(std::ostream& os);
+
+/// As trace_stop, writing to `path`. Returns false if the file can't be
+/// opened (the session still ends).
+bool trace_stop_to_file(const std::string& path);
+
+/// Number of events recorded in the current session so far.
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Record a complete-span ("ph":"X") event covering this object's lifetime.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_;  // < 0: tracing was off at construction
+};
+
+/// Record a counter ("ph":"C") sample; the trace viewer plots these as a
+/// time series. No-op while tracing is off.
+void trace_counter(const char* name, double value) noexcept;
+
+/// Record an instant ("ph":"i") event. No-op while tracing is off.
+void trace_instant(const char* name) noexcept;
+
+}  // namespace sectorpack::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
+
 namespace sectorpack::par {
 
 ChunkPlan plan_chunks(std::size_t n, std::size_t grain, unsigned workers) {
@@ -22,12 +24,18 @@ ChunkPlan plan_chunks(std::size_t n, std::size_t grain, unsigned workers) {
 
 void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body,
                   ThreadPool* pool) {
+  static const obs::Counter c_calls = obs::counter("par.parallel_for_calls");
+  static const obs::Counter c_chunks = obs::counter("par.chunks_dispatched");
+  static const obs::Counter c_inline = obs::counter("par.inline_fallbacks");
   if (pool == nullptr) pool = &ThreadPool::global();
   const ChunkPlan plan = plan_chunks(n, grain, pool->size());
+  c_calls.inc();
   if (plan.num_chunks <= 1) {
+    c_inline.inc();
     if (n > 0) body(0, n);
     return;
   }
+  c_chunks.add(plan.num_chunks);
 
   std::mutex mu;
   std::condition_variable cv;

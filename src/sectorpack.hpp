@@ -25,6 +25,8 @@
 #include "src/model/io.hpp"
 #include "src/model/solution.hpp"
 #include "src/model/validate.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/par/parallel_for.hpp"
 #include "src/par/thread_pool.hpp"
 #include "src/sectors/annealing.hpp"

@@ -4,12 +4,22 @@
 #include <cmath>
 
 #include "src/assign/assign.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sectors/sectors.hpp"
 
 namespace sectorpack::sectors {
 
 model::Solution solve_annealing(const model::Instance& inst,
                                 const AnnealConfig& config) {
+  static const obs::Counter c_epochs = obs::counter("anneal.epochs");
+  static const obs::Counter c_accepted = obs::counter("anneal.accepted");
+  static const obs::Counter c_rejected = obs::counter("anneal.rejected");
+  static const obs::Counter c_improved = obs::counter("anneal.improved_best");
+  static const obs::Gauge g_temperature =
+      obs::gauge("anneal.final_temperature");
+  const obs::ScopedSpan span("sectors.solve_annealing");
+
   const std::size_t k = inst.num_antennas();
   model::Solution best = solve_greedy(inst);
   if (k == 0 || inst.num_customers() == 0) return best;
@@ -47,15 +57,23 @@ model::Solution solve_annealing(const model::Instance& inst,
     const double delta = value - current_value;
     if (delta >= 0.0 ||
         rng.uniform01() < std::exp(delta / std::max(temperature, 1e-9))) {
+      c_accepted.inc();
       current = std::move(proposal);
       current_value = value;
       if (value > best_value) {
+        c_improved.inc();
         best_value = value;
         best = assigned;
       }
+    } else {
+      c_rejected.inc();
     }
+    obs::trace_counter("anneal.temperature", temperature);
+    obs::trace_counter("anneal.current_value", current_value);
     temperature *= config.cooling;
   }
+  c_epochs.add(config.iterations);
+  g_temperature.set(temperature);
 
   if (config.final_exact_assign) {
     const model::Solution polished =

@@ -2,6 +2,8 @@
 
 #include "src/assign/assign.hpp"
 #include "src/model/validate.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sectors/sectors.hpp"
 #include "src/single/single.hpp"
 
@@ -9,6 +11,13 @@ namespace sectorpack::sectors {
 
 model::Solution improve(const model::Instance& inst, model::Solution start,
                         const LocalSearchConfig& config) {
+  static const obs::Counter c_passes = obs::counter("local_search.passes");
+  static const obs::Counter c_tried =
+      obs::counter("local_search.moves_tried");
+  static const obs::Counter c_improving =
+      obs::counter("local_search.moves_improving");
+  const obs::ScopedSpan span("sectors.local_search");
+
   const std::size_t n = inst.num_customers();
   const std::size_t k = inst.num_antennas();
   model::Solution sol = std::move(start);
@@ -21,8 +30,10 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
   bool improved_any = true;
   for (std::size_t pass = 0; pass < config.max_passes && improved_any;
        ++pass) {
+    c_passes.inc();
     improved_any = false;
     for (std::size_t j = 0; j < k; ++j) {
+      c_tried.inc();
       // Objective value antenna j currently contributes.
       double current = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
@@ -52,6 +63,7 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
           inst.antenna(j).capacity, config.oracle, config.parallel);
 
       if (choice.value > current + 1e-12) {
+        c_improving.inc();
         for (std::size_t i = 0; i < n; ++i) {
           if (sol.assign[i] == static_cast<std::int32_t>(j)) {
             sol.assign[i] = model::kUnserved;

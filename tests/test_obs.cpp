@@ -1,0 +1,460 @@
+// Tests for src/obs/: counter/gauge/histogram semantics, concurrent
+// increments through par::parallel_for, trace-JSON well-formedness (parsed
+// with a minimal JSON reader below), and the no-op path when obs is off.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/par/parallel_for.hpp"
+#include "src/par/thread_pool.hpp"
+
+using namespace sectorpack;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON reader: enough to prove the emitted artifacts are
+// well-formed and to look up values. Throws std::runtime_error on any
+// syntax error.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    const JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json error at " + std::to_string(pos_) + ": " +
+                             why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)]))) {
+                fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            out += '?';  // code point itself is irrelevant to these tests
+            break;
+          }
+          default: fail("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      auto obj = std::make_shared<JsonObject>();
+      if (!consume('}')) {
+        do {
+          std::string key = parse_string();
+          expect(':');
+          (*obj)[std::move(key)] = parse_value();
+        } while (consume(','));
+        expect('}');
+      }
+      return {obj};
+    }
+    if (c == '[') {
+      ++pos_;
+      auto arr = std::make_shared<JsonArray>();
+      if (!consume(']')) {
+        do {
+          arr->push_back(parse_value());
+        } while (consume(','));
+        expect(']');
+      }
+      return {arr};
+    }
+    if (c == '"') return {parse_string()};
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return {true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return {false};
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return {nullptr};
+    }
+    // number
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("bad value");
+    return {std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// Re-enable/disable around each test so ordering never leaks state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_enabled(true); }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+}  // namespace
+
+TEST_F(ObsTest, CounterAccumulatesAndSnapshots) {
+  obs::Registry reg;
+  const obs::Counter c = reg.counter("test.counter");
+  c.inc();
+  c.add(41);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.counter"), 42u);
+  EXPECT_EQ(snap.counter("test.unregistered"), 0u);
+}
+
+TEST_F(ObsTest, SameNameSharesOneSlot) {
+  obs::Registry reg;
+  reg.counter("dup").inc();
+  reg.counter("dup").add(2);
+  EXPECT_EQ(reg.snapshot().counter("dup"), 3u);
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+}
+
+TEST_F(ObsTest, DisabledWritesAreDropped) {
+  obs::Registry reg;
+  const obs::Counter c = reg.counter("test.noop");
+  const obs::Gauge g = reg.gauge("test.noop_gauge");
+  const obs::Histogram h = reg.histogram("test.noop_hist");
+  obs::set_enabled(false);
+  c.add(100);
+  g.set(3.5);
+  h.observe(1.0);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.noop"), 0u);
+  EXPECT_TRUE(snap.gauges.empty());  // unset gauges are omitted
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST_F(ObsTest, DefaultConstructedHandlesAreSafe) {
+  const obs::Counter c;
+  const obs::Gauge g;
+  const obs::Histogram h;
+  c.inc();
+  g.set(1.0);
+  h.observe(1.0);  // must not crash
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  obs::Registry reg;
+  const obs::Gauge g = reg.gauge("test.gauge");
+  g.set(1.0);
+  g.set(-2.5);
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "test.gauge");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, -2.5);
+}
+
+TEST_F(ObsTest, HistogramStatsAndBuckets) {
+  obs::Registry reg;
+  const obs::Histogram h = reg.histogram("test.hist");
+  for (double v : {0.5, 1.0, 3.0, 100.0}) h.observe(v);
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const obs::HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.count, 4u);
+  EXPECT_DOUBLE_EQ(hs.sum, 104.5);
+  EXPECT_DOUBLE_EQ(hs.min, 0.5);
+  EXPECT_DOUBLE_EQ(hs.max, 100.0);
+  EXPECT_DOUBLE_EQ(hs.mean(), 104.5 / 4.0);
+  // 0.5 -> bucket 0 ([0,1)), 1.0 -> bucket 1 ([1,2)), 3.0 -> bucket 2
+  // ([2,4)), 100.0 -> bucket 7 ([64,128)).
+  EXPECT_EQ(hs.buckets[0], 1u);
+  EXPECT_EQ(hs.buckets[1], 1u);
+  EXPECT_EQ(hs.buckets[2], 1u);
+  EXPECT_EQ(hs.buckets[7], 1u);
+  // Quantiles stay within the observed range and are monotone.
+  const double p25 = hs.quantile(0.25);
+  const double p95 = hs.quantile(0.95);
+  EXPECT_GE(p25, hs.min);
+  EXPECT_LE(p95, hs.max);
+  EXPECT_LE(p25, p95);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.0), hs.min);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), hs.max);
+}
+
+TEST_F(ObsTest, HistogramBucketIndexEdges) {
+  EXPECT_EQ(obs::histogram_bucket_index(-1.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(0.999), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(1.0), 1u);
+  EXPECT_EQ(obs::histogram_bucket_index(2.0), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(1e30), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bucket_lower(0), 0.0);
+  EXPECT_EQ(obs::histogram_bucket_lower(1), 1.0);
+  EXPECT_EQ(obs::histogram_bucket_lower(4), 8.0);
+}
+
+TEST_F(ObsTest, ConcurrentCountersFromParallelFor) {
+  obs::Registry reg;
+  const obs::Counter c = reg.counter("test.parallel");
+  const obs::Histogram h = reg.histogram("test.parallel_hist");
+  par::ThreadPool pool(4);
+  const std::size_t n = 100000;
+  par::parallel_for(
+      n, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          c.inc();
+          h.observe(static_cast<double>(i % 16));
+        }
+      },
+      &pool);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.parallel"), n);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, n);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].max, 15.0);
+}
+
+TEST_F(ObsTest, ResetZeroesValuesKeepsNames) {
+  obs::Registry reg;
+  reg.counter("test.reset").add(7);
+  reg.gauge("test.reset_gauge").set(1.0);
+  reg.histogram("test.reset_hist").observe(2.0);
+  reg.reset();
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.reset"), 0u);
+  EXPECT_TRUE(snap.gauges.empty());
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+  // Still registered: writing again works against the same slot.
+  reg.counter("test.reset").inc();
+  EXPECT_EQ(reg.snapshot().counter("test.reset"), 1u);
+}
+
+TEST_F(ObsTest, RegistriesAreIndependent) {
+  obs::Registry a;
+  obs::Registry b;
+  a.counter("shared.name").add(5);
+  b.counter("shared.name").add(9);
+  EXPECT_EQ(a.snapshot().counter("shared.name"), 5u);
+  EXPECT_EQ(b.snapshot().counter("shared.name"), 9u);
+}
+
+TEST_F(ObsTest, SnapshotJsonIsWellFormed) {
+  obs::Registry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge").set(2.25);
+  reg.histogram("c.hist\"quoted").observe(5.0);
+  const JsonValue root = JsonParser(reg.snapshot().to_json()).parse();
+  const JsonObject& obj = root.object();
+  EXPECT_DOUBLE_EQ(obj.at("counters").object().at("a.count").number(), 3.0);
+  EXPECT_DOUBLE_EQ(obj.at("gauges").object().at("b.gauge").number(), 2.25);
+  const JsonObject& hist =
+      obj.at("histograms").object().at("c.hist\"quoted").object();
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number(), 5.0);
+  ASSERT_EQ(hist.at("buckets").array().size(), 1u);
+}
+
+TEST_F(ObsTest, SnapshotTextListsEveryMetric) {
+  obs::Registry reg;
+  reg.counter("t.count").add(3);
+  reg.gauge("t.gauge").set(1.5);
+  reg.histogram("t.hist").observe(4.0);
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(text.find("t.count 3"), std::string::npos);
+  EXPECT_NE(text.find("t.gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("t.hist count=1"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceJsonWellFormedAndLoadable) {
+  obs::trace_start();
+  {
+    const obs::ScopedSpan outer("test.outer");
+    const obs::ScopedSpan inner("test.inner");
+    obs::trace_counter("test.series", 1.25);
+    obs::trace_instant("test.instant");
+  }
+  // Spans recorded from pool threads land in per-thread buffers.
+  par::ThreadPool pool(2);
+  par::parallel_for(
+      8, 1,
+      [&](std::size_t, std::size_t) {
+        const obs::ScopedSpan span("test.worker");
+      },
+      &pool);
+  EXPECT_GE(obs::trace_event_count(), 4u);
+
+  std::ostringstream os;
+  obs::trace_stop(os);
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const JsonValue root = JsonParser(os.str()).parse();
+  const JsonArray& events = root.object().at("traceEvents").array();
+  ASSERT_GE(events.size(), 4u);
+  bool saw_outer = false;
+  bool saw_counter = false;
+  bool saw_worker = false;
+  for (const JsonValue& ev : events) {
+    const JsonObject& e = ev.object();
+    // Every event carries the fields chrome://tracing requires.
+    const std::string& ph = e.at("ph").str();
+    EXPECT_TRUE(ph == "X" || ph == "C" || ph == "i");
+    EXPECT_GE(e.at("ts").number(), 0.0);
+    EXPECT_GT(e.at("tid").number(), 0.0);
+    if (e.at("name").str() == "test.outer") {
+      saw_outer = true;
+      EXPECT_EQ(ph, "X");
+      EXPECT_GE(e.at("dur").number(), 0.0);
+    }
+    if (e.at("name").str() == "test.series") {
+      saw_counter = true;
+      EXPECT_EQ(ph, "C");
+      EXPECT_DOUBLE_EQ(e.at("args").object().at("value").number(), 1.25);
+    }
+    if (e.at("name").str() == "test.worker") saw_worker = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_worker);
+}
+
+TEST_F(ObsTest, TraceFileRoundTrip) {
+  obs::trace_start();
+  { const obs::ScopedSpan span("test.file_span"); }
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(obs::trace_stop_to_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue root = JsonParser(ss.str()).parse();
+  const JsonArray& events = root.object().at("traceEvents").array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object().at("name").str(), "test.file_span");
+}
+
+TEST_F(ObsTest, TraceNoopWhenNoSession) {
+  // No trace_start: spans must record nothing and cost nothing observable.
+  EXPECT_FALSE(obs::trace_enabled());
+  { const obs::ScopedSpan span("test.ignored"); }
+  obs::trace_counter("test.ignored", 1.0);
+  obs::trace_start();
+  EXPECT_EQ(obs::trace_event_count(), 0u);  // prior events discarded
+  std::ostringstream os;
+  obs::trace_stop(os);
+  const JsonValue root = JsonParser(os.str()).parse();
+  EXPECT_TRUE(root.object().at("traceEvents").array().empty());
+}
+
+TEST_F(ObsTest, SolverCountersPopulate) {
+  // End-to-end: the instrumented solvers feed the global registry.
+  obs::reset();
+  std::vector<knapsack::Item> items;
+  for (int i = 1; i <= 10; ++i) {
+    items.push_back({static_cast<double>(i), static_cast<double>(i)});
+  }
+  (void)knapsack::solve_exact_dp(items, 27.0);
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_GE(snap.counter("knapsack.dp_calls"), 1u);
+  // 10 items, capacity 27 -> 10 * 28 cells.
+  EXPECT_GE(snap.counter("knapsack.dp_cells"), 280u);
+}

@@ -13,20 +13,32 @@
 
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 
+#include "src/bench_util/timer.hpp"
 #include "src/cover/cover.hpp"
 #include "src/sectorpack.hpp"
 #include "src/sectors/annealing.hpp"
 #include "src/viz/svg.hpp"
 
+#ifndef SECTORPACK_VERSION
+#define SECTORPACK_VERSION "unknown"
+#endif
+
 using namespace sectorpack;
 
 namespace {
+
+/// Bad invocation (unknown command/flag, missing value): exit status 2 with
+/// a one-line hint, distinct from runtime failures (status 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::string command;
@@ -64,14 +76,62 @@ Args parse_args(int argc, char** argv) {
     } else if (key == "-o") {
       key = "out";
     } else {
-      throw std::runtime_error("unexpected argument: " + key);
+      throw UsageError("unexpected argument: " + key);
     }
     if (i + 1 >= argc) {
-      throw std::runtime_error("missing value for --" + key);
+      throw UsageError("missing value for --" + key);
     }
     args.named[key] = argv[++i];
   }
   return args;
+}
+
+/// Reject any flag the command does not understand, so typos fail loudly
+/// instead of being silently swallowed by the Args map.
+void require_known(const Args& args,
+                   std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : args.named) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw UsageError("unknown option --" + key + " for '" + args.command +
+                       "'");
+    }
+  }
+}
+
+/// Shared --stats/--trace-out plumbing for the solver-facing commands:
+/// enables obs before running, then prints the registry snapshot and/or
+/// writes the chrome://tracing file afterwards.
+int with_observability(const Args& args, int (*run)(const Args&)) {
+  const std::string stats = args.get("stats", "");
+  if (!stats.empty() && stats != "json" && stats != "text") {
+    throw UsageError("--stats must be json or text, got '" + stats + "'");
+  }
+  const std::string trace_path = args.get("trace-out", "");
+  if (!stats.empty() || !trace_path.empty()) obs::set_enabled(true);
+  if (!trace_path.empty()) obs::trace_start();
+
+  const int rc = run(args);
+
+  if (!trace_path.empty()) {
+    if (!obs::trace_stop_to_file(trace_path)) {
+      throw std::runtime_error("cannot write trace to " + trace_path);
+    }
+    std::cerr << "wrote " << trace_path << " ("
+              << "load via chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  if (stats == "json") {
+    std::cout << obs::snapshot().to_json() << "\n";
+  } else if (stats == "text") {
+    std::cout << obs::snapshot().to_text();
+  }
+  return rc;
 }
 
 model::Instance load_instance(const Args& args) {
@@ -103,6 +163,8 @@ void write_text(const std::string& path, const std::string& text) {
 }
 
 int cmd_generate(const Args& args) {
+  require_known(args, {"n", "k", "spatial", "demand", "radius", "rho-deg",
+                       "range", "capacity-fraction", "seed", "out"});
   sim::WorkloadConfig wc;
   wc.num_customers = args.get_size("n", 100);
   const std::string spatial = args.get("spatial", "uniform");
@@ -115,7 +177,7 @@ int cmd_generate(const Args& args) {
   } else if (spatial == "arcband") {
     wc.spatial = sim::Spatial::kArcBand;
   } else {
-    throw std::runtime_error("unknown --spatial: " + spatial);
+    throw UsageError("unknown --spatial: " + spatial);
   }
   const std::string demand = args.get("demand", "uniform-int");
   if (demand == "unit") {
@@ -125,7 +187,7 @@ int cmd_generate(const Args& args) {
   } else if (demand == "pareto") {
     wc.demand = sim::DemandDist::kParetoInt;
   } else {
-    throw std::runtime_error("unknown --demand: " + demand);
+    throw UsageError("unknown --demand: " + demand);
   }
   wc.disk_radius = args.get_double("radius", wc.disk_radius);
 
@@ -146,9 +208,14 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
+  require_known(args, {"in", "solver", "seed", "iterations", "out", "svg",
+                       "stats", "trace-out"});
+  static const obs::Histogram h_solve_ms = obs::histogram("cli.solve_ms");
   const model::Instance inst = load_instance(args);
   const std::string solver = args.get("solver", "local-search");
 
+  const bench_util::Timer timer;
+  const obs::ScopedSpan span("cli.solve");
   model::Solution sol;
   if (solver == "greedy") {
     sol = sectors::solve_greedy(inst);
@@ -164,8 +231,9 @@ int cmd_solve(const Args& args) {
   } else if (solver == "exact") {
     sol = sectors::solve_exact(inst);
   } else {
-    throw std::runtime_error("unknown --solver: " + solver);
+    throw UsageError("unknown --solver: " + solver);
   }
+  h_solve_ms.observe(timer.elapsed_ms());
 
   const double served = model::served_value(inst, sol);
   const double bound = inst.is_value_weighted()
@@ -187,6 +255,7 @@ int cmd_solve(const Args& args) {
 }
 
 int cmd_validate(const Args& args) {
+  require_known(args, {"in", "solution"});
   const model::Instance inst = load_instance(args);
   const model::Solution sol = load_solution(args.get("solution", "-"));
   const model::ValidationReport report = model::validate(inst, sol);
@@ -203,6 +272,8 @@ int cmd_validate(const Args& args) {
 }
 
 int cmd_bound(const Args& args) {
+  require_known(args, {"in", "stats", "trace-out"});
+  const obs::ScopedSpan span("cli.bound");
   const model::Instance inst = load_instance(args);
   std::cout << "trivial            " << bounds::trivial_bound(inst) << "\n";
   std::cout << "orientation-free   " << bounds::orientation_free_bound(inst)
@@ -217,6 +288,8 @@ int cmd_bound(const Args& args) {
 }
 
 int cmd_cover(const Args& args) {
+  require_known(args, {"in", "algo", "max-k", "stats", "trace-out"});
+  const obs::ScopedSpan span("cli.cover");
   const model::Instance inst = load_instance(args);
   if (inst.num_antennas() == 0) {
     throw std::runtime_error("cover needs an antenna type (antenna 0)");
@@ -233,7 +306,7 @@ int cmd_cover(const Args& args) {
   } else if (algo == "exact") {
     result = cover::solve_exact(customers, type, args.get_size("max-k", 8));
   } else {
-    throw std::runtime_error("unknown --algo: " + algo);
+    throw UsageError("unknown --algo: " + algo);
   }
   if (!result.feasible) {
     std::cout << "INFEASIBLE: " << result.blockers.size()
@@ -251,6 +324,7 @@ int cmd_cover(const Args& args) {
 }
 
 int cmd_render(const Args& args) {
+  require_known(args, {"in", "solution", "out"});
   const model::Instance inst = load_instance(args);
   std::optional<model::Solution> sol;
   if (args.has("solution")) {
@@ -265,6 +339,7 @@ int cmd_render(const Args& args) {
 // Sweep one parameter of the instance's antenna fleet and print a CSV of
 // served value per solver -- the CLI face of experiments F1/F2/F4.
 int cmd_sweep(const Args& args) {
+  require_known(args, {"in", "param", "max"});
   const model::Instance inst = load_instance(args);
   if (inst.num_antennas() == 0) {
     throw std::runtime_error("sweep needs an antenna type (antenna 0)");
@@ -315,12 +390,13 @@ int cmd_sweep(const Args& args) {
       run_point(label.str(), std::vector<model::AntennaSpec>(k, spec));
     }
   } else {
-    throw std::runtime_error("unknown --param (use k|rho|capacity)");
+    throw UsageError("unknown --param (use k|rho|capacity)");
   }
   return 0;
 }
 
 int cmd_info(const Args& args) {
+  require_known(args, {"in"});
   const model::Instance inst = load_instance(args);
   std::cout << "customers        " << inst.num_customers() << "\n";
   std::cout << "antennas         " << inst.num_antennas() << "\n";
@@ -353,12 +429,15 @@ int usage() {
       "            --capacity-fraction F --seed S -o FILE\n"
       "  solve     --in FILE --solver greedy|local-search|annealing|\n"
       "            uniform|exact [-o FILE] [--svg FILE]\n"
+      "            [--stats json|text] [--trace-out FILE]\n"
       "  validate  --in FILE --solution FILE\n"
-      "  bound     --in FILE\n"
+      "  bound     --in FILE [--stats json|text] [--trace-out FILE]\n"
       "  cover     --in FILE --algo greedy|nextfit|exact [--max-k K]\n"
+      "            [--stats json|text] [--trace-out FILE]\n"
       "  render    --in FILE [--solution FILE] -o FILE.svg\n"
       "  sweep     --in FILE --param k|rho|capacity [--max K]  (CSV)\n"
-      "  info      --in FILE\n";
+      "  info      --in FILE\n"
+      "  --version print the version and exit\n";
   return 2;
 }
 
@@ -367,15 +446,26 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.command == "--version" || args.command == "version") {
+      std::cout << "sectorpack " << SECTORPACK_VERSION << "\n";
+      return 0;
+    }
     if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "solve") return with_observability(args, cmd_solve);
     if (args.command == "validate") return cmd_validate(args);
-    if (args.command == "bound") return cmd_bound(args);
-    if (args.command == "cover") return cmd_cover(args);
+    if (args.command == "bound") return with_observability(args, cmd_bound);
+    if (args.command == "cover") return with_observability(args, cmd_cover);
     if (args.command == "render") return cmd_render(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "info") return cmd_info(args);
-    return usage();
+    if (args.command.empty()) return usage();
+    std::cerr << "error: unknown command '" << args.command
+              << "' (run 'sectorpack' with no arguments for usage)\n";
+    return 2;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what()
+              << " (run 'sectorpack' with no arguments for usage)\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
