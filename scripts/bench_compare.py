@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json artifacts and fail on timing regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Diffs every metric ending in `.median_ms` that both artifacts report and
+exits 1 if any regressed by more than the threshold (default 5%). Medians
+are the comparison basis because min is too optimistic under frequency
+scaling and p95 too noisy on shared runners; see bench/bench_common.hpp.
+Non-timing metrics and obs counters are ignored. When neither artifact
+reports medians (some benches only record wall_seconds), wall clock is
+compared instead, with the same threshold.
+
+Stdlib only, so it runs on any CI image that has python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics", {})
+    medians = {
+        key: float(val)
+        for key, val in metrics.items()
+        if key.endswith(".median_ms") and isinstance(val, (int, float))
+    }
+    return doc, medians
+
+
+def fmt_delta(base, cand):
+    if base <= 0.0:
+        return "n/a"
+    return f"{100.0 * (cand - base) / base:+.1f}%"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_<name>.json")
+    parser.add_argument("candidate", help="candidate BENCH_<name>.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="max tolerated median regression in percent (default: 5)",
+    )
+    args = parser.parse_args()
+
+    base_doc, base_medians = load_metrics(args.baseline)
+    cand_doc, cand_medians = load_metrics(args.candidate)
+
+    if base_doc.get("bench") != cand_doc.get("bench"):
+        print(
+            f"warning: comparing different benches "
+            f"({base_doc.get('bench')!r} vs {cand_doc.get('bench')!r})",
+            file=sys.stderr,
+        )
+
+    shared = sorted(set(base_medians) & set(cand_medians))
+    limit = args.threshold / 100.0
+    regressions = []
+
+    if shared:
+        width = max(len(k) for k in shared)
+        for key in shared:
+            base = base_medians[key]
+            cand = cand_medians[key]
+            delta = fmt_delta(base, cand)
+            flag = ""
+            if base > 0.0 and (cand - base) / base > limit:
+                regressions.append((key, base, cand))
+                flag = "  <-- REGRESSION"
+            print(f"{key:<{width}}  {base:10.4f} -> {cand:10.4f} ms "
+                  f"({delta}){flag}")
+        only_base = sorted(set(base_medians) - set(cand_medians))
+        only_cand = sorted(set(cand_medians) - set(base_medians))
+        for key in only_base:
+            print(f"note: {key} only in baseline", file=sys.stderr)
+        for key in only_cand:
+            print(f"note: {key} only in candidate", file=sys.stderr)
+    else:
+        base = float(base_doc.get("wall_seconds", 0.0))
+        cand = float(cand_doc.get("wall_seconds", 0.0))
+        print("no shared .median_ms metrics; comparing wall_seconds")
+        print(f"wall_seconds  {base:.4f} -> {cand:.4f} "
+              f"({fmt_delta(base, cand)})")
+        if base > 0.0 and (cand - base) / base > limit:
+            regressions.append(("wall_seconds", base, cand))
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.1f}%:",
+            file=sys.stderr,
+        )
+        for key, base, cand in regressions:
+            print(f"  {key}: {base:.4f} -> {cand:.4f} ({fmt_delta(base, cand)})",
+                  file=sys.stderr)
+        return 1
+
+    print(f"\nOK: no metric regressed more than {args.threshold:.1f}%.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,40 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build everything with ASan+UBSan (SECTORPACK_SANITIZE=ON)
-# and run the full test suite. The obs metrics shards and trace buffers are
-# concurrent by design; this keeps them provably clean of data races on
-# unsynchronized memory, leaks, and UB from day one.
+# Sanitizer gate: build everything with sanitizers on and run the full test
+# suite. The obs metrics shards, trace buffers, the work-stealing thread
+# pool, and the shared oracle caches are concurrent by design; this keeps
+# them provably clean of data races on unsynchronized memory, leaks, and UB
+# from day one.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+# Default mode is ASan+UBSan (SECTORPACK_SANITIZE=ON). Set SECTORPACK_TSAN=1
+# in the environment (or pass --tsan) to run a ThreadSanitizer build instead
+# -- TSan is exclusive with ASan, so it uses its own build directory.
+#
+# Usage: scripts/check.sh [--tsan] [build-dir]
+#        (default build dir: build-sanitize, or build-tsan with --tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-sanitize}"
+TSAN="${SECTORPACK_TSAN:-0}"
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
+
+if [[ "$TSAN" == "1" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  CMAKE_FLAGS=(-DSECTORPACK_TSAN=ON -DSECTORPACK_SANITIZE=OFF)
+  LABEL="TSan"
+else
+  BUILD_DIR="${1:-build-sanitize}"
+  CMAKE_FLAGS=(-DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF)
+  LABEL="ASan + UBSan"
+fi
 
 cmake -B "$BUILD_DIR" -S . \
-  -DSECTORPACK_SANITIZE=ON \
+  "${CMAKE_FLAGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 echo
-echo "Sanitizer check passed (ASan + UBSan, build dir: $BUILD_DIR)."
+echo "Sanitizer check passed ($LABEL, build dir: $BUILD_DIR)."

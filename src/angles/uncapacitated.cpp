@@ -4,6 +4,7 @@
 
 #include "src/angles/angles.hpp"
 #include "src/geom/arc.hpp"
+#include "src/geom/sweep.hpp"
 
 namespace sectorpack::angles {
 
@@ -12,46 +13,57 @@ namespace {
 using geom::kAngleEps;
 using geom::kTwoPi;
 
+// Sorted-circle geometry for the k-arc DP, derived from geom::WindowSweep
+// so the sort, angle doubling, and arc-reach two-pointer live in one place.
+// A sweep window's position range [window_first, window_end) is exactly the
+// closed arc starting at that angle, so the per-position reach `up` falls
+// out of the window ranges: positions sharing a window's start angle share
+// its reach, and the +2*pi copies repeat it shifted by n.
 struct SortedCircle {
   std::vector<std::size_t> order;  // original index per sorted position
   std::vector<double> angle2;      // sorted angles, doubled (+2*pi copy)
   std::vector<double> prefix;      // prefix demand sums over angle2
   std::vector<std::size_t> up;     // first position strictly after p's arc
+  std::vector<std::size_t> starts;  // distinct start positions (window firsts)
   std::size_t n = 0;
 };
 
-SortedCircle build_circle(std::span<const double> thetas,
-                          std::span<const double> demands, double rho) {
+SortedCircle build_circle(const geom::WindowSweep& sweep,
+                          std::span<const double> demands) {
   SortedCircle sc;
-  sc.n = thetas.size();
-  sc.order.resize(sc.n);
-  std::iota(sc.order.begin(), sc.order.end(), std::size_t{0});
-  std::vector<double> norm(sc.n);
-  for (std::size_t i = 0; i < sc.n; ++i) norm[i] = geom::normalize(thetas[i]);
-  std::sort(sc.order.begin(), sc.order.end(),
-            [&](std::size_t a, std::size_t b) { return norm[a] < norm[b]; });
+  sc.n = sweep.num_directions();
+  const std::size_t n2 = 2 * sc.n;
 
-  sc.angle2.resize(2 * sc.n);
-  sc.prefix.assign(2 * sc.n + 1, 0.0);
-  for (std::size_t p = 0; p < sc.n; ++p) {
-    sc.angle2[p] = norm[sc.order[p]];
-    sc.angle2[p + sc.n] = norm[sc.order[p]] + kTwoPi;
-  }
-  for (std::size_t p = 0; p < 2 * sc.n; ++p) {
-    sc.prefix[p + 1] = sc.prefix[p] + demands[sc.order[p % sc.n]];
+  sc.order.resize(sc.n);
+  sc.angle2.resize(n2);
+  sc.prefix.assign(n2 + 1, 0.0);
+  for (std::size_t p = 0; p < sc.n; ++p) sc.order[p] = sweep.sorted_index(p);
+  for (std::size_t p = 0; p < n2; ++p) {
+    sc.angle2[p] = sweep.sorted_angle(p);
+    sc.prefix[p + 1] = sc.prefix[p] + demands[sweep.sorted_index(p)];
   }
 
   // up[p]: first position q > p with angle2[q] > angle2[p] + rho + eps,
   // i.e. the first customer strictly outside the closed arc starting at p.
-  sc.up.resize(2 * sc.n);
-  std::size_t q = 0;
-  for (std::size_t p = 0; p < 2 * sc.n; ++p) {
-    if (q < p) q = p;
-    const double limit = sc.angle2[p] + rho + kAngleEps;
-    while (q < 2 * sc.n && sc.angle2[q] <= limit) ++q;
-    // Beyond the doubled range every angle is covered (rho >= 2*pi case is
-    // handled before the DP), so clamping is safe.
-    sc.up[p] = std::min(q, 2 * sc.n);
+  // Positions between consecutive window firsts share the first's angle
+  // (the sweep merged them as duplicates), hence its reach; guard with
+  // max(.., p+1) so a position always covers itself even when the merge
+  // crossed the 0/2*pi wrap. Beyond the doubled range every angle is
+  // covered (rho >= 2*pi is handled before the DP), so clamping is safe.
+  sc.up.resize(n2);
+  const std::size_t num_w = sweep.num_windows();
+  sc.starts.reserve(num_w);
+  for (std::size_t w = 0; w < num_w; ++w) {
+    const std::size_t first = sweep.window_first(w);
+    const std::size_t next =
+        w + 1 < num_w ? sweep.window_first(w + 1) : sc.n;
+    sc.starts.push_back(first);
+    for (std::size_t p = first; p < next; ++p) {
+      sc.up[p] = std::max(sweep.window_end(w), p + 1);
+    }
+  }
+  for (std::size_t p = sc.n; p < n2; ++p) {
+    sc.up[p] = std::min(sc.up[p - sc.n] + sc.n, n2);
   }
   return sc;
 }
@@ -80,7 +92,8 @@ ArcCoverResult solve_uncap_dp(std::span<const double> thetas,
     return result;
   }
 
-  const SortedCircle sc = build_circle(thetas, demands, rho);
+  const geom::WindowSweep sweep(thetas, rho);
+  const SortedCircle sc = build_circle(sweep, demands);
 
   // dp[t][l]: best demand using <= t arcs whose starts are at local
   // positions >= l (absolute position s + l), none covering the cut
@@ -108,8 +121,9 @@ ArcCoverResult solve_uncap_dp(std::span<const double> thetas,
     }
   };
 
-  for (std::size_t s = 0; s < n; ++s) {
-    if (s > 0 && sc.angle2[s] - sc.angle2[s - 1] <= kAngleEps) continue;
+  // Distinct cut directions are exactly the sweep's window starts; positions
+  // the sweep merged as duplicate angles would rerun an identical DP.
+  for (std::size_t s : sc.starts) {
     run_dp(s);
     if (dp[k][0] > best_value) {
       best_value = dp[k][0];

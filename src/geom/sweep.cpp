@@ -33,11 +33,20 @@ std::vector<double> candidate_orientations(std::span<const double> thetas,
     for (double t : thetas) cands.push_back(normalize(t - rho));
   }
   std::sort(cands.begin(), cands.end());
-  cands.erase(std::unique(cands.begin(), cands.end(),
-                          [](double a, double b) {
-                            return angles_equal(a, b);
-                          }),
-              cands.end());
+  // Dedup against the last *kept* value, not the adjacent original:
+  // angles_equal is not transitive (a ~ b and b ~ c do not imply a ~ c), so
+  // std::unique with it has implementation-defined results on runs of
+  // near-duplicates. The explicit loop pins the semantics: a candidate is
+  // kept iff it differs from the previously kept one by more than kAngleEps,
+  // so a drifting chain collapses to every ~eps-th representative instead of
+  // (on some implementations) the whole chain.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (kept == 0 || !angles_equal(cands[kept - 1], cands[i])) {
+      cands[kept++] = cands[i];
+    }
+  }
+  cands.resize(kept);
   // Wrap-around dedup: last and first can be equal mod 2*pi.
   if (cands.size() > 1 && angles_equal(cands.front(), cands.back())) {
     cands.pop_back();
@@ -59,12 +68,12 @@ WindowSweep::WindowSweep(std::span<const double> thetas, double rho)
   });
 
   order2_.resize(2 * n);
-  std::vector<double> key2(2 * n);
+  key2_.resize(2 * n);
   for (std::size_t i = 0; i < n; ++i) {
     order2_[i] = order[i];
     order2_[i + n] = order[i];
-    key2[i] = norm[order[i]];
-    key2[i + n] = norm[order[i]] + kTwoPi;
+    key2_[i] = norm[order[i]];
+    key2_[i + n] = norm[order[i]] + kTwoPi;
   }
 
   // One window per distinct start angle; duplicated angles share a window.
@@ -72,11 +81,11 @@ WindowSweep::WindowSweep(std::span<const double> thetas, double rho)
   ranges_.reserve(n);
   std::size_t hi = 0;  // two-pointer upper end into [0, 2n)
   for (std::size_t lo = 0; lo < n; ++lo) {
-    if (lo > 0 && angles_equal(key2[lo], key2[lo - 1])) continue;
+    if (lo > 0 && angles_equal(key2_[lo], key2_[lo - 1])) continue;
     if (hi < lo) hi = lo;
-    const double limit = key2[lo] + rho_ + kAngleEps;
-    while (hi < lo + n && key2[hi] <= limit) ++hi;
-    alphas_.push_back(key2[lo]);
+    const double limit = key2_[lo] + rho_ + kAngleEps;
+    while (hi < lo + n && key2_[hi] <= limit) ++hi;
+    alphas_.push_back(key2_[lo]);
     ranges_.emplace_back(lo, hi - lo);
   }
 

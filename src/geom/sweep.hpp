@@ -31,6 +31,19 @@ enum class CandidateEdges {
     std::span<const double> thetas, double rho,
     CandidateEdges edges = CandidateEdges::kLeading);
 
+/// Membership difference between window w and its predecessor w-1.
+/// Both spans view the sweep's internal doubled order array and contain
+/// *original* direction indices. Apply `leave` before `enter`: every index
+/// in `leave` is a member of window w-1, every index in `enter` is a member
+/// of window w, and an index may appear in both (when the window spans
+/// nearly the whole circle the leading edge drops a direction in the same
+/// step the trailing edge re-admits it) -- processing leave-then-enter keeps
+/// a 0/1 membership invariant valid throughout.
+struct WindowDelta {
+  std::span<const std::size_t> leave;
+  std::span<const std::size_t> enter;
+};
+
 /// Precomputed sweep of all leading-edge windows. Window w is the arc
 /// [alpha(w), alpha(w)+rho]; members(w) are the indices (into the original
 /// `thetas` span) of directions inside that closed arc.
@@ -38,6 +51,12 @@ enum class CandidateEdges {
 /// Construction is O(n log n); total member storage is O(n) amortized per
 /// window via a doubled sorted array, so iterating all windows touches each
 /// member range as a contiguous span with no per-window allocation.
+///
+/// Callers that evaluate every window should walk the circle with delta()
+/// instead of re-materializing members(w): consecutive windows differ by
+/// O(1) amortized directions (each sorted position enters once and leaves
+/// once over the full sweep), so an incremental evaluation touches O(n)
+/// membership updates total instead of O(n) per window.
 class WindowSweep {
  public:
   WindowSweep(std::span<const double> thetas, double rho);
@@ -57,9 +76,54 @@ class WindowSweep {
     return {order2_.data() + first, count};
   }
 
+  /// Membership delta from window w-1 to window w. Precondition: 1 <= w <
+  /// num_windows(). O(1); the spans alias internal storage (valid for the
+  /// sweep's lifetime). See WindowDelta for the leave/enter contract.
+  [[nodiscard]] WindowDelta delta(std::size_t w) const noexcept {
+    const auto& [plo, pcount] = ranges_[w - 1];
+    const auto& [lo, count] = ranges_[w];
+    const std::size_t phi = plo + pcount;
+    const std::size_t hi = lo + count;
+    // Positions [plo, phi) were members of w-1, [lo, hi) are members of w.
+    // lo and hi are both non-decreasing, so the symmetric difference is the
+    // prefix that fell behind the new leading edge and the suffix the
+    // advancing trailing edge picked up. When the ranges are disjoint
+    // (phi <= lo: the sweep jumped a gap) everything turns over.
+    const std::size_t leave_end = phi < lo ? phi : lo;
+    const std::size_t enter_begin = phi > lo ? phi : lo;
+    return {{order2_.data() + plo, leave_end - plo},
+            {order2_.data() + enter_begin, hi - enter_begin}};
+  }
+
+  // Sorted-position accessors, shared with callers (e.g. the uncapacitated
+  // k-arc DP) that need the sweep's sorted geometry rather than per-window
+  // member lists. Positions p in [0, n) are directions in ascending
+  // normalized-angle order; positions [n, 2n) repeat them shifted by 2*pi.
+  [[nodiscard]] std::size_t num_directions() const noexcept {
+    return order2_.size() / 2;
+  }
+  /// Original index of sorted position p, p in [0, 2n).
+  [[nodiscard]] std::size_t sorted_index(std::size_t p) const noexcept {
+    return order2_[p];
+  }
+  /// Normalized angle of sorted position p (+2*pi for p >= n).
+  [[nodiscard]] double sorted_angle(std::size_t p) const noexcept {
+    return key2_[p];
+  }
+  /// First sorted position of window w (its leading-edge direction; when
+  /// several directions share the start angle, the lowest such position).
+  [[nodiscard]] std::size_t window_first(std::size_t w) const noexcept {
+    return ranges_[w].first;
+  }
+  /// One past the last sorted position of window w.
+  [[nodiscard]] std::size_t window_end(std::size_t w) const noexcept {
+    return ranges_[w].first + ranges_[w].second;
+  }
+
  private:
   double rho_;
   std::vector<std::size_t> order2_;  // sorted indices, duplicated (size 2n)
+  std::vector<double> key2_;         // sorted angles, duplicated (+2*pi copy)
   std::vector<double> alphas_;       // unique window start angles, sorted
   std::vector<std::pair<std::size_t, std::size_t>> ranges_;  // (first, count)
 };

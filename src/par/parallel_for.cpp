@@ -53,10 +53,13 @@ void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body,
         if (!first_error) first_error = std::current_exception();
       }
       {
+        // Notify under the lock; see the matching comment in
+        // parallel_reduce (parallel_for.hpp) -- the waiter's stack frame
+        // owns cv, so a post-unlock signal races its destruction.
         std::lock_guard lock(mu);
         ++done;
+        cv.notify_one();
       }
-      cv.notify_one();
     });
   }
 

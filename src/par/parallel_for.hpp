@@ -65,10 +65,14 @@ template <typename T, typename MapFn, typename CombineFn>
         if (!first_error) first_error = std::current_exception();
       }
       {
+        // Notify while holding the lock: the waiter destroys cv the moment
+        // its predicate holds and it reacquires mu, so signalling after the
+        // unlock races that destruction (TSan: pthread_cond_destroy vs
+        // pthread_cond_signal).
         std::lock_guard lock(mu);
         ++done;
+        cv.notify_one();
       }
-      cv.notify_one();
     });
   }
 

@@ -1,7 +1,10 @@
 #include "src/par/thread_pool.hpp"
 
-#include <atomic>
+#include <cassert>
+#include <cstdio>
 #include <utility>
+
+#include "src/obs/metrics.hpp"
 
 namespace sectorpack::par {
 
@@ -10,20 +13,25 @@ std::atomic<unsigned> g_global_threads{0};
 std::atomic<bool> g_global_created{false};
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads)
+    : steals_(obs::counter("par.steals")) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  queues_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(sleep_mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -31,24 +39,69 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                     static_cast<unsigned>(queues_.size());
   {
-    std::lock_guard lock(mu_);
-    queue_.push_back(std::move(task));
+    std::lock_guard lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  {
+    // Publishing the count under sleep_mu_ closes the race with a worker
+    // that found every queue empty and is about to wait: the wait predicate
+    // re-reads pending_ under this same mutex.
+    std::lock_guard lock(sleep_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+bool ThreadPool::try_take(unsigned self, std::function<void()>& task) {
+  const std::size_t nq = queues_.size();
+  // Own queue first, front end (FIFO for the owner)...
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
     }
-    task();
+  }
+  // ...then steal from the back of the others, scanning from the next
+  // neighbour so thieves spread out instead of all hitting queue 0.
+  for (std::size_t step = 1; step < nq; ++step) {
+    WorkerQueue& q = *queues_[(self + step) % nq];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_take(self, task)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock lock(sleep_mu_);
+    if (stopping_) {
+      // Drain before exiting: pending_ > 0 means some queue still holds a
+      // task (possibly submitted after stopping_ was set).
+      if (pending_.load(std::memory_order_relaxed) == 0) return;
+      continue;
+    }
+    cv_.wait(lock, [this] {
+      return stopping_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
   }
 }
 
@@ -59,7 +112,21 @@ ThreadPool& ThreadPool::global() {
 }
 
 bool ThreadPool::set_global_threads(unsigned threads) {
-  if (g_global_created.load(std::memory_order_relaxed)) return false;
+  if (g_global_created.load(std::memory_order_relaxed)) {
+    static const obs::Counter c_late = obs::counter("par.set_threads.late");
+    c_late.inc();
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "sectorpack: ThreadPool::set_global_threads(%u) called "
+                   "after the global pool was created; call it before any "
+                   "parallel work (ignored)\n",
+                   threads);
+    }
+    assert(!"ThreadPool::set_global_threads called after global pool "
+            "creation");
+    return false;
+  }
   g_global_threads.store(threads, std::memory_order_relaxed);
   return true;
 }

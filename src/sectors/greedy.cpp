@@ -1,10 +1,24 @@
 #include <algorithm>
 
 #include "src/assign/assign.hpp"
+#include "src/knapsack/incremental.hpp"
+#include "src/par/parallel_for.hpp"
 #include "src/sectors/sectors.hpp"
 #include "src/single/single.hpp"
 
 namespace sectorpack::sectors {
+
+namespace {
+
+// One round's verdict for a single antenna: its best window over the still-
+// unserved customers, with picks already remapped to instance indices.
+struct AntennaPick {
+  double value = 0.0;
+  std::size_t j = 0;
+  single::WindowChoice choice;
+};
+
+}  // namespace
 
 model::Solution solve_greedy(const model::Instance& inst,
                              const GreedyConfig& config) {
@@ -19,50 +33,94 @@ model::Solution solve_greedy(const model::Instance& inst,
   // sweep each round; compute it once and hand it to the lowest-index one.
   const bool identical = inst.antennas_identical();
 
-  std::vector<double> thetas;
-  std::vector<double> values;
-  std::vector<double> demands;
-  std::vector<std::size_t> index;
+  // Window memo, per antenna, surviving across rounds: away from the window
+  // committed last round the unserved set -- and hence most windows' member
+  // fingerprints -- is unchanged, so later rounds mostly replay cached
+  // packings. Identical antennas share one cache (same capacity, same
+  // windows).
+  std::vector<knapsack::OracleCache> caches(identical ? 1 : k);
+
+  // Evaluates antenna j against the current unserved set. Thread-confined:
+  // scratch lives on the calling worker's stack, the shared cache is
+  // internally synchronized, and `served`/`sol` are only read here.
+  const auto evaluate = [&](std::size_t j, bool window_parallel) {
+    AntennaPick pick;
+    pick.j = j;
+    std::vector<double> thetas;
+    std::vector<double> values;
+    std::vector<double> demands;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!served[i] && inst.in_range(i, j)) {
+        thetas.push_back(inst.theta(i));
+        values.push_back(inst.value(i));
+        demands.push_back(inst.demand(i));
+        index.push_back(i);
+      }
+    }
+    pick.choice = single::best_window_weighted(
+        thetas, values, demands, inst.antenna(j).rho, inst.antenna(j).capacity,
+        config.oracle, window_parallel, nullptr,
+        &caches[identical ? 0 : j], index);
+    pick.value = pick.choice.value;
+    // Remap local picks to instance customer indices now, while the index
+    // map for antenna j is live.
+    for (std::size_t& c : pick.choice.chosen) c = index[c];
+    return pick;
+  };
 
   for (std::size_t round = 0; round < k; ++round) {
-    double best_value = 0.0;
-    std::size_t best_j = k;
-    single::WindowChoice best_choice;
+    AntennaPick best;
+    bool have_best = false;
 
-    for (std::size_t j = 0; j < k; ++j) {
-      if (used[j]) continue;
-      thetas.clear();
-      values.clear();
-      demands.clear();
-      index.clear();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!served[i] && inst.in_range(i, j)) {
-          thetas.push_back(inst.theta(i));
-          values.push_back(inst.value(i));
-          demands.push_back(inst.demand(i));
-          index.push_back(i);
+    if (identical) {
+      // Same result for every unused antenna: evaluate the lowest-index one
+      // and parallelize across its windows instead.
+      for (std::size_t j = 0; j < k; ++j) {
+        if (used[j]) continue;
+        best = evaluate(j, config.parallel);
+        have_best = best.value > 0.0;
+        break;
+      }
+    } else if (config.parallel && k > 1) {
+      // Per-antenna argmax over the pool. Deterministic: chunks are
+      // combined in ascending antenna order and a later antenna replaces
+      // the incumbent only on strictly greater value, which reproduces the
+      // serial "first antenna achieving the maximum" rule exactly.
+      best = par::parallel_reduce<AntennaPick>(
+          k, /*grain=*/1, AntennaPick{},
+          [&](std::size_t b, std::size_t e) {
+            AntennaPick chunk_best;
+            for (std::size_t j = b; j < e; ++j) {
+              if (used[j]) continue;
+              AntennaPick pick = evaluate(j, false);
+              if (pick.value > chunk_best.value) {
+                chunk_best = std::move(pick);
+              }
+            }
+            return chunk_best;
+          },
+          [](AntennaPick a, AntennaPick b) {
+            return b.value > a.value ? std::move(b) : std::move(a);
+          });
+      have_best = best.value > 0.0;
+    } else {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (used[j]) continue;
+        AntennaPick pick = evaluate(j, false);
+        if (pick.value > best.value) {
+          best = std::move(pick);
+          have_best = true;
         }
       }
-      single::WindowChoice choice = single::best_window_weighted(
-          thetas, values, demands, inst.antenna(j).rho,
-          inst.antenna(j).capacity, config.oracle, config.parallel);
-      if (choice.value > best_value) {
-        best_value = choice.value;
-        best_j = j;
-        best_choice = std::move(choice);
-        // Remap local picks to instance customer indices now, while the
-        // index map for antenna j is live.
-        for (std::size_t& c : best_choice.chosen) c = index[c];
-      }
-      if (identical) break;  // same result for every unused antenna
     }
 
-    if (best_j == k) break;  // no antenna can serve anything further
-    used[best_j] = true;
-    sol.alpha[best_j] = best_choice.alpha;
-    for (std::size_t i : best_choice.chosen) {
+    if (!have_best) break;  // no antenna can serve anything further
+    used[best.j] = true;
+    sol.alpha[best.j] = best.choice.alpha;
+    for (std::size_t i : best.choice.chosen) {
       served[i] = true;
-      sol.assign[i] = static_cast<std::int32_t>(best_j);
+      sol.assign[i] = static_cast<std::int32_t>(best.j);
     }
   }
   return sol;

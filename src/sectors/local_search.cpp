@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "src/assign/assign.hpp"
+#include "src/knapsack/incremental.hpp"
 #include "src/model/validate.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -26,6 +27,12 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
   std::vector<double> values;
   std::vector<double> demands;
   std::vector<std::size_t> index;
+
+  // Window memo per antenna, surviving across passes: antenna j's candidate
+  // pool (unserved plus its own customers) only changes when some antenna's
+  // assignment changed nearby, so most windows replay from cache after the
+  // first pass. Keyed by member fingerprints over instance indices.
+  std::vector<knapsack::OracleCache> caches(k);
 
   bool improved_any = true;
   for (std::size_t pass = 0; pass < config.max_passes && improved_any;
@@ -60,7 +67,8 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
       }
       const single::WindowChoice choice = single::best_window_weighted(
           thetas, values, demands, inst.antenna(j).rho,
-          inst.antenna(j).capacity, config.oracle, config.parallel);
+          inst.antenna(j).capacity, config.oracle, config.parallel,
+          /*pool=*/nullptr, &caches[j], index);
 
       if (choice.value > current + 1e-12) {
         c_improving.inc();

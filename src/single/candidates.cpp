@@ -1,6 +1,8 @@
 #include <algorithm>
 
 #include "src/geom/sweep.hpp"
+#include "src/knapsack/incremental.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/par/parallel_for.hpp"
 #include "src/single/single.hpp"
 
@@ -8,37 +10,70 @@ namespace sectorpack::single {
 
 namespace {
 
-WindowChoice scan_range(const geom::WindowSweep& sweep,
-                        std::span<const double> values,
-                        std::span<const double> weights, double capacity,
-                        const knapsack::Oracle& oracle, std::size_t begin,
-                        std::size_t end) {
-  WindowChoice best;
-  std::vector<knapsack::Item> items;
-  for (std::size_t w = begin; w < end; ++w) {
-    const auto members = sweep.members(w);
-    items.clear();
-    items.reserve(members.size());
-    double window_value = 0.0;
-    for (std::size_t m : members) {
-      items.push_back({values[m], weights[m]});
-      window_value += values[m];
-    }
-    // Cheap skip: even taking every member cannot beat the incumbent.
-    if (window_value <= best.value) continue;
+// Per-scan tallies merged into the obs counters once per chunk (not per
+// window: the walk must stay branch-light when obs is off).
+[[gnu::noinline]] void record_scan(std::uint64_t steps, std::uint64_t enters,
+                                   std::uint64_t leaves,
+                                   const knapsack::IncrementalStats& stats) {
+  static const obs::Counter c_steps = obs::counter("sweep.delta.steps");
+  static const obs::Counter c_enter = obs::counter("sweep.delta.enter");
+  static const obs::Counter c_leave = obs::counter("sweep.delta.leave");
+  static const obs::Counter c_sum = obs::counter("oracle.skip_sum");
+  static const obs::Counter c_bound = obs::counter("oracle.skip_bound");
+  static const obs::Counter c_hits = obs::counter("oracle.cache.hits");
+  static const obs::Counter c_miss = obs::counter("oracle.cache.misses");
+  static const obs::Counter c_solves = obs::counter("oracle.solves");
+  c_steps.add(steps);
+  c_enter.add(enters);
+  c_leave.add(leaves);
+  c_sum.add(stats.skipped_by_sum);
+  c_bound.add(stats.skipped_by_bound);
+  c_hits.add(stats.cache_hits);
+  c_miss.add(stats.cache_misses);
+  c_solves.add(stats.solves);
+}
 
-    knapsack::Result res = oracle.solve(items, capacity);
+// Walk windows [begin, end) with membership deltas. The prototype carries
+// the density index (sorted once per call); each chunk clones it and
+// materializes only its first window. A window pays for a batch oracle
+// solve only when (a) its running value sum and (b) its O(log n) LP bound
+// both still beat the chunk incumbent -- neither skip can discard a window
+// the non-incremental scan would have used, because any oracle's value is
+// bounded by both.
+WindowChoice scan_range(const geom::WindowSweep& sweep,
+                        const knapsack::IncrementalOracle& proto,
+                        std::size_t begin, std::size_t end) {
+  WindowChoice best;
+  knapsack::IncrementalOracle inc = proto;
+  knapsack::IncrementalStats stats;
+  std::uint64_t enters = 0;
+  std::uint64_t leaves = 0;
+  for (std::size_t m : sweep.members(begin)) inc.add(m);
+  enters += sweep.members(begin).size();
+  for (std::size_t w = begin; w < end; ++w) {
+    if (w > begin) {
+      const geom::WindowDelta d = sweep.delta(w);
+      for (std::size_t m : d.leave) inc.remove(m);
+      for (std::size_t m : d.enter) inc.add(m);
+      leaves += d.leave.size();
+      enters += d.enter.size();
+    }
+    if (inc.value_sum() <= best.value) {
+      ++stats.skipped_by_sum;
+      continue;
+    }
+    if (inc.upper_bound() <= best.value) {
+      ++stats.skipped_by_bound;
+      continue;
+    }
+    knapsack::Result res = inc.solve(sweep.members(w), &stats);
     if (res.value > best.value) {
       best.value = res.value;
       best.alpha = sweep.alpha(w);
-      best.chosen.clear();
-      best.chosen.reserve(res.chosen.size());
-      for (std::size_t pick : res.chosen) {
-        best.chosen.push_back(members[pick]);
-      }
+      best.chosen = std::move(res.chosen);
     }
   }
-  std::sort(best.chosen.begin(), best.chosen.end());
+  record_scan(end - begin, enters, leaves, stats);
   return best;
 }
 
@@ -58,18 +93,27 @@ WindowChoice best_window_weighted(std::span<const double> thetas,
                                   std::span<const double> demands, double rho,
                                   double capacity,
                                   const knapsack::Oracle& oracle,
-                                  bool parallel, par::ThreadPool* pool) {
+                                  bool parallel, par::ThreadPool* pool,
+                                  knapsack::OracleCache* cache,
+                                  std::span<const std::size_t> ids) {
   const geom::WindowSweep sweep(thetas, rho);
   const std::size_t nw = sweep.num_windows();
   if (nw == 0) return {};
 
+  std::vector<knapsack::Item> universe(thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    universe[i] = {values[i], demands[i]};
+  }
+  const knapsack::IncrementalOracle proto(universe, capacity, oracle, cache,
+                                          ids);
+
   if (!parallel) {
-    return scan_range(sweep, values, demands, capacity, oracle, 0, nw);
+    return scan_range(sweep, proto, 0, nw);
   }
   return par::parallel_reduce<WindowChoice>(
       nw, /*grain=*/8, WindowChoice{},
       [&](std::size_t b, std::size_t e) {
-        return scan_range(sweep, values, demands, capacity, oracle, b, e);
+        return scan_range(sweep, proto, b, e);
       },
       [](WindowChoice a, WindowChoice b) {
         return better_of(std::move(a), std::move(b));
@@ -80,9 +124,11 @@ WindowChoice best_window_weighted(std::span<const double> thetas,
 WindowChoice best_window(std::span<const double> thetas,
                          std::span<const double> demands, double rho,
                          double capacity, const knapsack::Oracle& oracle,
-                         bool parallel, par::ThreadPool* pool) {
-  return best_window_weighted(thetas, demands, demands, rho, capacity,
-                              oracle, parallel, pool);
+                         bool parallel, par::ThreadPool* pool,
+                         knapsack::OracleCache* cache,
+                         std::span<const std::size_t> ids) {
+  return best_window_weighted(thetas, demands, demands, rho, capacity, oracle,
+                              parallel, pool, cache, ids);
 }
 
 }  // namespace sectorpack::single

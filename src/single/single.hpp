@@ -12,6 +12,7 @@
 
 #include <span>
 
+#include "src/knapsack/incremental.hpp"
 #include "src/knapsack/knapsack.hpp"
 #include "src/model/solution.hpp"
 #include "src/par/thread_pool.hpp"
@@ -31,12 +32,23 @@ struct WindowChoice {
 /// so results are deterministic. `parallel` distributes windows over a
 /// thread pool (identical result, chunk-ordered reduction); `pool` selects
 /// the pool, defaulting to the process-global one.
+///
+/// The scan walks consecutive windows with geom::WindowSweep::delta and a
+/// knapsack::IncrementalOracle, so a window only pays for a full oracle
+/// solve when its incrementally-maintained LP bound still beats the
+/// incumbent; see docs/performance.md. `cache`, when given, memoizes solved
+/// windows across calls (greedy rounds, local-search passes) -- `ids` must
+/// then map each customer to a stable, strictly ascending id (e.g. its
+/// instance index) so fingerprints agree across calls whose filtered
+/// customer lists differ.
 [[nodiscard]] WindowChoice best_window(std::span<const double> thetas,
                                        std::span<const double> demands,
                                        double rho, double capacity,
                                        const knapsack::Oracle& oracle,
                                        bool parallel = false,
-                                       par::ThreadPool* pool = nullptr);
+                                       par::ThreadPool* pool = nullptr,
+                                       knapsack::OracleCache* cache = nullptr,
+                                       std::span<const std::size_t> ids = {});
 
 /// Value-weighted variant: customer i contributes values[i] to the
 /// objective while consuming demands[i] of the capacity. The unweighted
@@ -45,7 +57,8 @@ struct WindowChoice {
     std::span<const double> thetas, std::span<const double> values,
     std::span<const double> demands, double rho, double capacity,
     const knapsack::Oracle& oracle, bool parallel = false,
-    par::ThreadPool* pool = nullptr);
+    par::ThreadPool* pool = nullptr, knapsack::OracleCache* cache = nullptr,
+    std::span<const std::size_t> ids = {});
 
 /// Fast path for UNIFORM demands (every customer has demand d): the best
 /// packing of a window is simply its min(|window|, floor(capacity/d))

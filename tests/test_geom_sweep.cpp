@@ -179,3 +179,110 @@ TEST_P(SweepWidthProperty, WindowCountBoundedByDistinctAngles) {
 INSTANTIATE_TEST_SUITE_P(Widths, SweepWidthProperty,
                          ::testing::Values(0.01, 0.3, 1.0, geom::kPi, 5.0,
                                            geom::kTwoPi));
+
+// --- Delta iterator -------------------------------------------------------
+
+namespace {
+
+// Reference: replay a sweep's deltas on an explicit membership set and
+// compare against the materialized member span of every window.
+void check_delta_replay(const std::vector<double>& thetas, double rho,
+                        const char* label) {
+  const geom::WindowSweep sweep(thetas, rho);
+  const std::size_t nw = sweep.num_windows();
+  ASSERT_GE(nw, 1u) << label;
+
+  std::multiset<std::size_t> live;
+  const auto first = sweep.members(0);
+  live.insert(first.begin(), first.end());
+  for (std::size_t w = 1; w < nw; ++w) {
+    const geom::WindowDelta d = sweep.delta(w);
+    // Leave before enter: every leaver must currently be a member.
+    for (std::size_t idx : d.leave) {
+      const auto it = live.find(idx);
+      ASSERT_NE(it, live.end())
+          << label << ": window " << w << " removes non-member " << idx;
+      live.erase(it);
+    }
+    for (std::size_t idx : d.enter) live.insert(idx);
+
+    const auto span = sweep.members(w);
+    const std::multiset<std::size_t> want(span.begin(), span.end());
+    ASSERT_EQ(live, want) << label << ": window " << w
+                          << " delta replay diverged from members()";
+  }
+}
+
+}  // namespace
+
+TEST(WindowSweepDelta, ReplayMatchesMaterializedWindowsRandom) {
+  sectorpack::sim::Rng rng(777);
+  for (double rho : {0.05, 0.7, geom::kPi, 5.5, geom::kTwoPi - 1e-6}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = 1 + rng.uniform_int(50);
+      check_delta_replay(random_angles(rng, n), rho, "random");
+    }
+  }
+}
+
+TEST(WindowSweepDelta, ReplayWithClusteredDuplicates) {
+  sectorpack::sim::Rng rng(778);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Few distinct angles, many repeats: deltas move whole duplicate runs.
+    std::vector<double> thetas;
+    const std::size_t clusters = 1 + rng.uniform_int(6);
+    std::vector<double> centers = random_angles(rng, clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const std::size_t reps = 1 + rng.uniform_int(5);
+      for (std::size_t r = 0; r < reps; ++r) thetas.push_back(centers[c]);
+    }
+    check_delta_replay(thetas, 1.0, "clustered");
+  }
+}
+
+TEST(WindowSweep, AllDuplicateAnglesCollapseToOneWindow) {
+  const std::vector<double> thetas(7, 2.25);
+  const geom::WindowSweep sweep(thetas, 0.5);
+  ASSERT_EQ(sweep.num_windows(), 1u);
+  EXPECT_EQ(sweep.members(0).size(), 7u);
+  EXPECT_NEAR(sweep.alpha(0), 2.25, 1e-12);
+}
+
+TEST(WindowSweep, FullCircleWidthEveryWindowHoldsEveryone) {
+  sectorpack::sim::Rng rng(779);
+  for (double rho : {geom::kTwoPi, geom::kTwoPi + 3.0}) {
+    const auto thetas = random_angles(rng, 12);
+    const geom::WindowSweep sweep(thetas, rho);
+    for (std::size_t w = 0; w < sweep.num_windows(); ++w) {
+      EXPECT_EQ(sweep.members(w).size(), thetas.size())
+          << "rho=" << rho << " window " << w;
+    }
+    check_delta_replay(thetas, rho, "full-circle");
+  }
+}
+
+TEST(WindowSweep, SingleDirection) {
+  const std::vector<double> thetas = {4.0};
+  const geom::WindowSweep sweep(thetas, 1.0);
+  ASSERT_EQ(sweep.num_windows(), 1u);
+  ASSERT_EQ(sweep.members(0).size(), 1u);
+  EXPECT_EQ(sweep.members(0)[0], 0u);
+  EXPECT_EQ(sweep.num_directions(), 1u);
+  EXPECT_EQ(sweep.sorted_index(0), 0u);
+  EXPECT_EQ(sweep.window_first(0), 0u);
+  EXPECT_EQ(sweep.window_end(0), 1u);
+}
+
+// Regression: dedup must compare against the last *kept* candidate, not
+// collapse a whole chain of pairwise-close angles. With spacing just under
+// kAngleEps, elements two steps apart are distinct and must survive.
+TEST(Candidates, NearEpsChainKeepsDistinctElements) {
+  const double step = 0.6 * geom::kAngleEps;
+  const std::vector<double> thetas = {1.0, 1.0 + step, 1.0 + 2 * step,
+                                      1.0 + 3 * step};
+  const auto cands = geom::candidate_orientations(thetas, 0.5);
+  // Kept: 1.0 (first), 1.0+2*step (1.2*eps from last kept), others merged.
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_NEAR(cands[0], 1.0, 1e-12);
+  EXPECT_NEAR(cands[1], 1.0 + 2 * step, 1e-12);
+}
