@@ -9,14 +9,24 @@
 # in the environment (or pass --tsan) to run a ThreadSanitizer build instead
 # -- TSan is exclusive with ASan, so it uses its own build directory.
 #
-# Usage: scripts/check.sh [--tsan] [build-dir]
+# --fuzz restricts the run to the hostile-input battery: the malformed
+# corpus and mutation fuzzers (test_robustness / test_fuzz / test_deadline)
+# under ASan+UBSan, plus CLI invocations asserting the exit-code table from
+# docs/robustness.md. The default (no-flag) run includes the same battery
+# after the full test suite.
+#
+# Usage: scripts/check.sh [--tsan | --fuzz] [build-dir]
 #        (default build dir: build-sanitize, or build-tsan with --tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN="${SECTORPACK_TSAN:-0}"
+FUZZ_ONLY=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
+  shift
+elif [[ "${1:-}" == "--fuzz" ]]; then
+  FUZZ_ONLY=1
   shift
 fi
 
@@ -34,7 +44,77 @@ cmake -B "$BUILD_DIR" -S . \
   "${CMAKE_FLAGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+if [[ "$FUZZ_ONLY" == "1" ]]; then
+  # Hostile-input corpus only: IO garbage/mutation fuzzers and the deadline
+  # degradation tests.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'Robustness|Fuzz|Deadline'
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+fi
+
+# ---------------------------------------------------------------------------
+# CLI exit-code battery (runs in both modes): malformed files and bad flag
+# values must exit 1 / 2 respectively -- never crash, never exit 0 -- and
+# hitting --time-limit must NOT be an error.
+
+CLI="$BUILD_DIR/tools/sectorpack"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+expect_rc() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+  if [[ "$got" != "$want" ]]; then
+    echo "FAIL: expected exit $want, got $got: $*" >&2
+    cat "$TMP/err" >&2
+    exit 1
+  fi
+}
+
+# Hostile instance files -> runtime error (1).
+printf 'sectorpack-instance v1\ncustomers 9223372036854775807\n' \
+  > "$TMP/forged_count.inst"
+printf 'sectorpack-instance v1\ncustomers 1\n1 2 3 junk\nantennas 1\n0.5 10 5\n' \
+  > "$TMP/trailing.inst"
+printf 'sectorpack-instance v1\ncustomers 1\nnan 2 3\nantennas 1\n0.5 10 5\n' \
+  > "$TMP/nan.inst"
+printf 'sectorpack-instance v2\ncustomers 1\n1 2 3\nantennas 1\n0.5 10 5 0\n' \
+  > "$TMP/truncated_v2.inst"
+expect_rc 1 "$CLI" solve --in "$TMP/forged_count.inst"
+expect_rc 1 "$CLI" solve --in "$TMP/trailing.inst"
+expect_rc 1 "$CLI" info  --in "$TMP/nan.inst"
+expect_rc 1 "$CLI" info  --in "$TMP/truncated_v2.inst"
+expect_rc 1 "$CLI" solve --in "$TMP/does_not_exist.inst"
+
+# Bad invocations -> usage error (2). ok.inst exists so the usage error,
+# not a file error, is what decides the exit code.
+expect_rc 0 "$CLI" generate --n 300 --k 4 --seed 3 -o "$TMP/ok.inst"
+expect_rc 2 "$CLI" frobnicate
+expect_rc 2 "$CLI" generate --n -5
+expect_rc 2 "$CLI" generate --n banana
+expect_rc 2 "$CLI" solve --time-limit banana --in "$TMP/ok.inst"
+expect_rc 2 "$CLI" solve --time-limit -1 --in "$TMP/ok.inst"
+expect_rc 2 "$CLI" solve --in
+expect_rc 2 "$CLI" solve --no-such-flag 1 --in "$TMP/ok.inst"
+
+# A deadline hit is NOT an error: exit 0, status surfaced, feasible output.
+expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver local-search \
+  --time-limit 0 -o "$TMP/ok.sol" --stats json
+grep -q 'status=budget_exhausted' "$TMP/err"
+grep -q 'deadline.expired' "$TMP/out"
+grep -q 'status budget_exhausted' "$TMP/ok.sol"
+expect_rc 0 "$CLI" validate --in "$TMP/ok.inst" --solution "$TMP/ok.sol"
+# ... and without a limit the solution file carries no status line.
+expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver greedy -o "$TMP/full.sol"
+! grep -q 'status' "$TMP/full.sol"
 
 echo
-echo "Sanitizer check passed ($LABEL, build dir: $BUILD_DIR)."
+if [[ "$FUZZ_ONLY" == "1" ]]; then
+  echo "Fuzz battery passed ($LABEL, build dir: $BUILD_DIR)."
+else
+  echo "Sanitizer check passed ($LABEL, build dir: $BUILD_DIR)."
+fi

@@ -29,6 +29,7 @@
 
 #include <span>
 
+#include "src/core/deadline.hpp"
 #include "src/knapsack/knapsack.hpp"
 #include "src/model/solution.hpp"
 
@@ -57,12 +58,15 @@ struct ArcCoverResult {
 /// search. Delegates to sectors::; see sectors/sectors.hpp.
 [[nodiscard]] model::Solution solve_capacitated(
     const model::Instance& inst,
-    const knapsack::Oracle& oracle = knapsack::Oracle::exact());
+    const knapsack::Oracle& oracle = knapsack::Oracle::exact(),
+    const core::SolveOptions& opts = {});
 
 /// Exact capacitated P2 by enumerating candidate orientation tuples
 /// (sorted tuples when antennas are identical) with exact assignment.
-/// Exponential: intended for n <= ~10, k <= 3.
+/// Exponential: intended for n <= ~10, k <= 3. Deadline expiry returns the
+/// best tuple examined so far (status kBudgetExhausted).
 [[nodiscard]] model::Solution solve_capacitated_exact(
-    const model::Instance& inst, std::uint64_t node_limit = 1u << 26);
+    const model::Instance& inst, std::uint64_t node_limit = 1u << 26,
+    const core::SolveOptions& opts = {});
 
 }  // namespace sectorpack::angles

@@ -6,7 +6,8 @@
 namespace sectorpack::angles {
 
 model::Solution solve_capacitated(const model::Instance& inst,
-                                  const knapsack::Oracle& oracle) {
+                                  const knapsack::Oracle& oracle,
+                                  const core::SolveOptions& opts) {
   if (!inst.is_angles_only()) {
     throw std::invalid_argument(
         "angles::solve_capacitated: instance has out-of-range customers; "
@@ -14,17 +15,20 @@ model::Solution solve_capacitated(const model::Instance& inst,
   }
   sectors::LocalSearchConfig config;
   config.oracle = oracle;
+  config.solve = opts;
   return sectors::solve_local_search(inst, config);
 }
 
 model::Solution solve_capacitated_exact(const model::Instance& inst,
-                                        std::uint64_t node_limit) {
+                                        std::uint64_t node_limit,
+                                        const core::SolveOptions& opts) {
   if (!inst.is_angles_only()) {
     throw std::invalid_argument(
         "angles::solve_capacitated_exact: instance has out-of-range "
         "customers; use sectors::solve_exact instead");
   }
-  return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20, node_limit);
+  return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20, node_limit,
+                              opts);
 }
 
 }  // namespace sectorpack::angles

@@ -9,10 +9,16 @@
 
 #include <span>
 
+#include "src/core/deadline.hpp"
 #include "src/knapsack/knapsack.hpp"
 #include "src/model/solution.hpp"
 
 namespace sectorpack::assign {
+
+// All solvers below honor opts.deadline: on expiry they stop at the next
+// check point (customer block / antenna / node block), leave the remaining
+// customers unserved, and return a feasible partial assignment with
+// Solution::status == kBudgetExhausted.
 
 /// Which antennas can see which customers under the given orientations.
 struct Eligibility {
@@ -28,8 +34,9 @@ struct Eligibility {
 /// Greedy demand-descending best-fit: customers in decreasing demand order,
 /// each placed on the eligible antenna with the largest residual capacity
 /// that still fits it. Fast baseline (O(n log n + n k)).
-[[nodiscard]] model::Solution solve_greedy(const model::Instance& inst,
-                                           std::span<const double> alphas);
+[[nodiscard]] model::Solution solve_greedy(
+    const model::Instance& inst, std::span<const double> alphas,
+    const core::SolveOptions& opts = {});
 
 /// Successive knapsack: antennas in decreasing capacity order; each solves a
 /// knapsack (via `oracle`) over its still-unserved eligible customers and
@@ -38,15 +45,19 @@ struct Eligibility {
 /// beta / (1 + beta).
 [[nodiscard]] model::Solution solve_successive(
     const model::Instance& inst, std::span<const double> alphas,
-    const knapsack::Oracle& oracle = knapsack::Oracle::exact());
+    const knapsack::Oracle& oracle = knapsack::Oracle::exact(),
+    const core::SolveOptions& opts = {});
 
 /// Exact branch & bound over (customer -> eligible antenna | unserved)
 /// decisions with a fractional pruning bound. Exponential worst case;
 /// intended for n <= ~30 reference solutions. Throws std::runtime_error if
-/// `node_limit` is exhausted.
+/// `node_limit` is exhausted. A deadline, by contrast, degrades: the search
+/// stops at the next node block and the incumbent is returned with status
+/// kBudgetExhausted.
 [[nodiscard]] model::Solution solve_exact(const model::Instance& inst,
                                           std::span<const double> alphas,
-                                          std::uint64_t node_limit = 1u << 26);
+                                          std::uint64_t node_limit = 1u << 26,
+                                          const core::SolveOptions& opts = {});
 
 /// LP rounding: solve the fractional-assignment LP exactly (max flow),
 /// keep every customer the LP routes integrally to one antenna, then
@@ -56,6 +67,7 @@ struct Eligibility {
 /// on weighted instances this falls back to solve_successive, which
 /// optimizes value directly.
 [[nodiscard]] model::Solution solve_lp_rounding(
-    const model::Instance& inst, std::span<const double> alphas);
+    const model::Instance& inst, std::span<const double> alphas,
+    const core::SolveOptions& opts = {});
 
 }  // namespace sectorpack::assign

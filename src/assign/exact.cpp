@@ -16,6 +16,8 @@ struct ExactState {
   std::vector<double> suffix_density; // max value/demand over order[pos..]
   std::uint64_t node_limit = 0;
   std::uint64_t nodes = 0;
+  core::Deadline deadline;
+  bool stopped = false;  // deadline expired: unwind, keep the incumbent
 
   std::vector<double> residual;
   std::vector<std::int32_t> cur;   // per customer
@@ -23,7 +25,16 @@ struct ExactState {
   double cur_value = 0.0;
   double best_value = 0.0;
 
+  // Poll the deadline every 1024 nodes (including node 0, so an already-
+  // expired deadline stops before any search).
+  static constexpr std::uint64_t kCheckMask = 1023;
+
   void dfs(std::size_t pos) {
+    if (stopped) return;
+    if ((nodes & kCheckMask) == 0 && deadline.expired()) {
+      stopped = true;
+      return;
+    }
     if (++nodes > node_limit) {
       throw std::runtime_error("assign::solve_exact: node limit exceeded");
     }
@@ -64,13 +75,15 @@ struct ExactState {
 
 model::Solution solve_exact(const model::Instance& inst,
                             std::span<const double> alphas,
-                            std::uint64_t node_limit) {
+                            std::uint64_t node_limit,
+                            const core::SolveOptions& opts) {
   const Eligibility elig = compute_eligibility(inst, alphas);
 
   ExactState st;
   st.inst = &inst;
   st.elig = &elig;
   st.node_limit = node_limit;
+  st.deadline = opts.deadline;
   st.order.resize(inst.num_customers());
   std::iota(st.order.begin(), st.order.end(), std::size_t{0});
   std::sort(st.order.begin(), st.order.end(),
@@ -101,6 +114,10 @@ model::Solution solve_exact(const model::Instance& inst,
   sol.alpha.assign(alphas.begin(), alphas.end());
   for (double& a : sol.alpha) a = geom::normalize(a);
   sol.assign = st.best;
+  if (st.stopped) {
+    sol.status = model::SolveStatus::kBudgetExhausted;
+    core::note_expired("assign_exact");
+  }
   return sol;
 }
 

@@ -6,7 +6,9 @@
 namespace sectorpack::assign {
 
 model::Solution solve_greedy(const model::Instance& inst,
-                             std::span<const double> alphas) {
+                             std::span<const double> alphas,
+                             const core::SolveOptions& opts) {
+  const core::Deadline& deadline = opts.deadline;
   const Eligibility elig = compute_eligibility(inst, alphas);
 
   model::Solution sol = model::Solution::empty_for(inst);
@@ -27,7 +29,15 @@ model::Solution solve_greedy(const model::Instance& inst,
     residual[j] = inst.antenna(j).capacity;
   }
 
+  std::size_t placed = 0;
   for (std::size_t i : order) {
+    // Deadline check per 1024 placements; customers not yet placed simply
+    // stay unserved, which keeps the partial assignment feasible.
+    if ((placed++ & 1023) == 0 && deadline.expired()) {
+      sol.status = model::SolveStatus::kBudgetExhausted;
+      core::note_expired("assign_greedy");
+      return sol;
+    }
     const double d = inst.demand(i);
     std::int32_t best = model::kUnserved;
     double best_residual = -1.0;

@@ -10,11 +10,12 @@
 namespace sectorpack::assign {
 
 model::Solution solve_lp_rounding(const model::Instance& inst,
-                                  std::span<const double> alphas) {
+                                  std::span<const double> alphas,
+                                  const core::SolveOptions& opts) {
   if (inst.is_value_weighted()) {
     // Max-flow maximizes routed demand, not value; successive knapsack is
     // the right tool there.
-    return solve_successive(inst, alphas);
+    return solve_successive(inst, alphas, knapsack::Oracle::exact(), opts);
   }
   static const obs::Counter c_calls = obs::counter("assign.lp.calls");
   static const obs::Counter c_integral = obs::counter("assign.lp.integral");
@@ -49,7 +50,14 @@ model::Solution solve_lp_rounding(const model::Instance& inst,
     }
     flow.add_edge(1 + n + j, sink, inst.antenna(j).capacity);
   }
-  (void)flow.max_flow(source, sink);
+  // A truncated flow is still a feasible flow: phase 1 keeps whichever
+  // customers it routed integrally and phase 2's O(n k) repair fills the
+  // rest, so expiry degrades rounding quality, never feasibility.
+  (void)flow.max_flow(source, sink, opts.deadline);
+  if (flow.truncated()) {
+    sol.status = model::SolveStatus::kBudgetExhausted;
+    core::note_expired("assign_lp");
+  }
 
   // Phase 1: keep integrally-routed customers.
   std::vector<double> residual(k);

@@ -7,7 +7,9 @@ namespace sectorpack::assign {
 
 model::Solution solve_successive(const model::Instance& inst,
                                  std::span<const double> alphas,
-                                 const knapsack::Oracle& oracle) {
+                                 const knapsack::Oracle& oracle,
+                                 const core::SolveOptions& opts) {
+  const core::Deadline& deadline = opts.deadline;
   const Eligibility elig = compute_eligibility(inst, alphas);
 
   model::Solution sol = model::Solution::empty_for(inst);
@@ -25,6 +27,13 @@ model::Solution solve_successive(const model::Instance& inst,
   std::vector<knapsack::Item> items;
   std::vector<std::size_t> item_customer;
   for (std::size_t j : antenna_order) {
+    // Deadline check per antenna knapsack: antennas already committed form
+    // a feasible partial assignment; the rest stay unserved.
+    if (deadline.expired()) {
+      sol.status = model::SolveStatus::kBudgetExhausted;
+      core::note_expired("assign_successive");
+      return sol;
+    }
     items.clear();
     item_customer.clear();
     for (std::size_t i : elig.per_antenna[j]) {

@@ -55,7 +55,8 @@ double Dinic::dfs(std::size_t u, std::size_t t, double pushed) {
   return 0.0;
 }
 
-double Dinic::max_flow(std::size_t s, std::size_t t) {
+double Dinic::max_flow(std::size_t s, std::size_t t,
+                       const core::Deadline& deadline) {
   static const obs::Counter c_calls = obs::counter("dinic.max_flow_calls");
   static const obs::Counter c_phases = obs::counter("dinic.bfs_phases");
   static const obs::Counter c_paths = obs::counter("dinic.augmenting_paths");
@@ -63,7 +64,10 @@ double Dinic::max_flow(std::size_t s, std::size_t t) {
   std::uint64_t phases = 0;
   std::uint64_t paths = 0;
   double flow = 0.0;
-  while (bfs(s, t)) {
+  truncated_ = false;
+  // Deadline check per phase: stopping between phases leaves a consistent
+  // residual network and a feasible (if sub-maximal) flow.
+  while (!(truncated_ = deadline.expired()) && bfs(s, t)) {
     ++phases;
     std::fill(iter_.begin(), iter_.end(), std::size_t{0});
     for (;;) {
@@ -77,6 +81,7 @@ double Dinic::max_flow(std::size_t s, std::size_t t) {
   c_calls.inc();
   c_phases.add(phases);
   c_paths.add(paths);
+  if (truncated_) core::note_expired("dinic");
   return flow;
 }
 

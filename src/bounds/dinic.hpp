@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/deadline.hpp"
+
 namespace sectorpack::bounds {
 
 inline constexpr double kFlowEps = 1e-9;
@@ -19,8 +21,17 @@ class Dinic {
   /// Add a directed edge u -> v with the given capacity; returns edge id.
   std::size_t add_edge(std::size_t u, std::size_t v, double capacity);
 
-  /// Maximum s -> t flow. May be called once per instance.
-  [[nodiscard]] double max_flow(std::size_t s, std::size_t t);
+  /// Maximum s -> t flow. May be called once per instance. `deadline` is
+  /// polled once per phase (one BFS + its blocking flow): on expiry the
+  /// routed-so-far flow is returned -- a feasible flow and hence a LOWER
+  /// bound on the maximum; check truncated() before using the value as a
+  /// max-flow certificate.
+  [[nodiscard]] double max_flow(std::size_t s, std::size_t t,
+                                const core::Deadline& deadline = {});
+
+  /// True when the last max_flow call stopped on deadline expiry before
+  /// reaching the maximum.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
 
   /// Flow currently routed through edge `id` (as returned by add_edge).
   [[nodiscard]] double edge_flow(std::size_t id) const;
@@ -40,6 +51,7 @@ class Dinic {
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
   std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (u, pos)
+  bool truncated_ = false;
 };
 
 }  // namespace sectorpack::bounds

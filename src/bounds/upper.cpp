@@ -76,12 +76,14 @@ double orientation_free_bound(const model::Instance& inst) {
   return std::min(inst.total_value(), per_antenna_total);
 }
 
-double flow_window_bound(const model::Instance& inst) {
+double flow_window_bound(const model::Instance& inst,
+                         const core::SolveOptions& opts) {
   if (inst.is_value_weighted()) {
     throw std::invalid_argument(
         "flow_window_bound: max-flow relaxation is only valid when value == "
         "demand for every customer; use orientation_free_bound instead");
   }
+  const core::Deadline& deadline = opts.deadline;
   const std::size_t n = inst.num_customers();
   const std::size_t k = inst.num_antennas();
 
@@ -91,6 +93,13 @@ double flow_window_bound(const model::Instance& inst) {
   std::vector<double> thetas;
   std::vector<knapsack::Item> items;
   for (std::size_t j = 0; j < k; ++j) {
+    // Deadline check per antenna sweep. A truncated bound computation can
+    // not certify anything, so degrade to the always-valid trivial bound
+    // rather than return an under-estimate that is not an upper bound.
+    if (deadline.expired()) {
+      core::note_expired("flow_window_bound");
+      return trivial_bound(inst);
+    }
     const model::AntennaSpec& ant = inst.antenna(j);
     thetas.clear();
     std::vector<double> demands;
@@ -127,7 +136,14 @@ double flow_window_bound(const model::Instance& inst) {
     }
     flow.add_edge(1 + n + j, sink, ceiling[j]);
   }
-  return flow.max_flow(source, sink);
+  const double value = flow.max_flow(source, sink, deadline);
+  if (flow.truncated()) {
+    // Same reasoning: a partial max flow is a lower estimate of the LP
+    // value, which is the wrong direction for an upper bound.
+    core::note_expired("flow_window_bound");
+    return trivial_bound(inst);
+  }
+  return value;
 }
 
 double trivial_bound(const model::Instance& inst) {

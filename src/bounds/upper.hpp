@@ -6,6 +6,7 @@
 
 #include <span>
 
+#include "src/core/deadline.hpp"
 #include "src/model/instance.hpp"
 
 namespace sectorpack::bounds {
@@ -35,7 +36,12 @@ namespace sectorpack::bounds {
 /// (which ignores that a customer can be served only once) and
 /// trivial_bound. Costs one max-flow plus k window sweeps. Requires an
 /// unweighted instance (value == demand); throws otherwise.
-[[nodiscard]] double flow_window_bound(const model::Instance& inst);
+///
+/// Deadline-aware: a truncated max flow is NOT a valid upper bound, so on
+/// expiry this degrades to the always-valid (but looser) trivial_bound --
+/// the returned value is >= OPT either way.
+[[nodiscard]] double flow_window_bound(const model::Instance& inst,
+                                       const core::SolveOptions& opts = {});
 
 /// The trivial bound min(total demand, total capacity). Always valid;
 /// used as a sanity ceiling in experiments.

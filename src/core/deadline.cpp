@@ -1,0 +1,66 @@
+#include "src/core/deadline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace sectorpack::core {
+
+Deadline Deadline::after(double seconds) {
+  if (std::isnan(seconds)) {
+    throw std::invalid_argument("Deadline::after: budget is NaN");
+  }
+  Deadline d;
+  d.flag_ = std::make_shared<std::atomic<bool>>(seconds <= 0.0);
+  if (std::isfinite(seconds)) {
+    d.has_expiry_ = true;
+    d.expiry_ = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(std::max(seconds, 0.0)));
+  }
+  return d;
+}
+
+Deadline Deadline::cancellable() {
+  Deadline d;
+  d.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  if (!flag_) return false;
+  if (flag_->load(std::memory_order_relaxed)) return true;
+  if (has_expiry_ && Clock::now() >= expiry_) {
+    // Latch so subsequent checks (on any copy) skip the clock read.
+    flag_->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void Deadline::cancel() const noexcept {
+  if (flag_) flag_->store(true, std::memory_order_relaxed);
+}
+
+double Deadline::remaining_seconds() const noexcept {
+  if (!flag_) return std::numeric_limits<double>::infinity();
+  if (flag_->load(std::memory_order_relaxed)) return 0.0;
+  if (!has_expiry_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  return left > 0.0 ? left : 0.0;
+}
+
+void note_expired(const char* family) {
+  // Rare path (at most once per solve): registering by composed name here
+  // is fine, no static handle needed.
+  obs::counter(std::string("deadline.expired.") + family).inc();
+  obs::trace_instant("deadline.expired");
+}
+
+}  // namespace sectorpack::core

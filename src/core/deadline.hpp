@@ -1,0 +1,76 @@
+#pragma once
+// Cooperative cancellation for every solver entry point.
+//
+// A Deadline is a soft wall-clock budget plus an atomic cancel flag. Solvers
+// poll it at coarse, bounded-cost granularity -- per greedy round, per
+// annealing iteration, per local-search move, per Dinic phase, per
+// branch-and-bound node block, per window-sweep chunk -- so a solver returns
+// within (budget + one check interval), never mid-update. On expiry a solver
+// does not throw: it stops, finalizes its current incumbent (always a
+// feasible solution) and reports model::SolveStatus::kBudgetExhausted.
+// See docs/robustness.md for the full degradation contract.
+//
+// Copies of a Deadline share one flag, so a deadline handed to a solver can
+// be cancelled from another thread (admission control, client disconnect).
+// The flag also latches the first observed wall-clock expiry: once any
+// copy has seen the budget lapse, every later expired() call is a single
+// relaxed atomic load, no clock read.
+//
+// A default-constructed Deadline is unlimited and checks in one branch on a
+// null pointer; passing no options keeps solvers bit-identical to their
+// pre-deadline behavior.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace sectorpack::core {
+
+class Deadline {
+ public:
+  /// Unlimited: never expires, cancel() is a no-op.
+  Deadline() noexcept = default;
+
+  [[nodiscard]] static Deadline never() noexcept { return {}; }
+
+  /// Expires `seconds` of wall-clock time from now (steady clock). A
+  /// non-positive budget is already expired. Throws std::invalid_argument
+  /// on NaN.
+  [[nodiscard]] static Deadline after(double seconds);
+
+  /// No wall-clock budget, but cancellable via cancel().
+  [[nodiscard]] static Deadline cancellable();
+
+  /// True when constructed via after() or cancellable().
+  [[nodiscard]] bool limited() const noexcept { return flag_ != nullptr; }
+
+  /// True once the budget has lapsed or cancel() was called (on any copy).
+  [[nodiscard]] bool expired() const noexcept;
+
+  /// Cooperatively cancel: all copies report expired() from now on.
+  void cancel() const noexcept;
+
+  /// Seconds until expiry: +inf when unlimited, 0 once expired.
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::shared_ptr<std::atomic<bool>> flag_;  // null = unlimited
+  Clock::time_point expiry_{};
+  bool has_expiry_ = false;
+};
+
+/// Options threaded through every solver entry point. Separate from the
+/// per-solver algorithm configs so cross-cutting concerns (budgets, future
+/// priorities/affinities) extend in one place.
+struct SolveOptions {
+  Deadline deadline;
+};
+
+/// Record one solver-family expiry: bumps the `deadline.expired.<family>`
+/// obs counter and emits a `deadline.expired` trace instant. Called once
+/// per solve on the rare expiry path, never in a hot loop.
+void note_expired(const char* family);
+
+}  // namespace sectorpack::core

@@ -14,9 +14,15 @@ struct BBState {
   double capacity = 0.0;
   std::uint64_t node_limit = 0;
   std::uint64_t nodes = 0;
+  core::Deadline deadline;
+  bool stopped = false;  // deadline expired: unwind, keep the incumbent
   double best_value = 0.0;
   std::vector<bool> cur;   // position -> taken
   std::vector<bool> best;  // best assignment found
+
+  // Poll the deadline every 1024 nodes (including node 0, so an already-
+  // expired deadline stops before any search).
+  static constexpr std::uint64_t kCheckMask = 1023;
 
   // Fractional bound on positions [pos, n) with `room` capacity left.
   [[nodiscard]] double bound(std::size_t pos, double room) const {
@@ -36,6 +42,11 @@ struct BBState {
   }
 
   void dfs(std::size_t pos, double value, double room) {
+    if (stopped) return;
+    if ((nodes & kCheckMask) == 0 && deadline.expired()) {
+      stopped = true;
+      return;
+    }
     if (++nodes > node_limit) {
       throw std::runtime_error("solve_bb: node limit exceeded");
     }
@@ -60,7 +71,7 @@ struct BBState {
 }  // namespace
 
 Result solve_bb(std::span<const Item> items, double capacity,
-                std::uint64_t node_limit) {
+                std::uint64_t node_limit, const core::Deadline& deadline) {
   Result result;
   if (capacity < 0.0 || items.empty()) return result;
 
@@ -68,6 +79,7 @@ Result solve_bb(std::span<const Item> items, double capacity,
   st.items = items;
   st.capacity = capacity;
   st.node_limit = node_limit;
+  st.deadline = deadline;
   st.order.resize(items.size());
   std::iota(st.order.begin(), st.order.end(), std::size_t{0});
   std::sort(st.order.begin(), st.order.end(),
@@ -80,6 +92,7 @@ Result solve_bb(std::span<const Item> items, double capacity,
   st.cur.assign(items.size(), false);
   st.best.assign(items.size(), false);
   st.dfs(0, 0.0, capacity);
+  if (st.stopped) core::note_expired("knapsack_bb");
 
   for (std::size_t p = 0; p < st.order.size(); ++p) {
     if (st.best[p]) {

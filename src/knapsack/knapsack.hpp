@@ -20,6 +20,8 @@
 #include <span>
 #include <vector>
 
+#include "src/core/deadline.hpp"
+
 namespace sectorpack::knapsack {
 
 struct Item {
@@ -50,8 +52,11 @@ inline constexpr std::size_t kMaxDpCells = std::size_t{1} << 28;
 
 /// Exact branch & bound (arbitrary double weights). `node_limit` bounds the
 /// search; throws std::runtime_error if exhausted before proving optimality.
+/// `deadline`, polled per node block, degrades instead: the incumbent found
+/// so far is returned (feasible, possibly sub-optimal), no throw.
 [[nodiscard]] Result solve_bb(std::span<const Item> items, double capacity,
-                              std::uint64_t node_limit = 1u << 26);
+                              std::uint64_t node_limit = 1u << 26,
+                              const core::Deadline& deadline = {});
 
 /// Exact meet-in-the-middle: O(2^{n/2} * n) time and memory regardless of
 /// the weight structure, so it cannot blow up the way branch & bound can on

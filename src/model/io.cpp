@@ -1,5 +1,6 @@
 #include "src/model/io.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -9,6 +10,18 @@
 namespace sectorpack::model {
 
 namespace {
+
+// Counts above this are rejected outright: no real instance comes close,
+// and anything larger is a forged header trying to drive reserve() into
+// std::length_error / std::bad_alloc instead of a clean parse error.
+constexpr long long kMaxIoCount = 100'000'000;
+
+// reserve() is further capped by stream plausibility: a count that is
+// legal but larger than the remaining stream could possibly hold (every
+// entity costs at least ~2 bytes of line) must not allocate gigabytes
+// before the EOF check catches it; growth past the cap falls back to
+// amortized push_back.
+constexpr std::size_t kReserveCap = 1 << 16;
 
 // Read the next non-comment, non-blank line; throw on EOF.
 std::string next_line(std::istream& is, const char* what) {
@@ -25,14 +38,37 @@ std::string next_line(std::istream& is, const char* what) {
                            what);
 }
 
-std::size_t expect_count(std::istream& is, const std::string& keyword) {
-  std::istringstream ls(next_line(is, keyword.c_str()));
+// After all expected fields were extracted, the rest of the line must be
+// whitespace. Trailing tokens are rejected: `1 2 3 junk` is not a valid
+// 3-column customer, and an extra numeric column silently changes meaning
+// between the v1 and v2 formats.
+void require_line_end(std::istringstream& ls, const char* what,
+                      const std::string& line) {
+  std::string extra;
+  if (ls >> extra) {
+    throw std::runtime_error(std::string("trailing garbage on ") + what +
+                             " line: '" + line + "'");
+  }
+}
+
+std::size_t parse_count(const std::string& line, const std::string& keyword) {
+  std::istringstream ls(line);
   std::string kw;
   long long count = -1;
   if (!(ls >> kw >> count) || kw != keyword || count < 0) {
-    throw std::runtime_error("expected '" + keyword + " <count>' line");
+    throw std::runtime_error("expected '" + keyword + " <count>' line, got '" +
+                             line + "'");
   }
+  if (count > kMaxIoCount) {
+    throw std::runtime_error("implausible " + keyword + " count in '" + line +
+                             "' (max " + std::to_string(kMaxIoCount) + ")");
+  }
+  require_line_end(ls, keyword.c_str(), line);
   return static_cast<std::size_t>(count);
+}
+
+std::size_t expect_count(std::istream& is, const std::string& keyword) {
+  return parse_count(next_line(is, keyword.c_str()), keyword);
 }
 
 }  // namespace
@@ -69,30 +105,36 @@ Instance read_instance(std::istream& is) {
   }
   const std::size_t n = expect_count(is, "customers");
   std::vector<Customer> customers;
-  customers.reserve(n);
+  customers.reserve(std::min(n, kReserveCap));
   for (std::size_t i = 0; i < n; ++i) {
-    std::istringstream ls(next_line(is, "customer"));
+    const std::string line = next_line(is, "customer");
+    std::istringstream ls(line);
     Customer c;
     if (!(ls >> c.pos.x >> c.pos.y >> c.demand)) {
-      throw std::runtime_error("bad customer line");
+      throw std::runtime_error("bad customer line: '" + line + "'");
     }
     if (extended && !(ls >> c.value)) {
-      throw std::runtime_error("bad customer line (missing value column)");
+      throw std::runtime_error("bad customer line (missing value column): '" +
+                               line + "'");
     }
+    require_line_end(ls, "customer", line);
     customers.push_back(c);
   }
   const std::size_t k = expect_count(is, "antennas");
   std::vector<AntennaSpec> antennas;
-  antennas.reserve(k);
+  antennas.reserve(std::min(k, kReserveCap));
   for (std::size_t j = 0; j < k; ++j) {
-    std::istringstream ls(next_line(is, "antenna"));
+    const std::string line = next_line(is, "antenna");
+    std::istringstream ls(line);
     AntennaSpec a;
     if (!(ls >> a.rho >> a.range >> a.capacity)) {
-      throw std::runtime_error("bad antenna line");
+      throw std::runtime_error("bad antenna line: '" + line + "'");
     }
     if (extended && !(ls >> a.min_range)) {
-      throw std::runtime_error("bad antenna line (missing min_range)");
+      throw std::runtime_error("bad antenna line (missing min_range): '" +
+                               line + "'");
     }
+    require_line_end(ls, "antenna", line);
     antennas.push_back(a);
   }
   return Instance{std::move(customers), std::move(antennas)};
@@ -100,6 +142,11 @@ Instance read_instance(std::istream& is) {
 
 void write_solution(std::ostream& os, const Solution& sol) {
   os << "sectorpack-solution v1\n";
+  // Complete solutions keep the historical format byte-for-byte; the status
+  // line only appears for anytime (deadline-truncated) results.
+  if (sol.status != SolveStatus::kComplete) {
+    os << "status " << to_string(sol.status) << "\n";
+  }
   os << std::setprecision(17);
   os << "alphas " << sol.alpha.size() << "\n";
   for (double a : sol.alpha) os << a << "\n";
@@ -112,20 +159,47 @@ Solution read_solution(std::istream& is) {
     throw std::runtime_error("bad solution header");
   }
   Solution sol;
-  const std::size_t k = expect_count(is, "alphas");
-  sol.alpha.reserve(k);
+  // Optional "status <complete|budget_exhausted>" line before the alphas.
+  std::string line = next_line(is, "alphas");
+  if (line.rfind("status", 0) == 0) {
+    std::istringstream ls(line);
+    std::string kw;
+    std::string value;
+    if (!(ls >> kw >> value) || kw != "status") {
+      throw std::runtime_error("bad status line: '" + line + "'");
+    }
+    if (value == "complete") {
+      sol.status = SolveStatus::kComplete;
+    } else if (value == "budget_exhausted") {
+      sol.status = SolveStatus::kBudgetExhausted;
+    } else {
+      throw std::runtime_error("unknown solution status: '" + line + "'");
+    }
+    require_line_end(ls, "status", line);
+    line = next_line(is, "alphas");
+  }
+  const std::size_t k = parse_count(line, "alphas");
+  sol.alpha.reserve(std::min(k, kReserveCap));
   for (std::size_t j = 0; j < k; ++j) {
-    std::istringstream ls(next_line(is, "alpha"));
+    const std::string aline = next_line(is, "alpha");
+    std::istringstream ls(aline);
     double a = 0.0;
-    if (!(ls >> a)) throw std::runtime_error("bad alpha line");
+    if (!(ls >> a)) {
+      throw std::runtime_error("bad alpha line: '" + aline + "'");
+    }
+    require_line_end(ls, "alpha", aline);
     sol.alpha.push_back(a);
   }
   const std::size_t n = expect_count(is, "assign");
-  sol.assign.reserve(n);
+  sol.assign.reserve(std::min(n, kReserveCap));
   for (std::size_t i = 0; i < n; ++i) {
-    std::istringstream ls(next_line(is, "assign"));
+    const std::string aline = next_line(is, "assign");
+    std::istringstream ls(aline);
     std::int32_t a = 0;
-    if (!(ls >> a)) throw std::runtime_error("bad assign line");
+    if (!(ls >> a)) {
+      throw std::runtime_error("bad assign line: '" + aline + "'");
+    }
+    require_line_end(ls, "assign", aline);
     sol.assign.push_back(a);
   }
   return sol;

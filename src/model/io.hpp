@@ -14,10 +14,16 @@
 //
 // Solution format:
 //   sectorpack-solution v1
+//   status budget_exhausted   (optional; absent means complete)
 //   alphas <k>
 //   <alpha>                   (k lines)
 //   assign <n>
 //   <antenna index or -1>     (n lines)
+//
+// Parsing is strict: counts are bounded (no forged-header allocations),
+// and every line must contain exactly its expected fields -- trailing
+// tokens are a parse error, not silently ignored. All malformed input
+// raises std::runtime_error naming the offending line.
 
 #include <iosfwd>
 #include <string>

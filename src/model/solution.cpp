@@ -2,6 +2,16 @@
 
 namespace sectorpack::model {
 
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kComplete:
+      return "complete";
+    case SolveStatus::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "unknown";
+}
+
 Solution Solution::empty_for(const Instance& inst) {
   Solution s;
   s.alpha.assign(inst.num_antennas(), 0.0);

@@ -11,11 +11,34 @@ namespace sectorpack::model {
 /// Sentinel assignment for an unserved customer.
 inline constexpr std::int32_t kUnserved = -1;
 
+/// How a solver finished. kBudgetExhausted marks an anytime result: the
+/// solver's deadline expired and it returned its current incumbent -- still
+/// feasible (model::validate accepts both statuses identically), but with
+/// no claim to the solver's usual guarantee. Sticky across composition: a
+/// solution built on a truncated sub-solve stays kBudgetExhausted.
+enum class SolveStatus : std::uint8_t {
+  kComplete = 0,
+  kBudgetExhausted = 1,
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// Combine: exhausted if either input is (the sticky rule above).
+[[nodiscard]] constexpr SolveStatus worst_of(SolveStatus a,
+                                             SolveStatus b) noexcept {
+  return (a == SolveStatus::kBudgetExhausted ||
+          b == SolveStatus::kBudgetExhausted)
+             ? SolveStatus::kBudgetExhausted
+             : SolveStatus::kComplete;
+}
+
 struct Solution {
   /// Orientation alpha_j (leading edge) per antenna, normalized [0, 2*pi).
   std::vector<double> alpha;
   /// assign[i] = index of the antenna serving customer i, or kUnserved.
   std::vector<std::int32_t> assign;
+  /// Whether the producing solver ran to completion; see SolveStatus.
+  SolveStatus status = SolveStatus::kComplete;
 
   /// All-unserved solution shaped for `inst` (alphas default to 0).
   [[nodiscard]] static Solution empty_for(const Instance& inst);

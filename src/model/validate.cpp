@@ -6,6 +6,9 @@
 namespace sectorpack::model {
 
 ValidationReport validate(const Instance& inst, const Solution& sol) {
+  // status is deliberately not inspected: a kBudgetExhausted incumbent must
+  // satisfy exactly the same feasibility contract as a complete solution --
+  // deadlines degrade quality, never feasibility.
   ValidationReport report;
 
   if (sol.alpha.size() != inst.num_antennas()) {

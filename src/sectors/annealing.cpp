@@ -20,8 +20,11 @@ model::Solution solve_annealing(const model::Instance& inst,
       obs::gauge("anneal.final_temperature");
   const obs::ScopedSpan span("sectors.solve_annealing");
 
+  const core::Deadline& deadline = config.solve.deadline;
   const std::size_t k = inst.num_antennas();
-  model::Solution best = solve_greedy(inst);
+  GreedyConfig start_config;
+  start_config.solve = config.solve;
+  model::Solution best = solve_greedy(inst, start_config);
   if (k == 0 || inst.num_customers() == 0) return best;
 
   sim::Rng rng(config.seed);
@@ -44,14 +47,23 @@ model::Solution solve_annealing(const model::Instance& inst,
                            : 0.05 * inst.total_demand();
   if (temperature <= 0.0) temperature = 1.0;
 
+  std::size_t completed_iterations = 0;
+  bool expired = best.status == model::SolveStatus::kBudgetExhausted;
   for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Deadline check per annealing iteration (each one re-assigns the whole
+    // instance, so this is the natural batch). Best-so-far tracking means
+    // the incumbent at expiry is feasible and never worse than the start.
+    if (expired || deadline.expired()) {
+      expired = true;
+      break;
+    }
     // Move: re-point one random antenna at a random candidate.
     const std::size_t j = rng.uniform_int(k);
     std::vector<double> proposal = current;
     proposal[j] = cands[j][rng.uniform_int(cands[j].size())];
 
     const model::Solution assigned =
-        assign::solve_successive(inst, proposal, config.oracle);
+        assign::solve_successive(inst, proposal, config.oracle, config.solve);
     const double value = model::served_value(inst, assigned);
 
     const double delta = value - current_value;
@@ -71,15 +83,25 @@ model::Solution solve_annealing(const model::Instance& inst,
     obs::trace_counter("anneal.temperature", temperature);
     obs::trace_counter("anneal.current_value", current_value);
     temperature *= config.cooling;
+    ++completed_iterations;
   }
-  c_epochs.add(config.iterations);
+  c_epochs.add(completed_iterations);
   g_temperature.set(temperature);
 
+  if (expired || deadline.expired()) {
+    // The final exact re-assign is a whole extra pass; with the budget gone
+    // the best-so-far incumbent is the answer.
+    best.status = model::SolveStatus::kBudgetExhausted;
+    core::note_expired("annealing");
+    return best;
+  }
+
   if (config.final_exact_assign) {
-    const model::Solution polished =
-        assign::solve_successive(inst, best.alpha, knapsack::Oracle::exact());
+    model::Solution polished = assign::solve_successive(
+        inst, best.alpha, knapsack::Oracle::exact(), config.solve);
+    polished.status = model::worst_of(polished.status, best.status);
     if (model::served_value(inst, polished) > best_value) {
-      best = polished;
+      best = std::move(polished);
     }
   }
   return best;

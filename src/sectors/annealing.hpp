@@ -10,6 +10,7 @@
 // constructive greedy/local-search pair in the experiment suite, and a
 // polish pass for hard saturated instances.
 
+#include "src/core/deadline.hpp"
 #include "src/knapsack/knapsack.hpp"
 #include "src/model/solution.hpp"
 #include "src/sim/rng.hpp"
@@ -25,6 +26,10 @@ struct AnnealConfig {
   /// Re-assign with an exact oracle at the end (the walk itself can use the
   /// cheap oracle).
   bool final_exact_assign = true;
+  /// Deadline checked once per iteration; on expiry the walk stops, the
+  /// final exact re-assign is skipped, and the best-so-far is returned with
+  /// status kBudgetExhausted.
+  core::SolveOptions solve;
 };
 
 /// Simulated annealing from the greedy solution. The returned solution is

@@ -28,7 +28,9 @@ std::vector<double> candidates_for(const model::Instance& inst,
 
 model::Solution solve_exact(const model::Instance& inst,
                             std::uint64_t tuple_limit,
-                            std::uint64_t node_limit) {
+                            std::uint64_t node_limit,
+                            const core::SolveOptions& opts) {
+  const core::Deadline& deadline = opts.deadline;
   const std::size_t k = inst.num_antennas();
   model::Solution best = model::Solution::empty_for(inst);
   if (k == 0 || inst.num_customers() == 0) return best;
@@ -53,9 +55,17 @@ model::Solution solve_exact(const model::Instance& inst,
   const bool identical = inst.antennas_identical();
 
   double best_value = -1.0;
+  bool exhausted = false;
   std::vector<std::size_t> pick(k, 0);
   std::vector<double> alphas(k, 0.0);
   for (;;) {
+    // Deadline check per candidate tuple (each tuple is one exact
+    // assignment solve). Expiry turns the enumeration into an anytime
+    // search over the tuples examined so far.
+    if (deadline.expired()) {
+      exhausted = true;
+      break;
+    }
     bool skip = false;
     if (identical) {
       for (std::size_t j = 1; j < k; ++j) {
@@ -67,7 +77,11 @@ model::Solution solve_exact(const model::Instance& inst,
     }
     if (!skip) {
       for (std::size_t j = 0; j < k; ++j) alphas[j] = cands[j][pick[j]];
-      model::Solution sol = assign::solve_exact(inst, alphas, node_limit);
+      model::Solution sol = assign::solve_exact(inst, alphas, node_limit,
+                                                opts);
+      if (sol.status == model::SolveStatus::kBudgetExhausted) {
+        exhausted = true;  // this tuple's value is a lower estimate
+      }
       const double value = model::served_value(inst, sol);
       if (value > best_value) {
         best_value = value;
@@ -87,6 +101,9 @@ model::Solution solve_exact(const model::Instance& inst,
     }
     if (done) break;
   }
+  best.status = exhausted ? model::SolveStatus::kBudgetExhausted
+                          : model::SolveStatus::kComplete;
+  if (exhausted) core::note_expired("sectors_exact");
   return best;
 }
 

@@ -61,7 +61,7 @@ model::Solution solve_greedy(const model::Instance& inst,
     pick.choice = single::best_window_weighted(
         thetas, values, demands, inst.antenna(j).rho, inst.antenna(j).capacity,
         config.oracle, window_parallel, nullptr,
-        &caches[identical ? 0 : j], index);
+        &caches[identical ? 0 : j], index, config.solve.deadline);
     pick.value = pick.choice.value;
     // Remap local picks to instance customer indices now, while the index
     // map for antenna j is live.
@@ -69,6 +69,9 @@ model::Solution solve_greedy(const model::Instance& inst,
     return pick;
   };
 
+  // Deadline check per greedy round: the committed prefix of rounds is a
+  // feasible solution in its own right, so it is the natural incumbent.
+  const core::Deadline& deadline = config.solve.deadline;
   for (std::size_t round = 0; round < k; ++round) {
     AntennaPick best;
     bool have_best = false;
@@ -115,26 +118,36 @@ model::Solution solve_greedy(const model::Instance& inst,
       }
     }
 
-    if (!have_best) break;  // no antenna can serve anything further
-    used[best.j] = true;
-    sol.alpha[best.j] = best.choice.alpha;
-    for (std::size_t i : best.choice.chosen) {
-      served[i] = true;
-      sol.assign[i] = static_cast<std::int32_t>(best.j);
+    if (have_best) {
+      used[best.j] = true;
+      sol.alpha[best.j] = best.choice.alpha;
+      for (std::size_t i : best.choice.chosen) {
+        served[i] = true;
+        sol.assign[i] = static_cast<std::int32_t>(best.j);
+      }
     }
+    // Expiry latches, so this also catches sweeps truncated mid-round: the
+    // committed pick stays (it is feasible), later rounds are abandoned.
+    if (deadline.expired()) {
+      sol.status = model::SolveStatus::kBudgetExhausted;
+      core::note_expired("sectors_greedy");
+      return sol;
+    }
+    if (!have_best) break;  // no antenna can serve anything further
   }
   return sol;
 }
 
 model::Solution solve_uniform_orientations(const model::Instance& inst,
-                                           const knapsack::Oracle& oracle) {
+                                           const knapsack::Oracle& oracle,
+                                           const core::SolveOptions& opts) {
   const std::size_t k = inst.num_antennas();
   std::vector<double> alphas(k, 0.0);
   for (std::size_t j = 0; j < k; ++j) {
     alphas[j] = geom::kTwoPi * static_cast<double>(j) /
                 static_cast<double>(std::max<std::size_t>(k, 1));
   }
-  return assign::solve_successive(inst, alphas, oracle);
+  return assign::solve_successive(inst, alphas, oracle, opts);
 }
 
 }  // namespace sectorpack::sectors

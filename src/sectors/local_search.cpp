@@ -34,12 +34,22 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
   // first pass. Keyed by member fingerprints over instance indices.
   std::vector<knapsack::OracleCache> caches(k);
 
+  // Deadline check per antenna move (finer than per pass: one move is one
+  // window sweep, the unit of work here). The solution between moves is
+  // always feasible, so expiry just stops improving.
+  const core::Deadline& deadline = config.solve.deadline;
+  bool expired = false;
+
   bool improved_any = true;
   for (std::size_t pass = 0; pass < config.max_passes && improved_any;
        ++pass) {
     c_passes.inc();
     improved_any = false;
-    for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t j = 0; j < k && !expired; ++j) {
+      if (deadline.expired()) {
+        expired = true;
+        break;
+      }
       c_tried.inc();
       // Objective value antenna j currently contributes.
       double current = 0.0;
@@ -68,8 +78,10 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
       const single::WindowChoice choice = single::best_window_weighted(
           thetas, values, demands, inst.antenna(j).rho,
           inst.antenna(j).capacity, config.oracle, config.parallel,
-          /*pool=*/nullptr, &caches[j], index);
-
+          /*pool=*/nullptr, &caches[j], index, deadline);
+      if (!choice.complete) expired = true;
+      // A truncated sweep's incumbent is still a valid (possibly weaker)
+      // re-orientation; applying it when improving keeps monotonicity.
       if (choice.value > current + 1e-12) {
         c_improving.inc();
         for (std::size_t i = 0; i < n; ++i) {
@@ -84,16 +96,31 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
         improved_any = true;
       }
     }
+    if (expired) break;
+  }
+
+  if (expired) {
+    // Skip the global reassignment -- it is a full successive-knapsack pass
+    // and the budget is gone. The current solution is the incumbent.
+    sol.status = model::SolveStatus::kBudgetExhausted;
+    core::note_expired("local_search");
+    return sol;
   }
 
   // Global reassignment with the final orientations can consolidate
   // capacity across antennas; keep whichever is better.
   model::Solution reassigned =
-      assign::solve_successive(inst, sol.alpha, config.oracle);
+      assign::solve_successive(inst, sol.alpha, config.oracle, config.solve);
+  // Sticky status both ways: if either the start was truncated or the
+  // reassignment ran out of budget, the overall result is best-effort.
+  const model::SolveStatus status =
+      model::worst_of(sol.status, reassigned.status);
   if (model::served_value(inst, reassigned) >
       model::served_value(inst, sol)) {
+    reassigned.status = status;
     return reassigned;
   }
+  sol.status = status;
   return sol;
 }
 
@@ -102,6 +129,7 @@ model::Solution solve_local_search(const model::Instance& inst,
   GreedyConfig gc;
   gc.oracle = config.oracle;
   gc.parallel = config.parallel;
+  gc.solve = config.solve;
   return improve(inst, solve_greedy(inst, gc), config);
 }
 

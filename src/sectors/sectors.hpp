@@ -22,14 +22,21 @@
 // per antenna since each customer is served by at most one antenna) with
 // exact assignment per tuple. Exponential; reference for small instances.
 
+#include "src/core/deadline.hpp"
 #include "src/knapsack/knapsack.hpp"
 #include "src/model/solution.hpp"
 
 namespace sectorpack::sectors {
 
+// Every solver here is deadline-aware: when config.solve.deadline expires
+// it stops at the next check point (round / pass / iteration / tuple),
+// finalizes, and returns its feasible incumbent with
+// Solution::status == kBudgetExhausted. See docs/robustness.md.
+
 struct GreedyConfig {
   knapsack::Oracle oracle = knapsack::Oracle::exact();
   bool parallel = false;  // parallelize each round's window sweeps
+  core::SolveOptions solve;
 };
 
 [[nodiscard]] model::Solution solve_greedy(const model::Instance& inst,
@@ -39,6 +46,7 @@ struct LocalSearchConfig {
   knapsack::Oracle oracle = knapsack::Oracle::exact();
   std::size_t max_passes = 16;  // full antenna sweeps without improvement cap
   bool parallel = false;
+  core::SolveOptions solve;
 };
 
 /// Greedy start + local search + global reassignment.
@@ -53,15 +61,18 @@ struct LocalSearchConfig {
 
 /// Exact solver. Throws std::invalid_argument when the candidate tuple
 /// space exceeds `tuple_limit` and std::runtime_error on assignment node
-/// exhaustion.
-[[nodiscard]] model::Solution solve_exact(const model::Instance& inst,
-                                          std::uint64_t tuple_limit = 1u << 20,
-                                          std::uint64_t node_limit = 1u << 26);
+/// exhaustion. With a deadline, returns the best tuple examined so far
+/// (status kBudgetExhausted) instead of proving optimality.
+[[nodiscard]] model::Solution solve_exact(
+    const model::Instance& inst, std::uint64_t tuple_limit = 1u << 20,
+    std::uint64_t node_limit = 1u << 26,
+    const core::SolveOptions& opts = {});
 
 /// Baseline: orientations evenly spaced (alpha_j = j * 2*pi / k), customers
 /// assigned by successive knapsack. What a non-adaptive deployment does.
 [[nodiscard]] model::Solution solve_uniform_orientations(
     const model::Instance& inst,
-    const knapsack::Oracle& oracle = knapsack::Oracle::exact());
+    const knapsack::Oracle& oracle = knapsack::Oracle::exact(),
+    const core::SolveOptions& opts = {});
 
 }  // namespace sectorpack::sectors

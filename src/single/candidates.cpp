@@ -42,7 +42,8 @@ namespace {
 // bounded by both.
 WindowChoice scan_range(const geom::WindowSweep& sweep,
                         const knapsack::IncrementalOracle& proto,
-                        std::size_t begin, std::size_t end) {
+                        std::size_t begin, std::size_t end,
+                        const core::Deadline& deadline) {
   WindowChoice best;
   knapsack::IncrementalOracle inc = proto;
   knapsack::IncrementalStats stats;
@@ -51,6 +52,12 @@ WindowChoice scan_range(const geom::WindowSweep& sweep,
   for (std::size_t m : sweep.members(begin)) inc.add(m);
   enters += sweep.members(begin).size();
   for (std::size_t w = begin; w < end; ++w) {
+    // Deadline check per 64-window block; a truncated scan keeps its best
+    // window so far and reports incompleteness through `complete`.
+    if ((w & 63u) == 0 && deadline.expired()) {
+      best.complete = false;
+      break;
+    }
     if (w > begin) {
       const geom::WindowDelta d = sweep.delta(w);
       for (std::size_t m : d.leave) inc.remove(m);
@@ -78,11 +85,16 @@ WindowChoice scan_range(const geom::WindowSweep& sweep,
 }
 
 // Deterministic combine: higher value wins, ties to the smaller alpha.
+// Completeness is a property of the whole scan, so it ANDs across chunks
+// regardless of which chunk wins.
 WindowChoice better_of(WindowChoice a, WindowChoice b) {
+  const bool complete = a.complete && b.complete;
   if (b.value > a.value ||
       (b.value == a.value && !b.chosen.empty() && b.alpha < a.alpha)) {
+    b.complete = complete;
     return b;
   }
+  a.complete = complete;
   return a;
 }
 
@@ -95,7 +107,8 @@ WindowChoice best_window_weighted(std::span<const double> thetas,
                                   const knapsack::Oracle& oracle,
                                   bool parallel, par::ThreadPool* pool,
                                   knapsack::OracleCache* cache,
-                                  std::span<const std::size_t> ids) {
+                                  std::span<const std::size_t> ids,
+                                  const core::Deadline& deadline) {
   const geom::WindowSweep sweep(thetas, rho);
   const std::size_t nw = sweep.num_windows();
   if (nw == 0) return {};
@@ -108,12 +121,12 @@ WindowChoice best_window_weighted(std::span<const double> thetas,
                                           ids);
 
   if (!parallel) {
-    return scan_range(sweep, proto, 0, nw);
+    return scan_range(sweep, proto, 0, nw, deadline);
   }
   return par::parallel_reduce<WindowChoice>(
       nw, /*grain=*/8, WindowChoice{},
       [&](std::size_t b, std::size_t e) {
-        return scan_range(sweep, proto, b, e);
+        return scan_range(sweep, proto, b, e, deadline);
       },
       [](WindowChoice a, WindowChoice b) {
         return better_of(std::move(a), std::move(b));
@@ -126,9 +139,10 @@ WindowChoice best_window(std::span<const double> thetas,
                          double capacity, const knapsack::Oracle& oracle,
                          bool parallel, par::ThreadPool* pool,
                          knapsack::OracleCache* cache,
-                         std::span<const std::size_t> ids) {
+                         std::span<const std::size_t> ids,
+                         const core::Deadline& deadline) {
   return best_window_weighted(thetas, demands, demands, rho, capacity, oracle,
-                              parallel, pool, cache, ids);
+                              parallel, pool, cache, ids, deadline);
 }
 
 }  // namespace sectorpack::single

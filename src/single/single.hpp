@@ -12,6 +12,7 @@
 
 #include <span>
 
+#include "src/core/deadline.hpp"
 #include "src/knapsack/incremental.hpp"
 #include "src/knapsack/knapsack.hpp"
 #include "src/model/solution.hpp"
@@ -24,6 +25,9 @@ struct WindowChoice {
   double alpha = 0.0;  // best leading-edge orientation
   double value = 0.0;  // demand served by the best window's packing
   std::vector<std::size_t> chosen;  // indices into the provided lists
+  /// False when a deadline expired mid-scan: the choice is the best among
+  /// the windows examined, which may not be all of them.
+  bool complete = true;
 };
 
 /// Scan every candidate window of width `rho` over customers given by
@@ -41,6 +45,8 @@ struct WindowChoice {
 /// then map each customer to a stable, strictly ascending id (e.g. its
 /// instance index) so fingerprints agree across calls whose filtered
 /// customer lists differ.
+/// `deadline` is polled once per window chunk; on expiry the scan stops
+/// and returns its incumbent with WindowChoice::complete == false.
 [[nodiscard]] WindowChoice best_window(std::span<const double> thetas,
                                        std::span<const double> demands,
                                        double rho, double capacity,
@@ -48,7 +54,8 @@ struct WindowChoice {
                                        bool parallel = false,
                                        par::ThreadPool* pool = nullptr,
                                        knapsack::OracleCache* cache = nullptr,
-                                       std::span<const std::size_t> ids = {});
+                                       std::span<const std::size_t> ids = {},
+                                       const core::Deadline& deadline = {});
 
 /// Value-weighted variant: customer i contributes values[i] to the
 /// objective while consuming demands[i] of the capacity. The unweighted
@@ -58,7 +65,8 @@ struct WindowChoice {
     std::span<const double> demands, double rho, double capacity,
     const knapsack::Oracle& oracle, bool parallel = false,
     par::ThreadPool* pool = nullptr, knapsack::OracleCache* cache = nullptr,
-    std::span<const std::size_t> ids = {});
+    std::span<const std::size_t> ids = {},
+    const core::Deadline& deadline = {});
 
 /// Fast path for UNIFORM demands (every customer has demand d): the best
 /// packing of a window is simply its min(|window|, floor(capacity/d))
@@ -79,6 +87,7 @@ struct Config {
   knapsack::Oracle oracle = knapsack::Oracle::exact();
   std::size_t antenna = 0;  // which antenna of the instance to orient
   bool parallel = false;
+  core::SolveOptions solve;
 };
 
 /// Solve P1 for one antenna of `inst` (others stay at alpha=0, unused).

@@ -27,20 +27,26 @@ model::Solution solve(const model::Instance& inst, const Config& config) {
   }
 
   // Uniform-demand fast path: exact and O(n log n), valid whenever an
-  // exact packing is requested and all demands (== values) coincide.
+  // exact packing is requested and all demands (== values) coincide. It
+  // always completes, so it never consults the deadline.
   const bool exact_requested = config.oracle.guarantee() >= 1.0;
   const WindowChoice choice =
       (exact_requested && !demands.empty() &&
        uniform_demands(values, demands))
           ? best_window_uniform(thetas, demands[0], ant.rho, ant.capacity)
           : best_window_weighted(thetas, values, demands, ant.rho,
-                                 ant.capacity, config.oracle,
-                                 config.parallel);
+                                 ant.capacity, config.oracle, config.parallel,
+                                 nullptr, nullptr, {},
+                                 config.solve.deadline);
 
   model::Solution sol = model::Solution::empty_for(inst);
   sol.alpha[j] = choice.alpha;
   for (std::size_t local : choice.chosen) {
     sol.assign[index[local]] = static_cast<std::int32_t>(j);
+  }
+  if (!choice.complete) {
+    sol.status = model::SolveStatus::kBudgetExhausted;
+    core::note_expired("single");
   }
   return sol;
 }

@@ -227,6 +227,90 @@ TEST(FuzzIO, RandomInstancesRoundtrip) {
   }
 }
 
+// Mutation fuzz over the text formats: random byte flips, truncations and
+// splices of valid files must either parse or throw a *clean* exception --
+// std::runtime_error from the parser, or std::invalid_argument from model
+// validation. Anything else (std::length_error or std::bad_alloc from a
+// forged count reaching vector::reserve, a crash, a hang on gigabytes of
+// allocation) escapes the catch clauses and fails the test.
+namespace {
+
+template <typename Parse>
+void check_clean_failure(const std::string& text, Parse parse,
+                         const char* context) {
+  try {
+    parse(text);
+  } catch (const std::runtime_error&) {
+  } catch (const std::invalid_argument&) {
+  }
+  // Reaching here (parsed fine or threw one of the clean types) is a pass;
+  // the ADD_FAILURE path is any other exception propagating out.
+  (void)context;
+}
+
+std::string mutate(const std::string& text, sim::Rng& rng) {
+  std::string out = text;
+  if (out.empty()) return out;
+  switch (rng.uniform_int(std::uint64_t{4})) {
+    case 0: {  // flip one byte to a random printable character
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(out.size()));
+      out[pos] = static_cast<char>(
+          '!' + static_cast<char>(rng.uniform_int(std::uint64_t{94})));
+      break;
+    }
+    case 1: {  // truncate
+      out.resize(static_cast<std::size_t>(rng.uniform_int(out.size() + 1)));
+      break;
+    }
+    case 2: {  // duplicate a random chunk in place
+      const auto a = static_cast<std::size_t>(rng.uniform_int(out.size()));
+      const auto len = std::min<std::size_t>(
+          1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{20})),
+          out.size() - a);
+      out.insert(a, out.substr(a, len));
+      break;
+    }
+    default: {  // splice extra digits into the file (inflates counts)
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(out.size() + 1));
+      out.insert(pos, std::to_string(rng.uniform_int(std::int64_t{1},
+                                                     std::int64_t{999999999})));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(FuzzIO, MutatedInstancesFailCleanlyOrParse) {
+  sim::Rng rng(9005);
+  const FuzzShape shape{15, 2, 1.2, 0.4, true, false, false};
+  for (int trial = 0; trial < 400; ++trial) {
+    const model::Instance inst = make_fuzz_instance(
+        shape, 3000 + static_cast<std::uint64_t>(trial % 5));
+    const std::string mutated = mutate(model::to_string(inst), rng);
+    check_clean_failure(
+        mutated,
+        [](const std::string& t) { (void)model::instance_from_string(t); },
+        "instance");
+  }
+}
+
+TEST(FuzzIO, MutatedSolutionsFailCleanlyOrParse) {
+  sim::Rng rng(9006);
+  const FuzzShape shape{15, 2, 1.2, 0.4, true, false, false};
+  const model::Instance inst = make_fuzz_instance(shape, 4000);
+  const std::string base = model::to_string(sectors::solve_greedy(inst));
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string mutated = mutate(base, rng);
+    check_clean_failure(
+        mutated,
+        [](const std::string& t) { (void)model::solution_from_string(t); },
+        "solution");
+  }
+}
+
 // Solutions survive serialization with objective intact.
 TEST(FuzzIO, SolutionsRoundtripWithObjective) {
   sim::Rng rng(9004);

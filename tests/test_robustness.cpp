@@ -171,6 +171,117 @@ TEST(Robustness, IoRejectsGarbageGracefully) {
   }
 }
 
+TEST(Robustness, IoRejectsHostileCountsWithoutAllocating) {
+  // Forged headers whose counts would previously reach vector::reserve()
+  // and die as std::length_error / std::bad_alloc (or allocate gigabytes
+  // before hitting EOF). All of them must be clean parse errors now.
+  for (const char* text :
+       {"sectorpack-instance v1\ncustomers 9223372036854775807\n",
+        "sectorpack-instance v1\ncustomers 4611686018427387904\n",
+        "sectorpack-instance v1\ncustomers 100000001\n",
+        "sectorpack-instance v1\ncustomers 0\nantennas 9223372036854775807\n",
+        "sectorpack-solution v1\nalphas 9223372036854775807\n",
+        "sectorpack-solution v1\nalphas 0\nassign 9223372036854775807\n"}) {
+    const bool is_solution =
+        std::string(text).rfind("sectorpack-solution", 0) == 0;
+    if (is_solution) {
+      EXPECT_THROW((void)model::solution_from_string(text),
+                   std::runtime_error)
+          << "text: " << text;
+    } else {
+      EXPECT_THROW((void)model::instance_from_string(text),
+                   std::runtime_error)
+          << "text: " << text;
+    }
+  }
+  // Counts past the long long range fail the extraction itself.
+  EXPECT_THROW((void)model::instance_from_string(
+                   "sectorpack-instance v1\ncustomers "
+                   "99999999999999999999999999\n"),
+               std::runtime_error);
+  // Negative counts were never valid; make sure they still are not.
+  EXPECT_THROW((void)model::instance_from_string(
+                   "sectorpack-instance v1\ncustomers -1\n"),
+               std::runtime_error);
+  // The error message names the offending line, not just "bad count".
+  try {
+    (void)model::instance_from_string(
+        "sectorpack-instance v1\ncustomers 9223372036854775807\n");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("9223372036854775807"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Robustness, IoRejectsTrailingTokens) {
+  // `1 2 3 junk` is not a 3-column customer, and a stray numeric column
+  // must not silently change meaning between the v1 and v2 formats.
+  for (const char* text :
+       {"sectorpack-instance v1\ncustomers 1\n1 2 3 junk\nantennas 0\n",
+        "sectorpack-instance v1\ncustomers 1\n1 2 3 4\nantennas 0\n",
+        "sectorpack-instance v1\ncustomers 1 extra\n1 2 3\nantennas 0\n",
+        "sectorpack-instance v1\ncustomers 1\n1 2 3\nantennas 1\n"
+        "0.5 10 5 oops\n",
+        "sectorpack-instance v2\ncustomers 1\n1 2 3 4 5\nantennas 0\n"}) {
+    EXPECT_THROW((void)model::instance_from_string(text),
+                 std::runtime_error)
+        << "text: " << text;
+  }
+  for (const char* text :
+       {"sectorpack-solution v1\nalphas 1\n0.5 junk\nassign 0\n",
+        "sectorpack-solution v1\nalphas 0\nassign 1\n0 1\n",
+        "sectorpack-solution v1\nalphas 0 0\nassign 0\n",
+        "sectorpack-solution v1\nstatus complete extra\nalphas 0\n"
+        "assign 0\n"}) {
+    EXPECT_THROW((void)model::solution_from_string(text),
+                 std::runtime_error)
+        << "text: " << text;
+  }
+  // Comments after the data are still fine -- only real tokens offend.
+  const model::Instance ok = model::instance_from_string(
+      "sectorpack-instance v1\ncustomers 1\n1 2 3  # a comment\n"
+      "antennas 1\n0.5 10 5\n");
+  EXPECT_EQ(ok.num_customers(), 1u);
+}
+
+TEST(Robustness, IoRejectsNonFiniteNumericColumns) {
+  // num_get never accepts "nan"/"inf" spellings, and out-of-range literals
+  // like 3e999999 set failbit; both must surface as parse errors rather
+  // than NaN/inf smuggled into the model (or a crash).
+  for (const char* text :
+       {"sectorpack-instance v1\ncustomers 1\nnan 2 3\nantennas 0\n",
+        "sectorpack-instance v1\ncustomers 1\n1 inf 3\nantennas 0\n",
+        "sectorpack-instance v1\ncustomers 1\n1 2 3e999999\nantennas 0\n",
+        "sectorpack-solution v1\nalphas 1\nnan\nassign 0\n"}) {
+    const bool is_solution =
+        std::string(text).rfind("sectorpack-solution", 0) == 0;
+    if (is_solution) {
+      EXPECT_THROW((void)model::solution_from_string(text),
+                   std::runtime_error)
+          << "text: " << text;
+    } else {
+      EXPECT_THROW((void)model::instance_from_string(text),
+                   std::runtime_error)
+          << "text: " << text;
+    }
+  }
+}
+
+TEST(Robustness, IoRejectsTruncatedV2Lines) {
+  // v2 promises a value column per customer and a min_range per antenna;
+  // a v2 file with v1-shaped lines is corrupt, not "implicitly defaulted".
+  for (const char* text :
+       {"sectorpack-instance v2\ncustomers 1\n1 2 3\nantennas 0\n",
+        "sectorpack-instance v2\ncustomers 0\nantennas 1\n0.5 10 5\n",
+        "sectorpack-instance v2\ncustomers 2\n1 2 3 4\n1 2 3\nantennas 0\n"}) {
+    EXPECT_THROW((void)model::instance_from_string(text),
+                 std::runtime_error)
+        << "text: " << text;
+  }
+}
+
 TEST(Robustness, LargeUnitInstanceEndToEnd) {
   // 5000 customers through the uniform fast path; must stay snappy and
   // feasible.

@@ -40,6 +40,39 @@ struct UsageError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Strict numeric parsing for flag values. std::stod/std::stoull on their
+/// own are the wrong tool here: they throw uncaught std::invalid_argument
+/// on garbage (exit 1 with a bare "stod" message), accept trailing junk
+/// ("3x" parses as 3), and stoull silently wraps "-1" to 2^64-1. A bad
+/// value is a bad invocation, so it must be a UsageError (exit 2) naming
+/// the flag and the offending value.
+double parse_double_flag(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (value.empty() || pos != value.size()) {
+    throw UsageError("--" + key + " expects a number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+std::size_t parse_size_flag(const std::string& key, const std::string& value) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw UsageError("--" + key + " expects a non-negative integer, got '" +
+                     value + "'");
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(value));
+  } catch (const std::exception&) {
+    throw UsageError("--" + key + " value out of range: '" + value + "'");
+  }
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> named;
@@ -52,19 +85,33 @@ struct Args {
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     const auto it = named.find(key);
-    return it == named.end() ? fallback : std::stod(it->second);
+    return it == named.end() ? fallback
+                             : parse_double_flag(key, it->second);
   }
   [[nodiscard]] std::size_t get_size(const std::string& key,
                                      std::size_t fallback) const {
     const auto it = named.find(key);
-    return it == named.end() ? fallback
-                             : static_cast<std::size_t>(
-                                   std::stoull(it->second));
+    return it == named.end() ? fallback : parse_size_flag(key, it->second);
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return named.count(key) > 0;
   }
 };
+
+/// --time-limit SEC -> a Deadline for the solver-facing commands. Absent
+/// flag means unlimited; zero is allowed (an already-expired deadline
+/// exercises the degradation path and still exits 0).
+core::SolveOptions solve_options(const Args& args) {
+  core::SolveOptions opts;
+  if (args.has("time-limit")) {
+    const double seconds = args.get_double("time-limit", 0.0);
+    if (seconds < 0.0) {
+      throw UsageError("--time-limit must be >= 0 seconds");
+    }
+    opts.deadline = core::Deadline::after(seconds);
+  }
+  return opts;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -208,39 +255,55 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
-  require_known(args, {"in", "solver", "seed", "iterations", "out", "svg",
-                       "stats", "trace-out"});
+  require_known(args, {"in", "solver", "seed", "iterations", "time-limit",
+                       "out", "svg", "stats", "trace-out"});
   static const obs::Histogram h_solve_ms = obs::histogram("cli.solve_ms");
-  const model::Instance inst = load_instance(args);
+  // Flag values are checked before any file IO so a bad invocation is
+  // always a usage error (2), even when --in is also bad.
   const std::string solver = args.get("solver", "local-search");
+  const core::SolveOptions opts = solve_options(args);
+  const model::Instance inst = load_instance(args);
 
   const bench_util::Timer timer;
   const obs::ScopedSpan span("cli.solve");
   model::Solution sol;
   if (solver == "greedy") {
-    sol = sectors::solve_greedy(inst);
+    sectors::GreedyConfig config;
+    config.solve = opts;
+    sol = sectors::solve_greedy(inst, config);
   } else if (solver == "local-search") {
-    sol = sectors::solve_local_search(inst);
+    sectors::LocalSearchConfig config;
+    config.solve = opts;
+    sol = sectors::solve_local_search(inst, config);
   } else if (solver == "uniform") {
-    sol = sectors::solve_uniform_orientations(inst);
+    sol = sectors::solve_uniform_orientations(inst,
+                                              knapsack::Oracle::exact(), opts);
   } else if (solver == "annealing") {
     sectors::AnnealConfig config;
     config.seed = args.get_size("seed", 1);
     config.iterations = args.get_size("iterations", 2000);
+    config.solve = opts;
     sol = sectors::solve_annealing(inst, config);
   } else if (solver == "exact") {
-    sol = sectors::solve_exact(inst);
+    sol = sectors::solve_exact(inst, /*tuple_limit=*/1u << 20,
+                               /*node_limit=*/1u << 26, opts);
   } else {
     throw UsageError("unknown --solver: " + solver);
   }
   h_solve_ms.observe(timer.elapsed_ms());
+  if (sol.status == model::SolveStatus::kBudgetExhausted) {
+    // Mirror the status into the metrics registry so --stats json carries
+    // it alongside the deadline.expired.* counters.
+    obs::counter("cli.solve.budget_exhausted").inc();
+  }
 
   const double served = model::served_value(inst, sol);
   const double bound = inst.is_value_weighted()
                            ? bounds::orientation_free_bound(inst)
-                           : bounds::flow_window_bound(inst);
-  std::cerr << "solver=" << solver << " served_value=" << served
-            << " bound=" << bound << " ratio="
+                           : bounds::flow_window_bound(inst, opts);
+  std::cerr << "solver=" << solver
+            << " status=" << model::to_string(sol.status)
+            << " served_value=" << served << " bound=" << bound << " ratio="
             << (bound > 0 ? served / bound : 1.0) << " feasible="
             << (model::is_feasible(inst, sol) ? "yes" : "NO") << "\n";
 
@@ -272,16 +335,17 @@ int cmd_validate(const Args& args) {
 }
 
 int cmd_bound(const Args& args) {
-  require_known(args, {"in", "stats", "trace-out"});
+  require_known(args, {"in", "time-limit", "stats", "trace-out"});
   const obs::ScopedSpan span("cli.bound");
   const model::Instance inst = load_instance(args);
+  const core::SolveOptions opts = solve_options(args);
   std::cout << "trivial            " << bounds::trivial_bound(inst) << "\n";
   std::cout << "orientation-free   " << bounds::orientation_free_bound(inst)
             << "\n";
   if (inst.is_value_weighted()) {
     std::cout << "flow-window        (n/a: value-weighted instance)\n";
   } else {
-    std::cout << "flow-window        " << bounds::flow_window_bound(inst)
+    std::cout << "flow-window        " << bounds::flow_window_bound(inst, opts)
               << "\n";
   }
   return 0;
@@ -428,10 +492,13 @@ int usage() {
       "            --demand unit|uniform-int|pareto --rho-deg D\n"
       "            --capacity-fraction F --seed S -o FILE\n"
       "  solve     --in FILE --solver greedy|local-search|annealing|\n"
-      "            uniform|exact [-o FILE] [--svg FILE]\n"
+      "            uniform|exact [--time-limit SEC] [-o FILE] [--svg FILE]\n"
       "            [--stats json|text] [--trace-out FILE]\n"
+      "            (on expiry: best solution so far, status\n"
+      "             budget_exhausted, still exit 0)\n"
       "  validate  --in FILE --solution FILE\n"
-      "  bound     --in FILE [--stats json|text] [--trace-out FILE]\n"
+      "  bound     --in FILE [--time-limit SEC] [--stats json|text]\n"
+      "            [--trace-out FILE]\n"
       "  cover     --in FILE --algo greedy|nextfit|exact [--max-k K]\n"
       "            [--stats json|text] [--trace-out FILE]\n"
       "  render    --in FILE [--solution FILE] -o FILE.svg\n"
