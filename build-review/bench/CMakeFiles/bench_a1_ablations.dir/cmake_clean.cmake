@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_ablations.dir/bench_a1_ablations.cpp.o"
+  "CMakeFiles/bench_a1_ablations.dir/bench_a1_ablations.cpp.o.d"
+  "bench_a1_ablations"
+  "bench_a1_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a1_ablations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_k_sweep.dir/bench_f1_k_sweep.cpp.o"
+  "CMakeFiles/bench_f1_k_sweep.dir/bench_f1_k_sweep.cpp.o.d"
+  "bench_f1_k_sweep"
+  "bench_f1_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

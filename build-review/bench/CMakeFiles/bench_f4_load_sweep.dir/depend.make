@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f4_load_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_scaling.dir/bench_f5_scaling.cpp.o"
+  "CMakeFiles/bench_f5_scaling.dir/bench_f5_scaling.cpp.o.d"
+  "bench_f5_scaling"
+  "bench_f5_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

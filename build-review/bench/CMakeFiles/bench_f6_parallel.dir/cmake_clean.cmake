@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_parallel.dir/bench_f6_parallel.cpp.o"
+  "CMakeFiles/bench_f6_parallel.dir/bench_f6_parallel.cpp.o.d"
+  "bench_f6_parallel"
+  "bench_f6_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_knapsack.dir/bench_t1_knapsack.cpp.o"
+  "CMakeFiles/bench_t1_knapsack.dir/bench_t1_knapsack.cpp.o.d"
+  "bench_t1_knapsack"
+  "bench_t1_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t1_knapsack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_single.dir/bench_t2_single.cpp.o"
+  "CMakeFiles/bench_t2_single.dir/bench_t2_single.cpp.o.d"
+  "bench_t2_single"
+  "bench_t2_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t2_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_angles_uncap.dir/bench_t3_angles_uncap.cpp.o"
+  "CMakeFiles/bench_t3_angles_uncap.dir/bench_t3_angles_uncap.cpp.o.d"
+  "bench_t3_angles_uncap"
+  "bench_t3_angles_uncap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_angles_uncap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

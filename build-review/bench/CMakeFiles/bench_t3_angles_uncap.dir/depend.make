@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t3_angles_uncap.
+# This may be replaced when dependencies are built.

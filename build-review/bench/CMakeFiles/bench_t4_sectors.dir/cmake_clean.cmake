@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_sectors.dir/bench_t4_sectors.cpp.o"
+  "CMakeFiles/bench_t4_sectors.dir/bench_t4_sectors.cpp.o.d"
+  "bench_t4_sectors"
+  "bench_t4_sectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_sectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t4_sectors.
+# This may be replaced when dependencies are built.

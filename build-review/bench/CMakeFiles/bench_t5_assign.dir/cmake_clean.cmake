@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_assign.dir/bench_t5_assign.cpp.o"
+  "CMakeFiles/bench_t5_assign.dir/bench_t5_assign.cpp.o.d"
+  "bench_t5_assign"
+  "bench_t5_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_adversarial.dir/bench_t6_adversarial.cpp.o"
+  "CMakeFiles/bench_t6_adversarial.dir/bench_t6_adversarial.cpp.o.d"
+  "bench_t6_adversarial"
+  "bench_t6_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_cover.dir/bench_t7_cover.cpp.o"
+  "CMakeFiles/bench_t7_cover.dir/bench_t7_cover.cpp.o.d"
+  "bench_t7_cover"
+  "bench_t7_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_weighted.dir/bench_t8_weighted.cpp.o"
+  "CMakeFiles/bench_t8_weighted.dir/bench_t8_weighted.cpp.o.d"
+  "bench_t8_weighted"
+  "bench_t8_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_demo.dir/adversarial_demo.cpp.o"
+  "CMakeFiles/adversarial_demo.dir/adversarial_demo.cpp.o.d"
+  "adversarial_demo"
+  "adversarial_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

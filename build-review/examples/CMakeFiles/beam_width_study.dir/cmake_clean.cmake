@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_width_study.dir/beam_width_study.cpp.o"
+  "CMakeFiles/beam_width_study.dir/beam_width_study.cpp.o.d"
+  "beam_width_study"
+  "beam_width_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_width_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

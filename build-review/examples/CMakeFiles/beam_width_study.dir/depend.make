@@ -1,0 +1,2 @@
+# Empty dependencies file for beam_width_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_planning.dir/cell_planning.cpp.o"
+  "CMakeFiles/cell_planning.dir/cell_planning.cpp.o.d"
+  "cell_planning"
+  "cell_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

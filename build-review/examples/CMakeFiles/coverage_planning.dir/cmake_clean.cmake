@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_planning.dir/coverage_planning.cpp.o"
+  "CMakeFiles/coverage_planning.dir/coverage_planning.cpp.o.d"
+  "coverage_planning"
+  "coverage_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revenue_management.dir/revenue_management.cpp.o"
+  "CMakeFiles/revenue_management.dir/revenue_management.cpp.o.d"
+  "revenue_management"
+  "revenue_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revenue_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for revenue_management.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for revenue_management.
+# This may be replaced when dependencies are built.

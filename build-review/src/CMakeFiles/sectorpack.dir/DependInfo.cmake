@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/angles/capacitated.cpp" "src/CMakeFiles/sectorpack.dir/angles/capacitated.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/angles/capacitated.cpp.o.d"
+  "/root/repo/src/angles/uncapacitated.cpp" "src/CMakeFiles/sectorpack.dir/angles/uncapacitated.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/angles/uncapacitated.cpp.o.d"
+  "/root/repo/src/assign/eligibility.cpp" "src/CMakeFiles/sectorpack.dir/assign/eligibility.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/assign/eligibility.cpp.o.d"
+  "/root/repo/src/assign/exact.cpp" "src/CMakeFiles/sectorpack.dir/assign/exact.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/assign/exact.cpp.o.d"
+  "/root/repo/src/assign/greedy.cpp" "src/CMakeFiles/sectorpack.dir/assign/greedy.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/assign/greedy.cpp.o.d"
+  "/root/repo/src/assign/lp_rounding.cpp" "src/CMakeFiles/sectorpack.dir/assign/lp_rounding.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/assign/lp_rounding.cpp.o.d"
+  "/root/repo/src/assign/successive.cpp" "src/CMakeFiles/sectorpack.dir/assign/successive.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/assign/successive.cpp.o.d"
+  "/root/repo/src/bench_util/stats.cpp" "src/CMakeFiles/sectorpack.dir/bench_util/stats.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/bench_util/stats.cpp.o.d"
+  "/root/repo/src/bench_util/table.cpp" "src/CMakeFiles/sectorpack.dir/bench_util/table.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/bench_util/table.cpp.o.d"
+  "/root/repo/src/bounds/dinic.cpp" "src/CMakeFiles/sectorpack.dir/bounds/dinic.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/bounds/dinic.cpp.o.d"
+  "/root/repo/src/bounds/upper.cpp" "src/CMakeFiles/sectorpack.dir/bounds/upper.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/bounds/upper.cpp.o.d"
+  "/root/repo/src/core/deadline.cpp" "src/CMakeFiles/sectorpack.dir/core/deadline.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/core/deadline.cpp.o.d"
+  "/root/repo/src/cover/cover.cpp" "src/CMakeFiles/sectorpack.dir/cover/cover.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/cover/cover.cpp.o.d"
+  "/root/repo/src/geom/angle.cpp" "src/CMakeFiles/sectorpack.dir/geom/angle.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/geom/angle.cpp.o.d"
+  "/root/repo/src/geom/arc.cpp" "src/CMakeFiles/sectorpack.dir/geom/arc.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/geom/arc.cpp.o.d"
+  "/root/repo/src/geom/sweep.cpp" "src/CMakeFiles/sectorpack.dir/geom/sweep.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/geom/sweep.cpp.o.d"
+  "/root/repo/src/knapsack/branch_bound.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/branch_bound.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/branch_bound.cpp.o.d"
+  "/root/repo/src/knapsack/dp.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/dp.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/dp.cpp.o.d"
+  "/root/repo/src/knapsack/fptas.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/fptas.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/fptas.cpp.o.d"
+  "/root/repo/src/knapsack/fractional.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/fractional.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/fractional.cpp.o.d"
+  "/root/repo/src/knapsack/greedy.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/greedy.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/greedy.cpp.o.d"
+  "/root/repo/src/knapsack/incremental.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/incremental.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/incremental.cpp.o.d"
+  "/root/repo/src/knapsack/mim.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/mim.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/mim.cpp.o.d"
+  "/root/repo/src/knapsack/oracle.cpp" "src/CMakeFiles/sectorpack.dir/knapsack/oracle.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/knapsack/oracle.cpp.o.d"
+  "/root/repo/src/model/instance.cpp" "src/CMakeFiles/sectorpack.dir/model/instance.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/model/instance.cpp.o.d"
+  "/root/repo/src/model/io.cpp" "src/CMakeFiles/sectorpack.dir/model/io.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/model/io.cpp.o.d"
+  "/root/repo/src/model/solution.cpp" "src/CMakeFiles/sectorpack.dir/model/solution.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/model/solution.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/CMakeFiles/sectorpack.dir/model/validate.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/model/validate.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/sectorpack.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/sectorpack.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/par/parallel_for.cpp" "src/CMakeFiles/sectorpack.dir/par/parallel_for.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/par/parallel_for.cpp.o.d"
+  "/root/repo/src/par/thread_pool.cpp" "src/CMakeFiles/sectorpack.dir/par/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/par/thread_pool.cpp.o.d"
+  "/root/repo/src/sectors/annealing.cpp" "src/CMakeFiles/sectorpack.dir/sectors/annealing.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sectors/annealing.cpp.o.d"
+  "/root/repo/src/sectors/exact.cpp" "src/CMakeFiles/sectorpack.dir/sectors/exact.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sectors/exact.cpp.o.d"
+  "/root/repo/src/sectors/greedy.cpp" "src/CMakeFiles/sectorpack.dir/sectors/greedy.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sectors/greedy.cpp.o.d"
+  "/root/repo/src/sectors/local_search.cpp" "src/CMakeFiles/sectorpack.dir/sectors/local_search.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sectors/local_search.cpp.o.d"
+  "/root/repo/src/sim/adversarial.cpp" "src/CMakeFiles/sectorpack.dir/sim/adversarial.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sim/adversarial.cpp.o.d"
+  "/root/repo/src/sim/generators.cpp" "src/CMakeFiles/sectorpack.dir/sim/generators.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sim/generators.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/sectorpack.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/single/candidates.cpp" "src/CMakeFiles/sectorpack.dir/single/candidates.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/single/candidates.cpp.o.d"
+  "/root/repo/src/single/solver.cpp" "src/CMakeFiles/sectorpack.dir/single/solver.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/single/solver.cpp.o.d"
+  "/root/repo/src/single/uniform.cpp" "src/CMakeFiles/sectorpack.dir/single/uniform.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/single/uniform.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/sectorpack.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/sectorpack.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_angles.dir/test_angles.cpp.o"
+  "CMakeFiles/test_angles.dir/test_angles.cpp.o.d"
+  "test_angles"
+  "test_angles.pdb"
+  "test_angles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_angles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annealing.dir/test_annealing.cpp.o"
+  "CMakeFiles/test_annealing.dir/test_annealing.cpp.o.d"
+  "test_annealing"
+  "test_annealing.pdb"
+  "test_annealing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annulus.dir/test_annulus.cpp.o"
+  "CMakeFiles/test_annulus.dir/test_annulus.cpp.o.d"
+  "test_annulus"
+  "test_annulus.pdb"
+  "test_annulus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assign.dir/test_assign.cpp.o"
+  "CMakeFiles/test_assign.dir/test_assign.cpp.o.d"
+  "test_assign"
+  "test_assign.pdb"
+  "test_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

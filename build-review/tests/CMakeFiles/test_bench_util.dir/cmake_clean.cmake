@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_util.dir/test_bench_util.cpp.o"
+  "CMakeFiles/test_bench_util.dir/test_bench_util.cpp.o.d"
+  "test_bench_util"
+  "test_bench_util.pdb"
+  "test_bench_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounds.dir/test_bounds.cpp.o"
+  "CMakeFiles/test_bounds.dir/test_bounds.cpp.o.d"
+  "test_bounds"
+  "test_bounds.pdb"
+  "test_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_files.dir/test_data_files.cpp.o"
+  "CMakeFiles/test_data_files.dir/test_data_files.cpp.o.d"
+  "test_data_files"
+  "test_data_files.pdb"
+  "test_data_files[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

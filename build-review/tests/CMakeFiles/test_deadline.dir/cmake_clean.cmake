@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadline.dir/test_deadline.cpp.o"
+  "CMakeFiles/test_deadline.dir/test_deadline.cpp.o.d"
+  "test_deadline"
+  "test_deadline.pdb"
+  "test_deadline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_angle.dir/test_geom_angle.cpp.o"
+  "CMakeFiles/test_geom_angle.dir/test_geom_angle.cpp.o.d"
+  "test_geom_angle"
+  "test_geom_angle.pdb"
+  "test_geom_angle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

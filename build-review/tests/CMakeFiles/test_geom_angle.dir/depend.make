@@ -1,0 +1,2 @@
+# Empty dependencies file for test_geom_angle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_arc.dir/test_geom_arc.cpp.o"
+  "CMakeFiles/test_geom_arc.dir/test_geom_arc.cpp.o.d"
+  "test_geom_arc"
+  "test_geom_arc.pdb"
+  "test_geom_arc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

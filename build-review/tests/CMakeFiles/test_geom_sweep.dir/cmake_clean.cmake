@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_sweep.dir/test_geom_sweep.cpp.o"
+  "CMakeFiles/test_geom_sweep.dir/test_geom_sweep.cpp.o.d"
+  "test_geom_sweep"
+  "test_geom_sweep.pdb"
+  "test_geom_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

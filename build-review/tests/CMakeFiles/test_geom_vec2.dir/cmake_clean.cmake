@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_vec2.dir/test_geom_vec2.cpp.o"
+  "CMakeFiles/test_geom_vec2.dir/test_geom_vec2.cpp.o.d"
+  "test_geom_vec2"
+  "test_geom_vec2.pdb"
+  "test_geom_vec2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_vec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incremental.dir/test_incremental.cpp.o"
+  "CMakeFiles/test_incremental.dir/test_incremental.cpp.o.d"
+  "test_incremental"
+  "test_incremental.pdb"
+  "test_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

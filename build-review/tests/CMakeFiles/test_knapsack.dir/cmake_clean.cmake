@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knapsack.dir/test_knapsack.cpp.o"
+  "CMakeFiles/test_knapsack.dir/test_knapsack.cpp.o.d"
+  "test_knapsack"
+  "test_knapsack.pdb"
+  "test_knapsack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

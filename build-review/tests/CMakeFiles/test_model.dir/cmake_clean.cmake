@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/test_model.cpp.o"
+  "CMakeFiles/test_model.dir/test_model.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_io.dir/test_model_io.cpp.o"
+  "CMakeFiles/test_model_io.dir/test_model_io.cpp.o.d"
+  "test_model_io"
+  "test_model_io.pdb"
+  "test_model_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

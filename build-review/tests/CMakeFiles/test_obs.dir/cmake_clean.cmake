@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs.dir/test_obs.cpp.o"
+  "CMakeFiles/test_obs.dir/test_obs.cpp.o.d"
+  "test_obs"
+  "test_obs.pdb"
+  "test_obs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

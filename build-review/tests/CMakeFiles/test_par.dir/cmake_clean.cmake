@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par.dir/test_par.cpp.o"
+  "CMakeFiles/test_par.dir/test_par.cpp.o.d"
+  "test_par"
+  "test_par.pdb"
+  "test_par[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

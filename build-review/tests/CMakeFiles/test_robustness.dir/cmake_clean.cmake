@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robustness.dir/test_robustness.cpp.o"
+  "CMakeFiles/test_robustness.dir/test_robustness.cpp.o.d"
+  "test_robustness"
+  "test_robustness.pdb"
+  "test_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

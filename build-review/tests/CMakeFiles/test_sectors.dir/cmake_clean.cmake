@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sectors.dir/test_sectors.cpp.o"
+  "CMakeFiles/test_sectors.dir/test_sectors.cpp.o.d"
+  "test_sectors"
+  "test_sectors.pdb"
+  "test_sectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

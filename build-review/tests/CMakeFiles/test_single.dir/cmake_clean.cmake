@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single.dir/test_single.cpp.o"
+  "CMakeFiles/test_single.dir/test_single.cpp.o.d"
+  "test_single"
+  "test_single.pdb"
+  "test_single[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viz.dir/test_viz.cpp.o"
+  "CMakeFiles/test_viz.dir/test_viz.cpp.o.d"
+  "test_viz"
+  "test_viz.pdb"
+  "test_viz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted.dir/test_weighted.cpp.o"
+  "CMakeFiles/test_weighted.dir/test_weighted.cpp.o.d"
+  "test_weighted"
+  "test_weighted.pdb"
+  "test_weighted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_geom_angle[1]_include.cmake")
+include("/root/repo/build-review/tests/test_geom_arc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_geom_vec2[1]_include.cmake")
+include("/root/repo/build-review/tests/test_geom_sweep[1]_include.cmake")
+include("/root/repo/build-review/tests/test_model[1]_include.cmake")
+include("/root/repo/build-review/tests/test_model_io[1]_include.cmake")
+include("/root/repo/build-review/tests/test_knapsack[1]_include.cmake")
+include("/root/repo/build-review/tests/test_incremental[1]_include.cmake")
+include("/root/repo/build-review/tests/test_assign[1]_include.cmake")
+include("/root/repo/build-review/tests/test_single[1]_include.cmake")
+include("/root/repo/build-review/tests/test_angles[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sectors[1]_include.cmake")
+include("/root/repo/build-review/tests/test_bounds[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_par[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cover[1]_include.cmake")
+include("/root/repo/build-review/tests/test_annealing[1]_include.cmake")
+include("/root/repo/build-review/tests/test_viz[1]_include.cmake")
+include("/root/repo/build-review/tests/test_weighted[1]_include.cmake")
+include("/root/repo/build-review/tests/test_annulus[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build-review/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build-review/tests/test_deadline[1]_include.cmake")
+include("/root/repo/build-review/tests/test_bench_util[1]_include.cmake")
+include("/root/repo/build-review/tests/test_data_files[1]_include.cmake")

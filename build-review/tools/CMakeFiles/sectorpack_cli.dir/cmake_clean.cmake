@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sectorpack_cli.dir/sectorpack_cli.cpp.o"
+  "CMakeFiles/sectorpack_cli.dir/sectorpack_cli.cpp.o.d"
+  "sectorpack"
+  "sectorpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sectorpack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
