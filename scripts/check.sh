@@ -1,120 +1,212 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build everything with sanitizers on and run the full test
-# suite. The obs metrics shards, trace buffers, the work-stealing thread
-# pool, and the shared oracle caches are concurrent by design; this keeps
-# them provably clean of data races on unsynchronized memory, leaks, and UB
-# from day one.
+# Project gate: static analysis + format + contracts + sanitizers.
 #
-# Default mode is ASan+UBSan (SECTORPACK_SANITIZE=ON). Set SECTORPACK_TSAN=1
-# in the environment (or pass --tsan) to run a ThreadSanitizer build instead
-# -- TSan is exclusive with ASan, so it uses its own build directory.
+# Stages (default run executes all of them, in this order):
+#   lint       clang-tidy profile (.clang-tidy) over compile_commands.json
+#              from a dedicated build-lint/ configure, via
+#              tools/lint/run_clang_tidy.py (GCC -Werror diagnostics
+#              fallback when clang-tidy is not installed), plus the
+#              sectorpack domain linter tools/lint/sp_lint.py. Fails on any
+#              new diagnostic or unwaived domain-rule violation.
+#   format     clang-format --dry-run -Werror over src/ tools/ bench/
+#              tests/ against .clang-format. Skipped (with a notice) when
+#              clang-format is not installed, unless SP_REQUIRE_FORMAT=1.
+#   contracts  full test suite with SECTORPACK_CONTRACTS=ON (Debug): every
+#              SP_REQUIRE/SP_ENSURE/SP_ASSERT live, solver entry points
+#              re-verify their solutions via src/verify/ on every return.
+#   sanitize   the ASan+UBSan battery (or TSan with --tsan): full test
+#              suite plus the hostile-input corpus and the CLI exit-code
+#              table from docs/robustness.md.
 #
-# --fuzz restricts the run to the hostile-input battery: the malformed
-# corpus and mutation fuzzers (test_robustness / test_fuzz / test_deadline)
-# under ASan+UBSan, plus CLI invocations asserting the exit-code table from
-# docs/robustness.md. The default (no-flag) run includes the same battery
-# after the full test suite.
+# Usage: scripts/check.sh [--lint | --format | --contracts | --tsan | --fuzz]
+#                         [build-dir]
+#   no flag      run every stage (lint, format, contracts, sanitize)
+#   --lint       static analysis only
+#   --format     format check only
+#   --contracts  contracts-enabled test build only
+#   --tsan       ThreadSanitizer battery only (exclusive with ASan)
+#   --fuzz       hostile-input battery only (ASan+UBSan)
 #
-# Usage: scripts/check.sh [--tsan | --fuzz] [build-dir]
-#        (default build dir: build-sanitize, or build-tsan with --tsan)
+# Each stage prints a summary line "[gate] <stage>: PASS"; the first
+# failing stage aborts the run (set -e).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE="all"
 TSAN="${SECTORPACK_TSAN:-0}"
-FUZZ_ONLY=0
-if [[ "${1:-}" == "--tsan" ]]; then
-  TSAN=1
-  shift
-elif [[ "${1:-}" == "--fuzz" ]]; then
-  FUZZ_ONLY=1
-  shift
+case "${1:-}" in
+  --tsan) MODE="sanitize"; TSAN=1; shift ;;
+  --fuzz) MODE="fuzz"; shift ;;
+  --lint) MODE="lint"; shift ;;
+  --format) MODE="format"; shift ;;
+  --contracts) MODE="contracts"; shift ;;
+esac
+if [[ "$TSAN" == "1" && "$MODE" == "all" ]]; then
+  MODE="sanitize"   # legacy env-var invocation: TSan battery only
 fi
 
-if [[ "$TSAN" == "1" ]]; then
-  BUILD_DIR="${1:-build-tsan}"
-  CMAKE_FLAGS=(-DSECTORPACK_TSAN=ON -DSECTORPACK_SANITIZE=OFF)
-  LABEL="TSan"
-else
-  BUILD_DIR="${1:-build-sanitize}"
-  CMAKE_FLAGS=(-DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF)
-  LABEL="ASan + UBSan"
-fi
+JOBS="$(nproc)"
 
-cmake -B "$BUILD_DIR" -S . \
-  "${CMAKE_FLAGS[@]}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j"$(nproc)"
+run_lint() {
+  cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  python3 tools/lint/run_clang_tidy.py --build-dir build-lint
+  python3 tools/lint/sp_lint.py
+  echo "[gate] lint: PASS"
+}
 
-if [[ "$FUZZ_ONLY" == "1" ]]; then
-  # Hostile-input corpus only: IO garbage/mutation fuzzers and the deadline
-  # degradation tests.
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'Robustness|Fuzz|Deadline'
-else
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
-fi
+run_format() {
+  if ! command -v clang-format > /dev/null 2>&1; then
+    if [[ "${SP_REQUIRE_FORMAT:-0}" == "1" ]]; then
+      echo "[gate] format: FAIL (clang-format not installed but" \
+           "SP_REQUIRE_FORMAT=1)" >&2
+      return 1
+    fi
+    echo "[gate] format: SKIP (clang-format not installed; .clang-format" \
+         "is authoritative when it is)"
+    return 0
+  fi
+  git ls-files 'src/*.[ch]pp' 'tools/*.[ch]pp' 'bench/*.[ch]pp' \
+               'tests/*.[ch]pp' 'examples/*.[ch]pp' \
+    | xargs clang-format --dry-run -Werror
+  echo "[gate] format: PASS"
+}
 
-# ---------------------------------------------------------------------------
-# CLI exit-code battery (runs in both modes): malformed files and bad flag
-# values must exit 1 / 2 respectively -- never crash, never exit 0 -- and
-# hitting --time-limit must NOT be an error.
+run_contracts() {
+  cmake -B build-contracts -S . -DSECTORPACK_CONTRACTS=ON \
+    -DCMAKE_BUILD_TYPE=Debug > /dev/null
+  cmake --build build-contracts -j"$JOBS"
+  ctest --test-dir build-contracts --output-on-failure -j"$JOBS"
+  echo "[gate] contracts: PASS"
+}
 
-CLI="$BUILD_DIR/tools/sectorpack"
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
+run_sanitize() {
+  local fuzz_only="$1"
+  local build_dir cmake_flags label
+  if [[ "$TSAN" == "1" ]]; then
+    build_dir="${BUILD_DIR_OVERRIDE:-build-tsan}"
+    cmake_flags=(-DSECTORPACK_TSAN=ON -DSECTORPACK_SANITIZE=OFF)
+    label="TSan"
+  else
+    build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+    cmake_flags=(-DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF)
+    label="ASan + UBSan"
+  fi
 
-expect_rc() {
-  local want="$1"
-  shift
-  local got=0
-  "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
-  if [[ "$got" != "$want" ]]; then
-    echo "FAIL: expected exit $want, got $got: $*" >&2
-    cat "$TMP/err" >&2
-    exit 1
+  cmake -B "$build_dir" -S . \
+    "${cmake_flags[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" -j"$JOBS"
+
+  if [[ "$fuzz_only" == "1" ]]; then
+    # Hostile-input corpus only: IO garbage/mutation fuzzers and the
+    # deadline degradation tests.
+    ctest --test-dir "$build_dir" --output-on-failure -j"$JOBS" \
+      -R 'Robustness|Fuzz|Deadline'
+  else
+    ctest --test-dir "$build_dir" --output-on-failure -j"$JOBS"
+  fi
+
+  # -------------------------------------------------------------------------
+  # CLI exit-code battery: malformed files and bad flag values must exit
+  # 1 / 2 respectively -- never crash, never exit 0 -- and hitting
+  # --time-limit must NOT be an error.
+
+  local CLI="$build_dir/tools/sectorpack"
+  local TMP
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' RETURN
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+    if [[ "$got" != "$want" ]]; then
+      echo "FAIL: expected exit $want, got $got: $*" >&2
+      cat "$TMP/err" >&2
+      exit 1
+    fi
+  }
+
+  # Hostile instance files -> runtime error (1).
+  printf 'sectorpack-instance v1\ncustomers 9223372036854775807\n' \
+    > "$TMP/forged_count.inst"
+  printf 'sectorpack-instance v1\ncustomers 1\n1 2 3 junk\nantennas 1\n0.5 10 5\n' \
+    > "$TMP/trailing.inst"
+  printf 'sectorpack-instance v1\ncustomers 1\nnan 2 3\nantennas 1\n0.5 10 5\n' \
+    > "$TMP/nan.inst"
+  printf 'sectorpack-instance v2\ncustomers 1\n1 2 3\nantennas 1\n0.5 10 5 0\n' \
+    > "$TMP/truncated_v2.inst"
+  expect_rc 1 "$CLI" solve --in "$TMP/forged_count.inst"
+  expect_rc 1 "$CLI" solve --in "$TMP/trailing.inst"
+  expect_rc 1 "$CLI" info  --in "$TMP/nan.inst"
+  expect_rc 1 "$CLI" info  --in "$TMP/truncated_v2.inst"
+  expect_rc 1 "$CLI" solve --in "$TMP/does_not_exist.inst"
+
+  # Bad invocations -> usage error (2). ok.inst exists so the usage error,
+  # not a file error, is what decides the exit code.
+  expect_rc 0 "$CLI" generate --n 300 --k 4 --seed 3 -o "$TMP/ok.inst"
+  expect_rc 2 "$CLI" frobnicate
+  expect_rc 2 "$CLI" generate --n -5
+  expect_rc 2 "$CLI" generate --n banana
+  expect_rc 2 "$CLI" solve --time-limit banana --in "$TMP/ok.inst"
+  expect_rc 2 "$CLI" solve --time-limit -1 --in "$TMP/ok.inst"
+  expect_rc 2 "$CLI" solve --in
+  expect_rc 2 "$CLI" solve --no-such-flag 1 --in "$TMP/ok.inst"
+
+  # A deadline hit is NOT an error: exit 0, status surfaced, feasible output.
+  expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver local-search \
+    --time-limit 0 -o "$TMP/ok.sol" --stats json
+  grep -q 'status=budget_exhausted' "$TMP/err"
+  grep -q 'deadline.expired' "$TMP/out"
+  grep -q 'status budget_exhausted' "$TMP/ok.sol"
+  expect_rc 0 "$CLI" validate --in "$TMP/ok.inst" --solution "$TMP/ok.sol"
+  # ... and without a limit the solution file carries no status line.
+  expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver greedy -o "$TMP/full.sol"
+  ! grep -q 'status' "$TMP/full.sol"
+
+  # The named-invariant verifier accepts every solver's output and rejects
+  # a hand-corrupted file with the invariant's name.
+  expect_rc 0 "$CLI" verify --in "$TMP/ok.inst" --solution "$TMP/ok.sol"
+  expect_rc 0 "$CLI" verify --in "$TMP/ok.inst" --solution "$TMP/full.sol"
+  for solver in uniform annealing; do
+    expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver "$solver" \
+      -o "$TMP/s.sol"
+    expect_rc 0 "$CLI" verify --in "$TMP/ok.inst" --solution "$TMP/s.sol"
+  done
+  # Corrupt a served assignment to a non-existent antenna index.
+  sed 's/^3$/99/' "$TMP/full.sol" > "$TMP/corrupt.sol"
+  if cmp -s "$TMP/full.sol" "$TMP/corrupt.sol"; then
+    # No customer on antenna 3: corrupt the first served one instead.
+    awk '!done && /^[0-9]+$/ && NR > 5 { $0 = "99"; done = 1 } { print }' \
+      "$TMP/full.sol" > "$TMP/corrupt.sol"
+  fi
+  expect_rc 1 "$CLI" verify --in "$TMP/ok.inst" --solution "$TMP/corrupt.sol"
+  grep -q 'assign-range' "$TMP/out"
+
+  echo
+  if [[ "$fuzz_only" == "1" ]]; then
+    echo "[gate] fuzz: PASS ($label, build dir: $build_dir)"
+  else
+    echo "[gate] sanitize: PASS ($label, build dir: $build_dir)"
   fi
 }
 
-# Hostile instance files -> runtime error (1).
-printf 'sectorpack-instance v1\ncustomers 9223372036854775807\n' \
-  > "$TMP/forged_count.inst"
-printf 'sectorpack-instance v1\ncustomers 1\n1 2 3 junk\nantennas 1\n0.5 10 5\n' \
-  > "$TMP/trailing.inst"
-printf 'sectorpack-instance v1\ncustomers 1\nnan 2 3\nantennas 1\n0.5 10 5\n' \
-  > "$TMP/nan.inst"
-printf 'sectorpack-instance v2\ncustomers 1\n1 2 3\nantennas 1\n0.5 10 5 0\n' \
-  > "$TMP/truncated_v2.inst"
-expect_rc 1 "$CLI" solve --in "$TMP/forged_count.inst"
-expect_rc 1 "$CLI" solve --in "$TMP/trailing.inst"
-expect_rc 1 "$CLI" info  --in "$TMP/nan.inst"
-expect_rc 1 "$CLI" info  --in "$TMP/truncated_v2.inst"
-expect_rc 1 "$CLI" solve --in "$TMP/does_not_exist.inst"
+BUILD_DIR_OVERRIDE="${1:-}"
 
-# Bad invocations -> usage error (2). ok.inst exists so the usage error,
-# not a file error, is what decides the exit code.
-expect_rc 0 "$CLI" generate --n 300 --k 4 --seed 3 -o "$TMP/ok.inst"
-expect_rc 2 "$CLI" frobnicate
-expect_rc 2 "$CLI" generate --n -5
-expect_rc 2 "$CLI" generate --n banana
-expect_rc 2 "$CLI" solve --time-limit banana --in "$TMP/ok.inst"
-expect_rc 2 "$CLI" solve --time-limit -1 --in "$TMP/ok.inst"
-expect_rc 2 "$CLI" solve --in
-expect_rc 2 "$CLI" solve --no-such-flag 1 --in "$TMP/ok.inst"
-
-# A deadline hit is NOT an error: exit 0, status surfaced, feasible output.
-expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver local-search \
-  --time-limit 0 -o "$TMP/ok.sol" --stats json
-grep -q 'status=budget_exhausted' "$TMP/err"
-grep -q 'deadline.expired' "$TMP/out"
-grep -q 'status budget_exhausted' "$TMP/ok.sol"
-expect_rc 0 "$CLI" validate --in "$TMP/ok.inst" --solution "$TMP/ok.sol"
-# ... and without a limit the solution file carries no status line.
-expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver greedy -o "$TMP/full.sol"
-! grep -q 'status' "$TMP/full.sol"
-
-echo
-if [[ "$FUZZ_ONLY" == "1" ]]; then
-  echo "Fuzz battery passed ($LABEL, build dir: $BUILD_DIR)."
-else
-  echo "Sanitizer check passed ($LABEL, build dir: $BUILD_DIR)."
-fi
+case "$MODE" in
+  lint) run_lint ;;
+  format) run_format ;;
+  contracts) run_contracts ;;
+  fuzz) run_sanitize 1 ;;
+  sanitize) run_sanitize 0 ;;
+  all)
+    run_lint
+    run_format
+    run_contracts
+    run_sanitize 0
+    echo
+    echo "All gates passed (lint, format, contracts, sanitize)."
+    ;;
+esac

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Reproduce everything: build, full test suite, every experiment table.
-# Outputs land in test_output.txt and bench_output.txt at the repo root.
+# Reproduce everything: build, full test suite, every experiment table,
+# then the static-analysis gate. Outputs land in test_output.txt and
+# bench_output.txt at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
@@ -17,5 +18,15 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 } 2>&1 | tee bench_output.txt
 
+# Static-analysis gate summary (clang-tidy profile or GCC fallback + the
+# sp-lint domain rules; see docs/static-analysis.md). Reported pass/fail
+# either way so the reproduction log always states the gate's verdict.
+GATE="PASS"
+scripts/check.sh --lint || GATE="FAIL"
+
 echo
+echo "[gate] lint: $GATE"
 echo "Done. See test_output.txt and bench_output.txt."
+if [ "$GATE" != "PASS" ]; then
+  exit 1
+fi

@@ -2,6 +2,7 @@
 
 #include "src/angles/angles.hpp"
 #include "src/sectors/sectors.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::angles {
 
@@ -16,7 +17,9 @@ model::Solution solve_capacitated(const model::Instance& inst,
   sectors::LocalSearchConfig config;
   config.oracle = oracle;
   config.solve = opts;
-  return sectors::solve_local_search(inst, config);
+  model::Solution sol = sectors::solve_local_search(inst, config);
+  verify::debug_postcondition(inst, sol, "angles.capacitated");
+  return sol;
 }
 
 model::Solution solve_capacitated_exact(const model::Instance& inst,
@@ -27,8 +30,10 @@ model::Solution solve_capacitated_exact(const model::Instance& inst,
         "angles::solve_capacitated_exact: instance has out-of-range "
         "customers; use sectors::solve_exact instead");
   }
-  return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20, node_limit,
-                              opts);
+  model::Solution sol = sectors::solve_exact(
+      inst, /*tuple_limit=*/1u << 20, node_limit, opts);
+  verify::debug_postcondition(inst, sol, "angles.capacitated_exact");
+  return sol;
 }
 
 }  // namespace sectorpack::angles

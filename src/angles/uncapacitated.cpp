@@ -189,6 +189,7 @@ ArcCoverResult solve_uncap_brute(std::span<const double> thetas,
 
   // Enumerate all k-tuples (with repetition; duplicates are harmless).
   std::vector<std::size_t> pick(k, 0);
+  // sp-lint: allow(deadline-loop) bounded: n^k tuples under the documented preconditions n <= 12, k <= 3 (brute-force test reference)
   for (;;) {
     std::vector<bool> covered(n, false);
     double value = 0.0;

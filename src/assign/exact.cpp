@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/assign/assign.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::assign {
 
@@ -118,6 +119,7 @@ model::Solution solve_exact(const model::Instance& inst,
     sol.status = model::SolveStatus::kBudgetExhausted;
     core::note_expired("assign_exact");
   }
+  verify::debug_postcondition(inst, sol, "assign.exact");
   return sol;
 }
 

@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "src/assign/assign.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::assign {
 
@@ -36,6 +37,7 @@ model::Solution solve_greedy(const model::Instance& inst,
     if ((placed++ & 1023) == 0 && deadline.expired()) {
       sol.status = model::SolveStatus::kBudgetExhausted;
       core::note_expired("assign_greedy");
+      verify::debug_postcondition(inst, sol, "assign.greedy");
       return sol;
     }
     const double d = inst.demand(i);
@@ -53,6 +55,7 @@ model::Solution solve_greedy(const model::Instance& inst,
       residual[static_cast<std::size_t>(best)] -= d;
     }
   }
+  verify::debug_postcondition(inst, sol, "assign.greedy");
   return sol;
 }
 

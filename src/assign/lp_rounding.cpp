@@ -6,6 +6,7 @@
 #include "src/bounds/dinic.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::assign {
 
@@ -110,6 +111,7 @@ model::Solution solve_lp_rounding(const model::Instance& inst,
       residual[static_cast<std::size_t>(best)] -= d;
     }
   }
+  verify::debug_postcondition(inst, sol, "assign.lp_rounding");
   return sol;
 }
 

@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "src/assign/assign.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::assign {
 
@@ -32,6 +33,7 @@ model::Solution solve_successive(const model::Instance& inst,
     if (deadline.expired()) {
       sol.status = model::SolveStatus::kBudgetExhausted;
       core::note_expired("assign_successive");
+      verify::debug_postcondition(inst, sol, "assign.successive");
       return sol;
     }
     items.clear();
@@ -49,6 +51,7 @@ model::Solution solve_successive(const model::Instance& inst,
       sol.assign[i] = static_cast<std::int32_t>(j);
     }
   }
+  verify::debug_postcondition(inst, sol, "assign.successive");
   return sol;
 }
 

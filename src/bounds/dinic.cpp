@@ -70,6 +70,7 @@ double Dinic::max_flow(std::size_t s, std::size_t t,
   while (!(truncated_ = deadline.expired()) && bfs(s, t)) {
     ++phases;
     std::fill(iter_.begin(), iter_.end(), std::size_t{0});
+    // sp-lint: allow(deadline-loop) bounded: each iteration pushes >= kFlowEps flow along a shortest path; the enclosing while polls the deadline per phase
     for (;;) {
       const double got =
           dfs(s, t, std::numeric_limits<double>::infinity());

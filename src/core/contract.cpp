@@ -1,0 +1,18 @@
+#include "src/core/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sectorpack::core {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const char* msg) noexcept {
+  std::fprintf(stderr, "sectorpack: %s violated: %s at %s:%d", kind, expr,
+               file, line);
+  if (msg != nullptr) std::fprintf(stderr, ": %s", msg);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sectorpack::core

@@ -1,0 +1,57 @@
+#pragma once
+// Executable contracts: SP_REQUIRE (preconditions), SP_ENSURE
+// (postconditions) and SP_ASSERT (internal invariants).
+//
+// The three macros share one implementation and differ only in the label a
+// failure report carries; the split keeps call sites self-documenting and
+// lets tooling (tools/lint/sp_lint.py) forbid raw assert( in src/ without
+// losing the precondition/postcondition distinction.
+//
+// Compiled under -DSECTORPACK_CONTRACTS (CMake option SECTORPACK_CONTRACTS,
+// applied to the whole tree) each macro evaluates its condition and, on
+// violation, prints the contract kind, the stringified expression, the
+// source location and the optional message, then aborts -- a contract
+// violation is a bug in this library, never a recoverable input error
+// (input errors throw, see model/io). Without the define the macros expand
+// to ((void)0) and the condition is NOT evaluated, so checks may be
+// arbitrarily expensive (e.g. full solution verification in
+// src/verify/) without taxing release builds.
+//
+// Usage:
+//   SP_REQUIRE(i < universe_.size());
+//   SP_ENSURE(is_feasible(inst, sol), "solver postcondition");
+//   SP_ASSERT(members.size() == count_);
+
+namespace sectorpack::core {
+
+/// Print "<kind> violated: <expr> at <file>:<line>[: <msg>]" to stderr and
+/// abort. `msg` may be nullptr. Out-of-line so the macro expansion stays
+/// small and the cold path never inlines into solver loops.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const char* msg) noexcept;
+
+namespace detail {
+constexpr const char* contract_msg() noexcept { return nullptr; }
+constexpr const char* contract_msg(const char* msg) noexcept { return msg; }
+}  // namespace detail
+
+}  // namespace sectorpack::core
+
+#if defined(SECTORPACK_CONTRACTS)
+#define SP_CONTRACT_IMPL_(kind, cond, ...)                               \
+  (static_cast<bool>(cond)                                               \
+       ? static_cast<void>(0)                                            \
+       : ::sectorpack::core::contract_fail(                              \
+             kind, #cond, __FILE__, __LINE__,                            \
+             ::sectorpack::core::detail::contract_msg(__VA_ARGS__)))
+#else
+#define SP_CONTRACT_IMPL_(kind, cond, ...) static_cast<void>(0)
+#endif
+
+/// Precondition: the caller broke the function's contract.
+#define SP_REQUIRE(cond, ...) SP_CONTRACT_IMPL_("precondition", cond, __VA_ARGS__)
+/// Postcondition: the function broke its own promise.
+#define SP_ENSURE(cond, ...) SP_CONTRACT_IMPL_("postcondition", cond, __VA_ARGS__)
+/// Internal invariant: state corruption inside a component.
+#define SP_ASSERT(cond, ...) SP_CONTRACT_IMPL_("invariant", cond, __VA_ARGS__)

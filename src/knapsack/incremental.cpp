@@ -1,8 +1,9 @@
 #include "src/knapsack/incremental.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "src/core/contract.hpp"
 
 namespace sectorpack::knapsack {
 
@@ -42,7 +43,7 @@ IncrementalOracle::IncrementalOracle(std::span<const Item> universe,
       oracle_(oracle),
       cache_(cache) {
   const std::size_t n = universe.size();
-  assert(ids_.empty() || ids_.size() == n);
+  SP_ASSERT(ids_.empty() || ids_.size() == n);
   // Same density order as knapsack::solve_greedy / fractional_solve
   // (cross-multiplied density desc, value desc), with the universe index as
   // a final tie-break so the order is total and deterministic.
@@ -86,7 +87,7 @@ void IncrementalOracle::fenwick_update(std::size_t slot, double dw, double dv,
 }
 
 void IncrementalOracle::add(std::size_t i) {
-  assert(i < universe_.size() && !member_[i]);
+  SP_ASSERT(i < universe_.size() && !member_[i]);
   member_[i] = 1;
   const Item& it = universe_[i];
   vsum_ += it.value;
@@ -100,7 +101,7 @@ void IncrementalOracle::add(std::size_t i) {
 }
 
 void IncrementalOracle::remove(std::size_t i) {
-  assert(i < universe_.size() && member_[i]);
+  SP_ASSERT(i < universe_.size() && member_[i]);
   member_[i] = 0;
   const Item& it = universe_[i];
   vsum_ -= it.value;
@@ -150,7 +151,7 @@ double IncrementalOracle::upper_bound() const noexcept {
       }
     }
     const std::size_t i = item_at_[p2];
-    assert(member_[i] && universe_[i].value > 0.0);
+    SP_ASSERT(member_[i] && universe_[i].value > 0.0);
     const double weight = universe_[i].weight;
     if (weight > remaining) {
       v += universe_[i].value * (remaining / weight);
@@ -171,7 +172,7 @@ std::uint64_t IncrementalOracle::fingerprint() const noexcept {
 
 Result IncrementalOracle::solve(std::span<const std::size_t> members,
                                 IncrementalStats* stats) {
-  assert(members.size() == count_);
+  SP_ASSERT(members.size() == count_);
   const std::uint64_t key = fingerprint();
 
   if (cache_ != nullptr) {
@@ -187,7 +188,7 @@ Result IncrementalOracle::solve(std::span<const std::size_t> members,
           res.chosen.push_back(id);
         } else {
           const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-          assert(it != ids_.end() && *it == id);
+          SP_ASSERT(it != ids_.end() && *it == id);
           res.chosen.push_back(static_cast<std::size_t>(it - ids_.begin()));
         }
       }
@@ -199,7 +200,7 @@ Result IncrementalOracle::solve(std::span<const std::size_t> members,
   scratch_items_.clear();
   scratch_items_.reserve(members.size());
   for (std::size_t m : members) {
-    assert(member_[m]);
+    SP_ASSERT(member_[m]);
     scratch_items_.push_back(universe_[m]);
   }
   Result res = oracle_.solve(scratch_items_, capacity_);

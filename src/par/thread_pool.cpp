@@ -1,9 +1,9 @@
 #include "src/par/thread_pool.hpp"
 
-#include <cassert>
 #include <cstdio>
 #include <utility>
 
+#include "src/core/contract.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace sectorpack::par {
@@ -123,8 +123,9 @@ bool ThreadPool::set_global_threads(unsigned threads) {
                    "parallel work (ignored)\n",
                    threads);
     }
-    assert(!"ThreadPool::set_global_threads called after global pool "
-            "creation");
+    SP_ASSERT(false,
+              "ThreadPool::set_global_threads called after global pool "
+              "creation");
     return false;
   }
   g_global_threads.store(threads, std::memory_order_relaxed);

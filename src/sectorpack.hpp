@@ -14,6 +14,8 @@
 #include "src/angles/angles.hpp"
 #include "src/assign/assign.hpp"
 #include "src/bounds/upper.hpp"
+#include "src/core/contract.hpp"
+#include "src/core/deadline.hpp"
 #include "src/cover/cover.hpp"
 #include "src/geom/angle.hpp"
 #include "src/geom/arc.hpp"
@@ -35,4 +37,5 @@
 #include "src/sim/generators.hpp"
 #include "src/sim/rng.hpp"
 #include "src/single/single.hpp"
+#include "src/verify/verify.hpp"
 #include "src/viz/svg.hpp"

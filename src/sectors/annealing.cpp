@@ -7,6 +7,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sectors/sectors.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::sectors {
 
@@ -93,6 +94,7 @@ model::Solution solve_annealing(const model::Instance& inst,
     // the best-so-far incumbent is the answer.
     best.status = model::SolveStatus::kBudgetExhausted;
     core::note_expired("annealing");
+    verify::debug_postcondition(inst, best, "sectors.annealing");
     return best;
   }
 
@@ -104,6 +106,7 @@ model::Solution solve_annealing(const model::Instance& inst,
       best = std::move(polished);
     }
   }
+  verify::debug_postcondition(inst, best, "sectors.annealing");
   return best;
 }
 

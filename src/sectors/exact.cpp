@@ -4,6 +4,7 @@
 #include "src/assign/assign.hpp"
 #include "src/geom/sweep.hpp"
 #include "src/sectors/sectors.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::sectors {
 
@@ -104,6 +105,7 @@ model::Solution solve_exact(const model::Instance& inst,
   best.status = exhausted ? model::SolveStatus::kBudgetExhausted
                           : model::SolveStatus::kComplete;
   if (exhausted) core::note_expired("sectors_exact");
+  verify::debug_postcondition(inst, best, "sectors.exact");
   return best;
 }
 

@@ -5,6 +5,7 @@
 #include "src/par/parallel_for.hpp"
 #include "src/sectors/sectors.hpp"
 #include "src/single/single.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::sectors {
 
@@ -131,10 +132,12 @@ model::Solution solve_greedy(const model::Instance& inst,
     if (deadline.expired()) {
       sol.status = model::SolveStatus::kBudgetExhausted;
       core::note_expired("sectors_greedy");
+      verify::debug_postcondition(inst, sol, "sectors.greedy");
       return sol;
     }
     if (!have_best) break;  // no antenna can serve anything further
   }
+  verify::debug_postcondition(inst, sol, "sectors.greedy");
   return sol;
 }
 
@@ -147,7 +150,9 @@ model::Solution solve_uniform_orientations(const model::Instance& inst,
     alphas[j] = geom::kTwoPi * static_cast<double>(j) /
                 static_cast<double>(std::max<std::size_t>(k, 1));
   }
-  return assign::solve_successive(inst, alphas, oracle, opts);
+  model::Solution sol = assign::solve_successive(inst, alphas, oracle, opts);
+  verify::debug_postcondition(inst, sol, "sectors.uniform");
+  return sol;
 }
 
 }  // namespace sectorpack::sectors

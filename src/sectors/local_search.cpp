@@ -7,6 +7,7 @@
 #include "src/obs/trace.hpp"
 #include "src/sectors/sectors.hpp"
 #include "src/single/single.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::sectors {
 
@@ -104,6 +105,7 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
     // and the budget is gone. The current solution is the incumbent.
     sol.status = model::SolveStatus::kBudgetExhausted;
     core::note_expired("local_search");
+    verify::debug_postcondition(inst, sol, "sectors.local_search");
     return sol;
   }
 
@@ -118,9 +120,11 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
   if (model::served_value(inst, reassigned) >
       model::served_value(inst, sol)) {
     reassigned.status = status;
+    verify::debug_postcondition(inst, reassigned, "sectors.local_search");
     return reassigned;
   }
   sol.status = status;
+  verify::debug_postcondition(inst, sol, "sectors.local_search");
   return sol;
 }
 

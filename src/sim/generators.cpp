@@ -71,6 +71,7 @@ std::vector<model::Customer> generate_customers(const WorkloadConfig& config,
     c.pos = sample_position(config, rng);
     // Guard against a degenerate customer exactly at the base station (its
     // angle would be arbitrary); nudge it off the origin.
+    // sp-lint: allow(float-eq) exact-zero guard: only a customer exactly at the origin has no polar angle; any nonzero norm is fine
     if (c.pos.norm2() == 0.0) c.pos.x = 1e-9;
     c.demand = sample_demand(config, rng);
     customers.push_back(c);

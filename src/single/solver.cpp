@@ -2,6 +2,7 @@
 
 #include "src/geom/sweep.hpp"
 #include "src/single/single.hpp"
+#include "src/verify/verify.hpp"
 
 namespace sectorpack::single {
 
@@ -48,19 +49,20 @@ model::Solution solve(const model::Instance& inst, const Config& config) {
     sol.status = model::SolveStatus::kBudgetExhausted;
     core::note_expired("single");
   }
+  verify::debug_postcondition(inst, sol, "single.solve");
   return sol;
 }
 
 model::Solution solve_exact(const model::Instance& inst) {
-  return solve(inst, Config{knapsack::Oracle::exact(), 0, false});
+  return solve(inst, Config{knapsack::Oracle::exact(), 0, false, {}});
 }
 
 model::Solution solve_greedy(const model::Instance& inst) {
-  return solve(inst, Config{knapsack::Oracle::greedy(), 0, false});
+  return solve(inst, Config{knapsack::Oracle::greedy(), 0, false, {}});
 }
 
 model::Solution solve_fptas(const model::Instance& inst, double eps) {
-  return solve(inst, Config{knapsack::Oracle::fptas(eps), 0, false});
+  return solve(inst, Config{knapsack::Oracle::fptas(eps), 0, false, {}});
 }
 
 model::Solution solve_reference(const model::Instance& inst,
@@ -127,6 +129,7 @@ model::Solution solve_reference(const model::Instance& inst,
       }
     }
   }
+  verify::debug_postcondition(inst, best, "single.reference");
   return best;
 }
 

@@ -1,0 +1,170 @@
+#include "src/verify/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/geom/angle.hpp"
+#include "src/model/validate.hpp"
+
+namespace sectorpack::verify {
+
+namespace {
+
+void fail(VerifyReport& report, const char* invariant, std::string detail) {
+  report.ok = false;
+  report.violations.push_back({invariant, std::move(detail)});
+}
+
+}  // namespace
+
+bool VerifyReport::has(std::string_view invariant) const noexcept {
+  for (const Violation& v : violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+std::string VerifyReport::to_string() const {
+  if (ok) return "all invariants hold";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations[i].invariant << ": " << violations[i].detail;
+  }
+  return os.str();
+}
+
+VerifyReport verify_solution(const model::Instance& inst,
+                             const model::Solution& sol) {
+  VerifyReport report;
+
+  // -- status: the byte must hold a defined enumerator. Reading a solution
+  // file cannot produce anything else, but an in-memory corruption (or a
+  // future enumerator added without extending this table) should be caught
+  // here, not by a confusing downstream switch.
+  const auto status_raw = static_cast<unsigned>(sol.status);
+  if (sol.status != model::SolveStatus::kComplete &&
+      sol.status != model::SolveStatus::kBudgetExhausted) {
+    std::ostringstream os;
+    os << "SolveStatus byte " << status_raw << " is not a defined enumerator";
+    fail(report, "status", os.str());
+  }
+
+  // -- shape: everything below indexes through these vectors, so a shape
+  // mismatch ends the index-dependent checks.
+  bool shape_ok = true;
+  if (sol.alpha.size() != inst.num_antennas()) {
+    std::ostringstream os;
+    os << "alpha size " << sol.alpha.size() << " != num_antennas "
+       << inst.num_antennas();
+    fail(report, "shape", os.str());
+    shape_ok = false;
+  }
+  if (sol.assign.size() != inst.num_customers()) {
+    std::ostringstream os;
+    os << "assign size " << sol.assign.size() << " != num_customers "
+       << inst.num_customers();
+    fail(report, "shape", os.str());
+    shape_ok = false;
+  }
+  if (!shape_ok) return report;
+
+  // -- alpha-normalized: finite and in [0, 2*pi). Solvers emit
+  // geom::normalize()d orientations; anything else is corruption.
+  for (std::size_t j = 0; j < sol.alpha.size(); ++j) {
+    const double a = sol.alpha[j];
+    if (!std::isfinite(a)) {
+      std::ostringstream os;
+      os << "alpha[" << j << "] = " << a << " is not finite";
+      fail(report, "alpha-normalized", os.str());
+    } else if (a < 0.0 || a >= geom::kTwoPi) {
+      std::ostringstream os;
+      os << "alpha[" << j << "] = " << a << " outside [0, 2*pi)";
+      fail(report, "alpha-normalized", os.str());
+    }
+  }
+
+  // -- assign-range / sector-containment / capacity / demand-conservation.
+  std::vector<double> loads(inst.num_antennas(), 0.0);
+  double served = 0.0;
+  for (std::size_t i = 0; i < sol.assign.size(); ++i) {
+    const std::int32_t a = sol.assign[i];
+    if (a == model::kUnserved) continue;
+    if (a < 0 || static_cast<std::size_t>(a) >= inst.num_antennas()) {
+      std::ostringstream os;
+      os << "assign[" << i << "] = " << a << " is neither kUnserved nor an "
+         << "antenna index < " << inst.num_antennas();
+      fail(report, "assign-range", os.str());
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(a);
+    // Skip the containment predicate when the orientation itself is broken:
+    // Sector::contains on a NaN alpha would report a misleading violation.
+    if (std::isfinite(sol.alpha[j])) {
+      const geom::Sector sec = inst.sector(j, sol.alpha[j]);
+      if (!sec.contains(geom::Polar{inst.theta(i), inst.radius(i)})) {
+        std::ostringstream os;
+        os << "customer " << i << " (theta=" << inst.theta(i)
+           << ", r=" << inst.radius(i) << ") outside antenna " << j
+           << " sector [alpha=" << sol.alpha[j]
+           << ", rho=" << inst.antenna(j).rho
+           << ", range=" << inst.antenna(j).range << "]";
+        fail(report, "sector-containment", os.str());
+      }
+    }
+    loads[j] += inst.demand(i);
+    served += inst.demand(i);
+  }
+
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    const double cap = inst.antenna(j).capacity;
+    if (loads[j] > cap * (1.0 + model::kCapacitySlack) +
+                       model::kCapacitySlack) {
+      std::ostringstream os;
+      os << "antenna " << j << " overloaded: load " << loads[j]
+         << " > capacity " << cap;
+      fail(report, "capacity", os.str());
+    }
+  }
+
+  // Conservation ties the two aggregate views together: the demand the
+  // model helpers report as served must equal the demand the antennas
+  // carry. Representation makes double-assignment impossible, so a break
+  // here means a helper and this verifier disagree about what "served"
+  // means -- a library bug worth its own named invariant.
+  double load_sum = 0.0;
+  for (const double l : loads) load_sum += l;
+  const double reported = model::served_demand(inst, sol);
+  const double scale = std::max({1.0, std::abs(load_sum), std::abs(served)});
+  if (std::abs(load_sum - served) > 1e-9 * scale ||
+      std::abs(reported - served) > 1e-9 * scale) {
+    std::ostringstream os;
+    os << "served demand disagrees: assignment sum " << served
+       << ", antenna load sum " << load_sum << ", served_demand() "
+       << reported;
+    fail(report, "demand-conservation", os.str());
+  }
+
+  return report;
+}
+
+void debug_postcondition([[maybe_unused]] const model::Instance& inst,
+                         [[maybe_unused]] const model::Solution& sol,
+                         [[maybe_unused]] const char* where) {
+#if defined(SECTORPACK_CONTRACTS)
+  const VerifyReport report = verify_solution(inst, sol);
+  if (!report.ok) {
+    std::fprintf(stderr,
+                 "sectorpack: postcondition violated: %s returned an "
+                 "infeasible solution:\n%s\n",
+                 where, report.to_string().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+#endif
+}
+
+}  // namespace sectorpack::verify

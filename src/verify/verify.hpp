@@ -1,0 +1,72 @@
+#pragma once
+// Solution verifier: turns the paper's feasibility definition into named,
+// machine-checkable invariants.
+//
+// model::validate answers "is this solution feasible?" with free-form error
+// strings; this module decomposes the same contract (plus the normalization
+// and status conventions the solvers rely on) into named invariants so that
+// tooling -- the `sectorpack verify` CLI subcommand, the contracts-build
+// solver postconditions, and the test suite -- can assert not just *that* a
+// solution is bad but *which* rule it breaks:
+//
+//   shape                alpha/assign vector sizes match the instance
+//   alpha-normalized     every alpha is finite and in [0, 2*pi)
+//   assign-range         every assignment is kUnserved or a valid antenna
+//   sector-containment   every served customer lies in its antenna's
+//                        oriented sector (geom::Sector::contains, shared
+//                        tolerances -- identical predicate to the solvers)
+//   capacity             no antenna's load exceeds its capacity (relative
+//                        slack model::kCapacitySlack)
+//   demand-conservation  per-antenna loads sum to the served demand: no
+//                        customer is double-counted or dropped between the
+//                        assignment view and the load view
+//   status               SolveStatus holds a defined enumerator
+//
+// The verifier is strictly at-least-as-strong as model::validate: any
+// solution it accepts is accepted by validate, and it additionally rejects
+// de-normalized alphas (validate only requires finite) and corrupted
+// status bytes. Solvers normalize every orientation they emit, so solver
+// output always passes; hand-edited or bit-rotted solution files are what
+// the stricter checks exist to catch.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/model/solution.hpp"
+
+namespace sectorpack::verify {
+
+/// One broken invariant: `invariant` is a stable machine-readable name from
+/// the table above; `detail` is the human-readable specifics.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+struct VerifyReport {
+  bool ok = true;
+  std::vector<Violation> violations;
+
+  /// True when some violation carries the given invariant name.
+  [[nodiscard]] bool has(std::string_view invariant) const noexcept;
+
+  /// "invariant: detail" lines joined with '\n' ("all invariants hold"
+  /// when ok).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Check every invariant in the table; never throws, never aborts. All
+/// checks run even after the first failure so a report names every broken
+/// rule (except index-dependent checks, skipped once `shape` fails).
+[[nodiscard]] VerifyReport verify_solution(const model::Instance& inst,
+                                           const model::Solution& sol);
+
+/// Contracts-build postcondition for solver entry points: no-op unless
+/// compiled with SECTORPACK_CONTRACTS, in which case a failed verification
+/// reports the offending solver (`where`) plus the violation list and
+/// aborts. Call on the final solution right before returning it.
+void debug_postcondition(const model::Instance& inst,
+                         const model::Solution& sol, const char* where);
+
+}  // namespace sectorpack::verify

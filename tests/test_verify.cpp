@@ -1,0 +1,235 @@
+// The src/verify/ named-invariant verifier: a feasible solution passes
+// every invariant; each corruption mode is rejected under its own
+// invariant name (the property the `sectorpack verify` subcommand and the
+// contracts-build solver postconditions rely on); and every solver
+// family's output verifies clean on generated instances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/sectorpack.hpp"
+
+using namespace sectorpack;
+
+namespace {
+
+model::Instance small_instance(std::uint64_t seed = 7) {
+  sim::Rng rng(seed);
+  model::InstanceBuilder b;
+  for (int i = 0; i < 40; ++i) {
+    b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                         rng.uniform(1.0, 9.0),
+                         static_cast<double>(rng.uniform_int(1, 9)));
+  }
+  b.add_identical_antennas(3, 1.0, 10.0, 30.0);
+  return b.build();
+}
+
+// A solution with at least one served customer, so corruptions below have
+// something to corrupt.
+model::Solution served_solution(const model::Instance& inst) {
+  model::Solution sol = sectors::solve_greedy(inst);
+  EXPECT_GT(model::served_count(sol), 0u);
+  return sol;
+}
+
+std::size_t first_served(const model::Solution& sol) {
+  for (std::size_t i = 0; i < sol.assign.size(); ++i) {
+    if (sol.assign[i] != model::kUnserved) return i;
+  }
+  ADD_FAILURE() << "no served customer";
+  return 0;
+}
+
+}  // namespace
+
+TEST(Verify, FeasibleSolutionPassesAllInvariants) {
+  const model::Instance inst = small_instance();
+  const model::Solution sol = served_solution(inst);
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.to_string(), "all invariants hold");
+}
+
+TEST(Verify, EmptySolutionPasses) {
+  const model::Instance inst = small_instance();
+  const model::Solution sol = model::Solution::empty_for(inst);
+  EXPECT_TRUE(verify::verify_solution(inst, sol).ok);
+}
+
+TEST(Verify, ShapeMismatchNamed) {
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  sol.alpha.pop_back();
+  verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has("shape")) << report.to_string();
+
+  sol = served_solution(inst);
+  sol.assign.push_back(model::kUnserved);
+  report = verify::verify_solution(inst, sol);
+  EXPECT_TRUE(report.has("shape")) << report.to_string();
+}
+
+TEST(Verify, DenormalizedAlphaNamed) {
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  sol.alpha[0] = -0.5;  // finite but outside [0, 2*pi)
+  verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has("alpha-normalized")) << report.to_string();
+
+  sol = served_solution(inst);
+  sol.alpha[1] = geom::kTwoPi + 1.0;
+  EXPECT_TRUE(verify::verify_solution(inst, sol).has("alpha-normalized"));
+
+  sol = served_solution(inst);
+  sol.alpha[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(verify::verify_solution(inst, sol).has("alpha-normalized"));
+}
+
+TEST(Verify, ValidateAcceptsWhatVerifyAccepts) {
+  // verify is strictly stronger than model::validate: spot-check the
+  // "accepts" direction on solver output.
+  const model::Instance inst = small_instance();
+  const model::Solution sol = served_solution(inst);
+  EXPECT_TRUE(verify::verify_solution(inst, sol).ok);
+  EXPECT_TRUE(model::is_feasible(inst, sol));
+}
+
+TEST(Verify, OutOfRangeAssignmentNamed) {
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  sol.assign[first_served(sol)] =
+      static_cast<std::int32_t>(inst.num_antennas());
+  verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has("assign-range")) << report.to_string();
+
+  sol = served_solution(inst);
+  sol.assign[first_served(sol)] = -7;  // not kUnserved, not an antenna
+  EXPECT_TRUE(verify::verify_solution(inst, sol).has("assign-range"));
+}
+
+TEST(Verify, ContainmentViolationNamed) {
+  // Rotate one antenna 180 degrees away from its packed customers: they
+  // fall outside the oriented sector (rho = 1.0 << pi).
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  const std::size_t i = first_served(sol);
+  const auto j = static_cast<std::size_t>(sol.assign[i]);
+  sol.alpha[j] = geom::normalize(sol.alpha[j] + geom::kPi);
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has("sector-containment")) << report.to_string();
+}
+
+TEST(Verify, OverfullSectorNamed) {
+  // One antenna, wide open, capacity far below the total demand; assigning
+  // everyone overloads it without breaking containment.
+  model::InstanceBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    b.add_customer_polar(0.1 * i, 5.0, 10.0);
+  }
+  b.add_antenna(geom::kTwoPi, 10.0, 25.0);
+  const model::Instance inst = b.build();
+  model::Solution sol = model::Solution::empty_for(inst);
+  for (auto& a : sol.assign) a = 0;
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has("capacity")) << report.to_string();
+  EXPECT_FALSE(report.has("sector-containment")) << report.to_string();
+}
+
+TEST(Verify, StaleStatusByteNamed) {
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  sol.status = static_cast<model::SolveStatus>(7);  // no such enumerator
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has("status")) << report.to_string();
+}
+
+TEST(Verify, BudgetExhaustedStatusIsLegal) {
+  // kBudgetExhausted is a first-class status: same feasibility contract.
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  sol.status = model::SolveStatus::kBudgetExhausted;
+  EXPECT_TRUE(verify::verify_solution(inst, sol).ok);
+}
+
+TEST(Verify, MultipleViolationsAllReported) {
+  const model::Instance inst = small_instance();
+  model::Solution sol = served_solution(inst);
+  sol.alpha[0] = -1.0;
+  sol.status = static_cast<model::SolveStatus>(9);
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_TRUE(report.has("alpha-normalized"));
+  EXPECT_TRUE(report.has("status"));
+  EXPECT_GE(report.violations.size(), 2u);
+  // to_string carries one "invariant: detail" line per violation.
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("alpha-normalized:"), std::string::npos) << text;
+  EXPECT_NE(text.find("status:"), std::string::npos) << text;
+}
+
+// Every solver family's output verifies clean -- the runtime face of the
+// contracts-build postcondition, exercised here in all build modes.
+TEST(Verify, AllSolverOutputsVerify) {
+  const model::Instance inst = small_instance(21);
+  const std::vector<double> uniform_alphas(inst.num_antennas(), 0.0);
+
+  const auto check = [&](const model::Solution& sol, const char* which) {
+    const verify::VerifyReport report = verify::verify_solution(inst, sol);
+    EXPECT_TRUE(report.ok) << which << ": " << report.to_string();
+  };
+
+  check(sectors::solve_greedy(inst), "sectors.greedy");
+  check(sectors::solve_local_search(inst), "sectors.local_search");
+  check(sectors::solve_uniform_orientations(inst), "sectors.uniform");
+  sectors::AnnealConfig anneal;
+  anneal.iterations = 200;
+  check(sectors::solve_annealing(inst, anneal), "sectors.annealing");
+  check(assign::solve_greedy(inst, uniform_alphas), "assign.greedy");
+  check(assign::solve_successive(inst, uniform_alphas),
+        "assign.successive");
+  check(assign::solve_lp_rounding(inst, uniform_alphas),
+        "assign.lp_rounding");
+  check(single::solve_exact(inst), "single.exact");
+  check(single::solve_greedy(inst), "single.greedy");
+}
+
+TEST(Verify, ExactSolverOutputsVerifyOnTinyInstance) {
+  sim::Rng rng(5);
+  model::InstanceBuilder b;
+  for (int i = 0; i < 8; ++i) {
+    b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi), 5.0,
+                         static_cast<double>(rng.uniform_int(1, 4)));
+  }
+  b.add_identical_antennas(2, 1.0, 10.0, 6.0);
+  const model::Instance inst = b.build();
+  const verify::VerifyReport report =
+      verify::verify_solution(inst, sectors::solve_exact(inst));
+  EXPECT_TRUE(report.ok) << report.to_string();
+
+  const std::vector<double> alphas(inst.num_antennas(), 0.0);
+  EXPECT_TRUE(
+      verify::verify_solution(inst, assign::solve_exact(inst, alphas)).ok);
+}
+
+TEST(Verify, DeadlineExpiredIncumbentsVerify) {
+  // Budget-exhausted incumbents obey the same invariants as complete
+  // solutions (feasibility degrades never).
+  const model::Instance inst = small_instance(33);
+  core::SolveOptions expired;
+  expired.deadline = core::Deadline::after(0.0);
+  sectors::LocalSearchConfig config;
+  config.solve = expired;
+  const model::Solution sol = sectors::solve_local_search(inst, config);
+  EXPECT_EQ(sol.status, model::SolveStatus::kBudgetExhausted);
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}

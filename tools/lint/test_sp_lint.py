@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Self-test for sp_lint.py: every rule fires on a minimal fixture, stays
+quiet on conforming code, and the waiver syntax works (including the two
+malformed-waiver cases). Runs under plain unittest (python3
+tools/lint/test_sp_lint.py) and is pytest-compatible; wired into ctest as
+SpLintSelfTest."""
+
+import unittest
+
+import sp_lint
+
+
+def violations(rel, text):
+    return [(v.rule, v.line) for v in sp_lint.lint_text(rel, text)]
+
+
+def rules(rel, text):
+    return {v.rule for v in sp_lint.lint_text(rel, text)}
+
+
+class RawAssertTest(unittest.TestCase):
+    def test_fires_in_src(self):
+        self.assertEqual(
+            violations("src/foo/bar.cpp", "void f() { assert(x > 0); }"),
+            [("raw-assert", 1)])
+
+    def test_cassert_include_fires(self):
+        self.assertIn("raw-assert",
+                      rules("src/foo/bar.cpp", "#include <cassert>\n"))
+
+    def test_static_assert_ok(self):
+        self.assertEqual(
+            rules("src/foo/bar.cpp", "static_assert(sizeof(int) == 4);"),
+            set())
+
+    def test_sp_assert_ok(self):
+        self.assertEqual(
+            rules("src/foo/bar.cpp", "void f() { SP_ASSERT(x > 0); }"),
+            set())
+
+    def test_quiet_outside_src(self):
+        self.assertEqual(
+            rules("tests/test_foo.cpp", "void f() { assert(x); }"), set())
+
+    def test_quiet_in_contract_header(self):
+        self.assertEqual(
+            rules("src/core/contract.hpp", "// assert( replacement\n"
+                  "#define X assert(0)"), set())
+
+    def test_comment_mention_ok(self):
+        self.assertEqual(
+            rules("src/foo/bar.cpp", "// never call assert( here\n"), set())
+
+
+class FloatEqTest(unittest.TestCase):
+    def test_eq_literal_fires(self):
+        self.assertEqual(
+            violations("src/sim/g.cpp", "if (x == 0.0) { y(); }"),
+            [("float-eq", 1)])
+
+    def test_ne_literal_fires(self):
+        self.assertIn("float-eq", rules("src/sim/g.cpp", "bool b = v != 1e-9;"))
+
+    def test_literal_on_left_fires(self):
+        self.assertIn("float-eq", rules("src/sim/g.cpp", "if (0.5 == x) {}"))
+
+    def test_integer_compare_ok(self):
+        self.assertEqual(rules("src/sim/g.cpp", "if (n == 0) {}"), set())
+
+    def test_inequalities_ok(self):
+        self.assertEqual(
+            rules("src/sim/g.cpp", "if (x <= 0.0 || x >= 1.5) {}"), set())
+
+    def test_geom_exempt(self):
+        self.assertEqual(rules("src/geom/angle.cpp", "if (a == 0.0) {}"),
+                         set())
+
+
+class DeadlineLoopTest(unittest.TestCase):
+    UNCHECKED = "void f() {\n  for (;;) {\n    step();\n  }\n}\n"
+    CHECKED = ("void f() {\n  while (true) {\n"
+               "    if (deadline.expired()) break;\n    step();\n  }\n}\n")
+
+    def test_unchecked_loop_fires(self):
+        self.assertEqual(violations("src/sectors/x.cpp", self.UNCHECKED),
+                         [("deadline-loop", 2)])
+
+    def test_checked_loop_ok(self):
+        self.assertEqual(rules("src/sectors/x.cpp", self.CHECKED), set())
+
+    def test_while_1_fires(self):
+        self.assertIn("deadline-loop",
+                      rules("src/knapsack/x.cpp",
+                            "void f() { while (1) { g(); } }"))
+
+    def test_non_solver_dir_exempt(self):
+        self.assertEqual(rules("src/par/x.cpp", self.UNCHECKED), set())
+
+    def test_bounded_loop_ok(self):
+        self.assertEqual(
+            rules("src/sectors/x.cpp",
+                  "void f() { for (int i = 0; i < n; ++i) { g(); } }"),
+            set())
+
+    def test_braceless_fires(self):
+        self.assertIn("deadline-loop",
+                      rules("src/bounds/x.cpp", "void f() { while (true) g(); }"))
+
+
+class UntrustedCountTest(unittest.TestCase):
+    def test_stoull_fires_in_src(self):
+        self.assertIn("untrusted-count",
+                      rules("src/foo/x.cpp", "auto n = std::stoull(tok);"))
+
+    def test_stoull_fires_in_tools(self):
+        self.assertIn("untrusted-count",
+                      rules("tools/x.cpp", "auto n = std::stoull(tok);"))
+
+    def test_model_io_exempt(self):
+        self.assertEqual(rules("src/model/io.cpp", "std::stoull(tok);"),
+                         set())
+
+    def test_reserve_on_parse_fires(self):
+        self.assertIn("untrusted-count",
+                      rules("src/foo/x.cpp", "v.reserve(std::stoull(tok));"))
+
+    def test_plain_reserve_ok(self):
+        self.assertEqual(rules("src/foo/x.cpp", "v.reserve(items.size());"),
+                         set())
+
+    def test_bench_exempt(self):
+        self.assertEqual(rules("bench/x.cpp", "std::stoi(argv[1]);"), set())
+
+
+class CppIncludeTest(unittest.TestCase):
+    def test_fires_everywhere(self):
+        for rel in ("src/a/b.cpp", "tests/t.cpp", "bench/b.cpp"):
+            self.assertIn("cpp-include",
+                          rules(rel, '#include "src/model/io.cpp"'))
+
+    def test_hpp_include_ok(self):
+        self.assertEqual(
+            rules("src/a/b.cpp", '#include "src/model/io.hpp"'), set())
+
+
+class WaiverTest(unittest.TestCase):
+    def test_same_line_waiver(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "assert(x);  // sp-lint: allow(raw-assert) fixture"),
+            set())
+
+    def test_previous_line_waiver(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "// sp-lint: allow(raw-assert) legacy shim\nassert(x);"),
+            set())
+
+    def test_waiver_does_not_leak_two_lines_down(self):
+        self.assertIn(
+            "raw-assert",
+            rules("src/foo/x.cpp",
+                  "// sp-lint: allow(raw-assert) here\n\nassert(x);"))
+
+    def test_waiver_is_rule_specific(self):
+        self.assertIn(
+            "raw-assert",
+            rules("src/foo/x.cpp",
+                  "// sp-lint: allow(float-eq) wrong rule\nassert(x);"))
+
+    def test_missing_reason_rejected(self):
+        self.assertEqual(
+            violations("src/foo/x.cpp", "// sp-lint: allow(raw-assert)"),
+            [("bad-waiver", 1)])
+
+    def test_unknown_rule_rejected(self):
+        self.assertEqual(
+            violations("src/foo/x.cpp",
+                       "// sp-lint: allow(made-up-rule) because"),
+            [("bad-waiver", 1)])
+
+
+class StripperTest(unittest.TestCase):
+    def test_strings_ignored(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp", 'const char* s = "assert(x)";'), set())
+
+    def test_block_comments_ignored(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp", "/* assert(x) == 0.0 */ int y;"), set())
+
+    def test_line_numbers_survive_stripping(self):
+        text = "// comment\n/* block\n   more */\nassert(x);\n"
+        self.assertEqual(violations("src/foo/x.cpp", text),
+                         [("raw-assert", 4)])
+
+
+if __name__ == "__main__":
+    unittest.main()

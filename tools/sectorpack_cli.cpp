@@ -24,6 +24,7 @@
 #include "src/cover/cover.hpp"
 #include "src/sectorpack.hpp"
 #include "src/sectors/annealing.hpp"
+#include "src/verify/verify.hpp"
 #include "src/viz/svg.hpp"
 
 #ifndef SECTORPACK_VERSION
@@ -67,6 +68,7 @@ std::size_t parse_size_flag(const std::string& key, const std::string& value) {
                      value + "'");
   }
   try {
+    // sp-lint: allow(untrusted-count) CLI flag value, not file input: digits-only pre-validated above, out_of_range mapped to UsageError below
     return static_cast<std::size_t>(std::stoull(value));
   } catch (const std::exception&) {
     throw UsageError("--" + key + " value out of range: '" + value + "'");
@@ -334,6 +336,31 @@ int cmd_validate(const Args& args) {
   return 1;
 }
 
+// Like validate, but runs the named-invariant verifier from src/verify/:
+// prints one line per violated invariant and exits 1, or summarizes the
+// accepted solution. Stricter than validate (it additionally rejects
+// de-normalized orientations and corrupt status bytes), and its output is
+// machine-greppable by invariant name.
+int cmd_verify(const Args& args) {
+  require_known(args, {"in", "solution"});
+  const model::Instance inst = load_instance(args);
+  const model::Solution sol = load_solution(args.get("solution", "-"));
+  const verify::VerifyReport report = verify::verify_solution(inst, sol);
+  if (report.ok) {
+    std::cout << "OK: all invariants hold (served "
+              << model::served_demand(inst, sol) << " of "
+              << inst.total_demand() << ", status "
+              << model::to_string(sol.status) << ")\n";
+    return 0;
+  }
+  std::cout << "INVARIANT VIOLATIONS (" << report.violations.size()
+            << "):\n";
+  for (const verify::Violation& v : report.violations) {
+    std::cout << "  [" << v.invariant << "] " << v.detail << "\n";
+  }
+  return 1;
+}
+
 int cmd_bound(const Args& args) {
   require_known(args, {"in", "time-limit", "stats", "trace-out"});
   const obs::ScopedSpan span("cli.bound");
@@ -497,6 +524,10 @@ int usage() {
       "            (on expiry: best solution so far, status\n"
       "             budget_exhausted, still exit 0)\n"
       "  validate  --in FILE --solution FILE\n"
+      "  verify    --in FILE --solution FILE   (named-invariant check:\n"
+      "            shape, alpha-normalized, assign-range,\n"
+      "            sector-containment, capacity, demand-conservation,\n"
+      "            status; exit 1 lists each violated invariant)\n"
       "  bound     --in FILE [--time-limit SEC] [--stats json|text]\n"
       "            [--trace-out FILE]\n"
       "  cover     --in FILE --algo greedy|nextfit|exact [--max-k K]\n"
@@ -520,6 +551,7 @@ int main(int argc, char** argv) {
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "solve") return with_observability(args, cmd_solve);
     if (args.command == "validate") return cmd_validate(args);
+    if (args.command == "verify") return cmd_verify(args);
     if (args.command == "bound") return with_observability(args, cmd_bound);
     if (args.command == "cover") return with_observability(args, cmd_cover);
     if (args.command == "render") return cmd_render(args);
