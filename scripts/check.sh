@@ -17,15 +17,22 @@
 #   sanitize   the ASan+UBSan battery (or TSan with --tsan): full test
 #              suite plus the hostile-input corpus and the CLI exit-code
 #              table from docs/robustness.md.
+#   batch      the `sectorpack batch` corpus (docs/serving.md): a
+#              200-request mixed valid/malformed/deadline-expiring run at
+#              --jobs 8 under ASan+UBSan and again under TSan, asserting
+#              one response per request, exact per-status counts,
+#              miss/solve byte-identity, verified cache hits, and cache
+#              metrics in --stats json.
 #
-# Usage: scripts/check.sh [--lint | --format | --contracts | --tsan | --fuzz]
-#                         [build-dir]
-#   no flag      run every stage (lint, format, contracts, sanitize)
+# Usage: scripts/check.sh [--lint | --format | --contracts | --tsan |
+#                          --fuzz | --batch] [build-dir]
+#   no flag      run every stage (lint, format, contracts, sanitize, batch)
 #   --lint       static analysis only
 #   --format     format check only
 #   --contracts  contracts-enabled test build only
 #   --tsan       ThreadSanitizer battery only (exclusive with ASan)
 #   --fuzz       hostile-input battery only (ASan+UBSan)
+#   --batch      batch-engine corpus only (ASan+UBSan, then TSan)
 #
 # Each stage prints a summary line "[gate] <stage>: PASS"; the first
 # failing stage aborts the run (set -e).
@@ -37,6 +44,7 @@ TSAN="${SECTORPACK_TSAN:-0}"
 case "${1:-}" in
   --tsan) MODE="sanitize"; TSAN=1; shift ;;
   --fuzz) MODE="fuzz"; shift ;;
+  --batch) MODE="batch"; shift ;;
   --lint) MODE="lint"; shift ;;
   --format) MODE="format"; shift ;;
   --contracts) MODE="contracts"; shift ;;
@@ -115,7 +123,9 @@ run_sanitize() {
   local CLI="$build_dir/tools/sectorpack"
   local TMP
   TMP="$(mktemp -d)"
-  trap 'rm -rf "$TMP"' RETURN
+  # Self-clearing: a RETURN trap outlives the function that set it and
+  # would re-fire (with $TMP unbound) at the next function return.
+  trap 'rm -rf "$TMP"; trap - RETURN' RETURN
 
   expect_rc() {
     local want="$1"
@@ -155,6 +165,16 @@ run_sanitize() {
   expect_rc 2 "$CLI" solve --in
   expect_rc 2 "$CLI" solve --no-such-flag 1 --in "$TMP/ok.inst"
 
+  # Repeated single-valued flags are typos or mangled scripts: exit 2
+  # naming the flag (the old behavior silently kept the last value). -o is
+  # an alias of --out, so mixing the two spellings collides as well.
+  expect_rc 2 "$CLI" solve --in "$TMP/ok.inst" --seed 1 --seed 2
+  grep -q 'duplicate option --seed' "$TMP/err"
+  expect_rc 2 "$CLI" solve --in "$TMP/ok.inst" -o "$TMP/a.sol" --out "$TMP/b.sol"
+  grep -q 'duplicate option --out' "$TMP/err"
+  expect_rc 2 "$CLI" generate --n 5 --n 6
+  grep -q 'duplicate option --n' "$TMP/err"
+
   # A deadline hit is NOT an error: exit 0, status surfaced, feasible output.
   expect_rc 0 "$CLI" solve --in "$TMP/ok.inst" --solver local-search \
     --time-limit 0 -o "$TMP/ok.sol" --stats json
@@ -193,6 +213,137 @@ run_sanitize() {
   fi
 }
 
+# Drive a 200-request mixed corpus (valid / malformed / deadline-expiring)
+# through `sectorpack batch` in the build at $1 with --jobs $2, then check
+# the per-request contract: one response per request in input order, exact
+# per-status counts, cache misses byte-identical to single-shot `solve`,
+# cache hits accepted by `sectorpack verify`, and cache/queue metrics
+# present in --stats json.
+run_batch_corpus() {
+  local CLI="$1/tools/sectorpack"
+  local jobs="$2"
+  local TMP
+  TMP="$(mktemp -d)"
+  # Self-clearing: a RETURN trap outlives the function that set it and
+  # would re-fire (with $TMP unbound) at the next function return.
+  trap 'rm -rf "$TMP"; trap - RETURN' RETURN
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+    if [[ "$got" != "$want" ]]; then
+      echo "FAIL: expected exit $want, got $got: $*" >&2
+      cat "$TMP/err" >&2
+      exit 1
+    fi
+  }
+
+  expect_rc 0 "$CLI" generate --n 40 --k 3 --seed 11 -o "$TMP/b1.inst"
+  expect_rc 0 "$CLI" generate --n 25 --k 2 --seed 12 --spatial hotspots \
+    -o "$TMP/b2.inst"
+  expect_rc 0 "$CLI" generate --n 30 --k 4 --seed 13 --spatial ring \
+    -o "$TMP/b3.inst"
+
+  python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+solvers = ["greedy", "local-search", "uniform", "annealing"]
+lines = []
+for i in range(200):
+    inst = "%s/b%d.inst" % (tmp, i % 3 + 1)
+    if i % 20 == 7:  # 10 malformed requests, several flavors
+        bad = ['{"solver":"greedy"}',                       # no instance
+               'not json at all',
+               '{"instance_file":"%s/missing.inst"}' % tmp,
+               '{"instance_file":"%s","solver":"qaoa"}' % inst,
+               '{"instance_file":"%s","frobnicate":1}' % inst]
+        lines.append(bad[(i // 20) % len(bad)])
+    elif i % 40 == 15:  # 5 deadline-expiring requests
+        lines.append(json.dumps({"id": "r%d" % i, "instance_file": inst,
+                                 "solver": "local-search", "time_limit": 0}))
+    else:
+        lines.append(json.dumps({"id": "r%d" % i, "instance_file": inst,
+                                 "solver": solvers[i % 4],
+                                 "seed": i % 5 + 1, "iterations": 200}))
+open("%s/requests.jsonl" % tmp, "w").write("\n".join(lines) + "\n")
+EOF
+
+  expect_rc 0 "$CLI" batch --in "$TMP/requests.jsonl" \
+    --out "$TMP/responses.jsonl" --jobs "$jobs" --cache-entries 64 \
+    --stats json
+  # Cache and queue metrics must be visible in the stats snapshot.
+  for metric in srv.cache.hit srv.cache.miss srv.cache.evicted \
+                srv.queue.depth srv.requests.ok; do
+    grep -q "$metric" "$TMP/out"
+  done
+
+  python3 - "$TMP" "$CLI" <<'EOF'
+import json, subprocess, sys
+tmp, cli = sys.argv[1], sys.argv[2]
+responses = [json.loads(l) for l in open("%s/responses.jsonl" % tmp)]
+assert len(responses) == 200, "expected 200 responses, got %d" % len(responses)
+assert [r["index"] for r in responses] == list(range(200)), "out of order"
+by_status = {}
+for r in responses:
+    by_status.setdefault(r["status"], []).append(r)
+counts = {k: len(v) for k, v in by_status.items()}
+assert counts == {"ok": 185, "invalid": 10, "budget_exhausted": 5}, counts
+
+# Cache misses are byte-identical to single-shot `solve` (one per family).
+checked = set()
+for r in by_status["ok"]:
+    if r["cache"] != "miss" or r["solver"] in checked:
+        continue
+    checked.add(r["solver"])
+    i = int(r["id"][1:])
+    inst = "%s/b%d.inst" % (tmp, i % 3 + 1)
+    single = subprocess.run(
+        [cli, "solve", "--in", inst, "--solver", r["solver"],
+         "--seed", str(i % 5 + 1), "--iterations", "200", "-o", "-"],
+        capture_output=True, text=True, check=True).stdout
+    assert r["solution"] == single, "miss differs from solve for %s" % r["id"]
+assert checked, "no cache misses found"
+
+# Cache hits pass the named-invariant verifier against their instance.
+verified = 0
+for r in by_status["ok"]:
+    if r["cache"] != "hit" or verified >= 5:
+        continue
+    i = int(r["id"][1:])
+    inst = "%s/b%d.inst" % (tmp, i % 3 + 1)
+    open("%s/hit.sol" % tmp, "w").write(r["solution"])
+    subprocess.run([cli, "verify", "--in", inst,
+                    "--solution", "%s/hit.sol" % tmp],
+                   capture_output=True, check=True)
+    verified += 1
+assert verified > 0, "no cache hits found"
+
+# Degraded requests carry the status in their solution payload.
+for r in by_status["budget_exhausted"]:
+    assert "status budget_exhausted" in r["solution"], r["id"]
+print("batch corpus OK: 200 responses, %d miss-identity checks, "
+      "%d hit verifications" % (len(checked), verified))
+EOF
+}
+
+run_batch() {
+  local build_dir
+  # ASan + UBSan pass.
+  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j"$JOBS"
+  run_batch_corpus "$build_dir" 8
+  # TSan pass at --jobs 8: races in the queue / cache / reorder buffer.
+  cmake -B build-tsan -S . -DSECTORPACK_TSAN=ON -DSECTORPACK_SANITIZE=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build build-tsan -j"$JOBS"
+  run_batch_corpus build-tsan 8
+  echo "[gate] batch: PASS (ASan+UBSan and TSan, --jobs 8)"
+}
+
 BUILD_DIR_OVERRIDE="${1:-}"
 
 case "$MODE" in
@@ -201,12 +352,14 @@ case "$MODE" in
   contracts) run_contracts ;;
   fuzz) run_sanitize 1 ;;
   sanitize) run_sanitize 0 ;;
+  batch) run_batch ;;
   all)
     run_lint
     run_format
     run_contracts
     run_sanitize 0
+    run_batch
     echo
-    echo "All gates passed (lint, format, contracts, sanitize)."
+    echo "All gates passed (lint, format, contracts, sanitize, batch)."
     ;;
 esac

@@ -32,11 +32,21 @@ double percentile(std::span<const double> values, double p) {
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   p = std::clamp(p, 0.0, 1.0);
-  const double idx = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  const std::size_t n = sorted.size();
+  // Nearest-rank (inclusive): return the sample of rank ceil(p * n), i.e.
+  // the smallest sample such that at least a fraction p of the data is <=
+  // it. No interpolation: the result is always one of the observed samples,
+  // so a p95 over 3 reps is honestly the max instead of a fabricated value
+  // between samples. The kRankGuard subtraction compensates for p itself
+  // being a binary double (0.95 * 20 evaluates to 19.000000000000004; naive
+  // ceil would skip rank 19 and land on the max). The rank is clamped to
+  // [1, n], so the selection can never index past the last sample.
+  constexpr double kRankGuard = 1e-9;
+  const double target = p * static_cast<double>(n) - kRankGuard;
+  std::size_t rank =
+      target <= 0.0 ? 1 : static_cast<std::size_t>(std::ceil(target));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
 }
 
 }  // namespace sectorpack::bench_util

@@ -15,7 +15,12 @@ struct Summary {
 
 [[nodiscard]] Summary summarize(std::span<const double> values);
 
-/// p in [0, 1]; linear interpolation between order statistics.
+/// p in [0, 1], clamped. Nearest-rank selection: returns the sample of rank
+/// ceil(p * n) (1-based, clamped to [1, n]) -- the smallest sample with at
+/// least a fraction p of the data at or below it. Always one of the input
+/// samples, never an interpolated value, and never reads past the last
+/// sample for any p; see docs/performance.md ("Percentile semantics") for
+/// the small-n behavior (p95 over <= 19 reps is the max by definition).
 [[nodiscard]] double percentile(std::span<const double> values, double p);
 
 }  // namespace sectorpack::bench_util

@@ -32,6 +32,16 @@ Deadline Deadline::cancellable() {
   return d;
 }
 
+Deadline Deadline::after_at_most(double seconds, const Deadline& cap) {
+  const double cap_left = cap.limited()
+                              ? cap.remaining_seconds()
+                              : std::numeric_limits<double>::infinity();
+  const bool own_budget = seconds >= 0.0;  // NaN and negatives: no budget
+  const double budget = own_budget ? std::min(seconds, cap_left) : cap_left;
+  if (!std::isfinite(budget)) return cancellable();
+  return after(budget);
+}
+
 bool Deadline::expired() const noexcept {
   if (!flag_) return false;
   if (flag_->load(std::memory_order_relaxed)) return true;

@@ -41,6 +41,17 @@ class Deadline {
   /// No wall-clock budget, but cancellable via cancel().
   [[nodiscard]] static Deadline cancellable();
 
+  /// Deadline for a sub-task running under an enclosing budget `cap`:
+  /// expires after `seconds` or when cap's *remaining* budget lapses,
+  /// whichever is sooner. A negative or NaN `seconds` means "no own
+  /// budget". The result is always cancellable and does NOT share cap's
+  /// cancel flag -- it snapshots cap's remaining time at call time, so a
+  /// later cancel() of cap must be propagated by the caller (the batch
+  /// engine keeps its in-flight per-request deadlines registered and
+  /// cancels them explicitly on drain).
+  [[nodiscard]] static Deadline after_at_most(double seconds,
+                                              const Deadline& cap);
+
   /// True when constructed via after() or cancellable().
   [[nodiscard]] bool limited() const noexcept { return flag_ != nullptr; }
 

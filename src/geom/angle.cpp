@@ -5,10 +5,16 @@ namespace sectorpack::geom {
 double normalize(double radians) noexcept {
   double a = std::fmod(radians, kTwoPi);
   if (a < 0.0) a += kTwoPi;
-  // fmod of a value extremely close to a multiple of 2*pi can land exactly
-  // on kTwoPi after the correction above; fold it back to 0.
+  // Two boundary hazards around the multiples of 2*pi:
+  //  * a tiny negative input (e.g. -1e-18) survives fmod unchanged, and the
+  //    += kTwoPi correction rounds it up to exactly kTwoPi -- outside the
+  //    documented half-open range; fold it back to 0.
+  //  * fmod of -0.0 (and of exact negative multiples of 2*pi) yields -0.0,
+  //    which skips the < 0.0 branch. -0.0 compares inside [0, 2*pi) but
+  //    serializes as "-0" and flips signbit-sensitive callers; adding +0.0
+  //    rewrites it to +0.0 and is exact for every other value.
   if (a >= kTwoPi) a = 0.0;
-  return a;
+  return a + 0.0;
 }
 
 double ccw_delta(double from, double to) noexcept {

@@ -1,9 +1,9 @@
 #include "src/model/io.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
-#include <istream>
-#include <ostream>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -138,6 +138,17 @@ Instance read_instance(std::istream& is) {
     antennas.push_back(a);
   }
   return Instance{std::move(customers), std::move(antennas)};
+}
+
+Instance read_instance_file(const std::string& path) {
+  if (path == "-") return read_instance(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  try {
+    return read_instance(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 void write_solution(std::ostream& os, const Solution& sol) {

@@ -35,6 +35,11 @@ namespace sectorpack::model {
 void write_instance(std::ostream& os, const Instance& inst);
 [[nodiscard]] Instance read_instance(std::istream& is);
 
+/// Open `path` and parse it as an instance; "-" reads stdin. Open and parse
+/// failures both raise std::runtime_error naming the path, so callers (the
+/// CLI, the batch engine) report one uniform error shape per request.
+[[nodiscard]] Instance read_instance_file(const std::string& path);
+
 void write_solution(std::ostream& os, const Solution& sol);
 [[nodiscard]] Solution read_solution(std::istream& is);
 

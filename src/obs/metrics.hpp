@@ -17,7 +17,8 @@
 //    outlives its Registry degrades to writes nobody will read, never UB.
 //
 // Naming scheme (see docs/observability.md): `<subsystem>.<noun>[_<unit>]`,
-// e.g. `anneal.accepted`, `dinic.augmenting_paths`, `cli.solve_ms`.
+// e.g. `anneal.accepted`, `dinic.augmenting_paths`, `cli.solve_ms`, and the
+// batch engine's `srv.*` family (docs/serving.md).
 
 #include <array>
 #include <cstdint>

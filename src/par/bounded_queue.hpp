@@ -1,0 +1,110 @@
+#pragma once
+// A bounded, closeable multi-producer/multi-consumer queue.
+//
+// This is the admission-control primitive of the batch request engine
+// (src/srv/): producers block once `capacity` items are queued, so reading
+// a million-line request file cannot balloon memory -- backpressure
+// propagates to the reader. Consumers block while the queue is empty and
+// drain remaining items after close(); once the queue is both closed and
+// empty, pop() returns false and consumers exit.
+//
+// Contrast with ThreadPool's internal deques: those are unbounded and carry
+// opaque tasks for latency, while this queue carries values, enforces a
+// bound, and has explicit end-of-stream semantics. The two compose: the
+// srv engine pushes requests here and runs one pump task per ThreadPool
+// worker that pops until the stream ends.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace sectorpack::par {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity is promoted to 1: a queue nothing can ever enter would
+  /// deadlock the first producer against the closed-check in pop().
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (or the queue is closed), then enqueue.
+  /// Returns false -- and drops `value` -- when the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// As push(), but gives up after `timeout` so the producer can poll an
+  /// interrupt flag between attempts. Returns false on timeout or close
+  /// (check closed() to distinguish; `value` is untouched on failure).
+  template <typename Rep, typename Period>
+  bool try_push_for(T& value, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return items_.size() < capacity_ || closed_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available and pop it into `out`. Returns false
+  /// when the queue is closed and fully drained (end of stream).
+  bool pop(T& out) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// End of stream: producers fail fast, consumers drain what is queued and
+  /// then see pop() == false. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous depth (for gauges; racy by nature, exact under the lock).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace sectorpack::par

@@ -29,6 +29,7 @@
 #include "src/model/validate.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/par/bounded_queue.hpp"
 #include "src/par/parallel_for.hpp"
 #include "src/par/thread_pool.hpp"
 #include "src/sectors/annealing.hpp"
@@ -37,5 +38,7 @@
 #include "src/sim/generators.hpp"
 #include "src/sim/rng.hpp"
 #include "src/single/single.hpp"
+#include "src/srv/engine.hpp"
+#include "src/srv/jsonl.hpp"
 #include "src/verify/verify.hpp"
 #include "src/viz/svg.hpp"

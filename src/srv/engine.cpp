@@ -1,0 +1,518 @@
+#include "src/srv/engine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/bench_util/timer.hpp"
+#include "src/model/io.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/par/bounded_queue.hpp"
+#include "src/par/thread_pool.hpp"
+#include "src/sectors/annealing.hpp"
+#include "src/sectors/sectors.hpp"
+#include "src/srv/cache.hpp"
+#include "src/srv/jsonl.hpp"
+#include "src/verify/verify.hpp"
+
+namespace sectorpack::srv {
+
+namespace {
+
+// Largest double that still identifies one integer exactly; JSON carries
+// seeds/iterations as doubles, and an imprecise integer field is a typo,
+// not a request.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+std::uint64_t require_integer_field(const char* name, double value) {
+  if (!(value >= 0.0) || value > kMaxExactInteger ||
+      std::floor(value) != value) {
+    throw std::runtime_error(std::string("field '") + name +
+                             "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+const JsonValue* find_field(const JsonObject& object, const char* name) {
+  const auto it = object.find(name);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string require_string_field(const JsonObject& object, const char* name) {
+  const JsonValue* v = find_field(object, name);
+  if (v == nullptr) return {};
+  if (v->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error(std::string("field '") + name +
+                             "' must be a string");
+  }
+  return v->string;
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kBudgetExhausted: return "budget_exhausted";
+    case RequestStatus::kInvalid: return "invalid";
+    case RequestStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+bool is_known_solver(const std::string& family) noexcept {
+  return family == "greedy" || family == "local-search" ||
+         family == "uniform" || family == "annealing" || family == "exact";
+}
+
+model::Solution run_solver(const model::Instance& inst, const SolverKey& key,
+                           const core::SolveOptions& opts) {
+  if (key.family == "greedy") {
+    sectors::GreedyConfig config;
+    config.solve = opts;
+    return sectors::solve_greedy(inst, config);
+  }
+  if (key.family == "local-search") {
+    sectors::LocalSearchConfig config;
+    config.solve = opts;
+    return sectors::solve_local_search(inst, config);
+  }
+  if (key.family == "uniform") {
+    return sectors::solve_uniform_orientations(inst, knapsack::Oracle::exact(),
+                                               opts);
+  }
+  if (key.family == "annealing") {
+    sectors::AnnealConfig config;
+    config.seed = key.seed;
+    config.iterations = static_cast<std::size_t>(key.iterations);
+    config.solve = opts;
+    return sectors::solve_annealing(inst, config);
+  }
+  if (key.family == "exact") {
+    return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20,
+                                /*node_limit=*/1u << 26, opts);
+  }
+  throw std::invalid_argument("unknown solver: " + key.family);
+}
+
+Request parse_request(const std::string& line, std::size_t index) {
+  const JsonObject object = parse_flat_object(line);
+  for (const auto& [key, value] : object) {
+    if (key != "id" && key != "instance" && key != "instance_file" &&
+        key != "solver" && key != "seed" && key != "iterations" &&
+        key != "time_limit") {
+      throw std::runtime_error("unknown request field '" + key + "'");
+    }
+  }
+
+  Request req;
+  req.index = index;
+  req.id = require_string_field(object, "id");
+  req.instance_file = require_string_field(object, "instance_file");
+  req.instance_text = require_string_field(object, "instance");
+  if (req.instance_file.empty() == req.instance_text.empty()) {
+    throw std::runtime_error(
+        "exactly one of 'instance_file' and 'instance' is required");
+  }
+
+  const std::string family = require_string_field(object, "solver");
+  if (!family.empty()) req.solver.family = family;
+  if (!is_known_solver(req.solver.family)) {
+    throw std::runtime_error("unknown solver '" + req.solver.family + "'");
+  }
+
+  if (const JsonValue* seed = find_field(object, "seed")) {
+    if (seed->kind != JsonValue::Kind::kNumber) {
+      throw std::runtime_error("field 'seed' must be a number");
+    }
+    req.solver.seed = require_integer_field("seed", seed->number);
+  }
+  if (const JsonValue* iters = find_field(object, "iterations")) {
+    if (iters->kind != JsonValue::Kind::kNumber) {
+      throw std::runtime_error("field 'iterations' must be a number");
+    }
+    req.solver.iterations = require_integer_field("iterations", iters->number);
+  }
+  if (const JsonValue* limit = find_field(object, "time_limit")) {
+    if (limit->kind != JsonValue::Kind::kNumber || !(limit->number >= 0.0) ||
+        std::isnan(limit->number)) {
+      throw std::runtime_error("field 'time_limit' must be a number >= 0");
+    }
+    req.time_limit = limit->number;
+  }
+  return req;
+}
+
+std::string BatchReport::to_string() const {
+  std::ostringstream os;
+  os << "requests=" << requests << " ok=" << ok
+     << " budget_exhausted=" << budget_exhausted << " invalid=" << invalid
+     << " rejected=" << rejected << " cache_hit=" << cache_hits
+     << " cache_miss=" << cache_misses << " cache_evicted=" << cache_evictions;
+  if (interrupted) os << " interrupted=yes";
+  return os.str();
+}
+
+namespace {
+
+/// Everything one run_batch call needs; workers hold a pointer into this,
+/// and its lifetime brackets the ThreadPool that runs them.
+class Engine {
+ public:
+  Engine(std::ostream& out, const BatchConfig& config)
+      : out_(out),
+        config_(config),
+        global_(config.time_limit >= 0.0 ? core::Deadline::after(config.time_limit)
+                                         : core::Deadline::never()),
+        cache_(config.cache_entries),
+        c_ok_(obs::counter("srv.requests.ok")),
+        c_budget_(obs::counter("srv.requests.budget_exhausted")),
+        c_invalid_(obs::counter("srv.requests.invalid")),
+        c_rejected_(obs::counter("srv.requests.rejected")),
+        c_cache_mismatch_(obs::counter("srv.cache.mismatch")),
+        g_queue_depth_(obs::gauge("srv.queue.depth")),
+        g_inflight_(obs::gauge("srv.inflight")),
+        h_request_ms_(obs::histogram("srv.request_ms")) {}
+
+  BatchReport run(std::istream& in) {
+    {
+      par::ThreadPool pool(config_.jobs);
+      const unsigned workers = pool.size();
+      const std::size_t capacity = config_.queue_capacity != 0
+                                       ? config_.queue_capacity
+                                       : std::size_t{4} * workers;
+      queue_ = std::make_unique<par::BoundedQueue<Request>>(capacity);
+      inflight_.assign(workers, core::Deadline{});
+      // The reorder window bounds completed-but-unemitted responses, so a
+      // single slow request cannot make the output buffer grow with the
+      // whole input.
+      window_ = capacity + std::size_t{2} * workers + 16;
+
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.submit([this, w] { pump(w); });
+      }
+
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+          continue;  // blank line: not a request, no response
+        }
+        const std::size_t index = total_++;
+        maybe_trigger_drain();
+        if (draining()) {
+          complete_unsolved(index, /*id=*/"", RequestStatus::kRejected,
+                            drain_reason_);
+          continue;
+        }
+        Request req;
+        try {
+          req = parse_request(line, index);
+        } catch (const std::exception& e) {
+          complete_unsolved(index, /*id=*/"", RequestStatus::kInvalid,
+                            e.what());
+          continue;
+        }
+        admit(std::move(req));
+      }
+
+      queue_->close();
+      // ThreadPool's destructor drains and joins the pumps; after this
+      // block every admitted request has completed.
+    }
+    flush_ready();
+
+    BatchReport report;
+    report.requests = total_;
+    report.ok = n_ok_;
+    report.budget_exhausted = n_budget_;
+    report.invalid = n_invalid_;
+    report.rejected = n_rejected_;
+    report.cache_hits = cache_.hits();
+    report.cache_misses = cache_.misses();
+    report.cache_evictions = cache_.evictions();
+    report.interrupted = draining();
+    return report;
+  }
+
+ private:
+  // ---------------------------------------------------------------- admission
+
+  void admit(Request req) {
+    // Keep the reorder window bounded before handing out new work.
+    {
+      std::unique_lock lock(done_mu_);
+      while (req.index - next_emit_ >= window_) {
+        flush_ready_locked();
+        done_cv_.wait_for(lock, std::chrono::milliseconds(50));
+        // No drain check needed: a drain cancels in-flight deadlines, so
+        // the window always drains forward.
+      }
+    }
+    flush_ready();
+
+    const std::size_t index = req.index;
+    const std::string id = req.id;
+    bool pushed = false;
+    while (!pushed && !draining()) {
+      Request& slot = req;
+      pushed = queue_->try_push_for(slot, std::chrono::milliseconds(50));
+      g_queue_depth_.set(static_cast<double>(queue_->size()));
+      if (!pushed) maybe_trigger_drain();
+    }
+    if (!pushed) {
+      complete_unsolved(index, id, RequestStatus::kRejected, drain_reason_);
+    }
+  }
+
+  void maybe_trigger_drain() {
+    if (draining()) return;
+    if (config_.interrupt != nullptr &&
+        config_.interrupt->load(std::memory_order_relaxed)) {
+      trigger_drain("batch draining (interrupted)", /*interrupted=*/true);
+    } else if (global_.expired()) {
+      trigger_drain("global time limit exhausted before start",
+                    /*interrupted=*/false);
+    }
+  }
+
+  void trigger_drain(const char* reason, bool interrupted) {
+    {
+      std::lock_guard lock(inflight_mu_);
+      if (draining_.load(std::memory_order_relaxed)) return;
+      drain_reason_ = reason;
+      if (interrupted) core::note_expired("srv.batch");
+      draining_.store(true, std::memory_order_release);
+      // In-flight solves finish promptly as feasible budget-exhausted
+      // incumbents; queued requests are rejected at dequeue time.
+      for (const core::Deadline& d : inflight_) d.cancel();
+    }
+    global_.cancel();
+  }
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  // ---------------------------------------------------------------- workers
+
+  void pump(unsigned slot) {
+    Request req;
+    while (queue_->pop(req)) {
+      g_queue_depth_.set(static_cast<double>(queue_->size()));
+      g_inflight_.set(static_cast<double>(
+          1 + inflight_count_.fetch_add(1, std::memory_order_relaxed)));
+      const std::size_t index = req.index;
+      const std::string id = req.id;
+      try {
+        process(std::move(req), slot);
+      } catch (const std::exception& e) {
+        // Defensive: process() handles per-request errors itself; anything
+        // escaping is an engine bug surfaced as an invalid response rather
+        // than a dead worker (ThreadPool tasks must not throw).
+        complete_unsolved(index, id, RequestStatus::kInvalid,
+                          std::string("internal error: ") + e.what());
+      }
+      g_inflight_.set(static_cast<double>(
+          inflight_count_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    }
+  }
+
+  void process(Request req, unsigned slot) {
+    const obs::ScopedSpan span("srv.request");
+    const bench_util::Timer timer;
+
+    if (draining()) {
+      complete_unsolved(req.index, req.id, RequestStatus::kRejected,
+                        drain_reason_);
+      return;
+    }
+
+    model::Instance inst;
+    try {
+      inst = req.instance_file.empty()
+                 ? model::instance_from_string(req.instance_text)
+                 : model::read_instance_file(req.instance_file);
+    } catch (const std::exception& e) {
+      complete_unsolved(req.index, req.id, RequestStatus::kInvalid, e.what());
+      return;
+    }
+
+    const CanonicalInstance canon = canonicalize(inst, req.solver);
+
+    if (config_.cache_entries > 0) {
+      if (std::optional<model::Solution> cached =
+              cache_.lookup(canon.fingerprint)) {
+        // Shape guard against a fingerprint collision, then the full
+        // invariant check against *this* request's instance: a projected
+        // hit must stand on its own, exactly like a fresh solve.
+        if (cached->alpha.size() == inst.num_antennas() &&
+            cached->assign.size() == inst.num_customers()) {
+          model::Solution sol = from_canonical(canon, *cached);
+          if (verify::verify_solution(inst, sol).ok) {
+            verify::debug_postcondition(inst, sol, "srv::batch(cache-hit)");
+            complete_solved(req, inst, canon, std::move(sol),
+                            /*cache_hit=*/true, timer.elapsed_ms());
+            return;
+          }
+        }
+        // Collision or projection mismatch: never serve it; solve fresh.
+        c_cache_mismatch_.inc();
+      }
+    }
+
+    // Per-request budget, clamped under the remaining global budget, and
+    // always cancellable so a drain can interrupt this solve. Register the
+    // deadline before solving; if a drain already started, cancel it
+    // ourselves (the drain's cancel sweep may have run before we
+    // registered).
+    const core::Deadline deadline =
+        core::Deadline::after_at_most(req.time_limit, global_);
+    {
+      std::lock_guard lock(inflight_mu_);
+      inflight_[slot] = deadline;
+      if (draining_.load(std::memory_order_relaxed)) deadline.cancel();
+    }
+
+    model::Solution sol;
+    std::string error;
+    try {
+      sol = run_solver(inst, req.solver, core::SolveOptions{deadline});
+    } catch (const std::exception& e) {
+      error = e.what();  // e.g. exact-solver tuple-space overflow
+    }
+    {
+      std::lock_guard lock(inflight_mu_);
+      inflight_[slot] = core::Deadline{};
+    }
+    if (!error.empty()) {
+      complete_unsolved(req.index, req.id, RequestStatus::kInvalid, error);
+      return;
+    }
+
+    verify::debug_postcondition(inst, sol, "srv::batch(fresh)");
+    if (config_.cache_entries > 0 &&
+        sol.status == model::SolveStatus::kComplete) {
+      cache_.insert(canon.fingerprint, to_canonical(canon, sol));
+    }
+    complete_solved(req, inst, canon, std::move(sol), /*cache_hit=*/false,
+                    timer.elapsed_ms());
+  }
+
+  // --------------------------------------------------------------- responses
+
+  void complete_solved(const Request& req, const model::Instance& inst,
+                       const CanonicalInstance& canon, model::Solution sol,
+                       bool cache_hit, double elapsed_ms) {
+    const RequestStatus status =
+        sol.status == model::SolveStatus::kComplete
+            ? RequestStatus::kOk
+            : RequestStatus::kBudgetExhausted;
+    std::ostringstream os;
+    os << "{\"index\":" << req.index;
+    if (!req.id.empty()) os << ",\"id\":\"" << obs::json_escape(req.id) << "\"";
+    os << ",\"status\":\"" << to_string(status) << "\""
+       << ",\"solver\":\"" << obs::json_escape(req.solver.family) << "\""
+       << ",\"cache\":\"" << (cache_hit ? "hit" : "miss") << "\""
+       << ",\"fingerprint\":\"" << canon.fingerprint.to_hex() << "\""
+       << ",\"served_value\":" << obs::json_number(served_value(inst, sol))
+       << ",\"solve_ms\":" << obs::json_number(elapsed_ms)
+       << ",\"solution\":\"" << obs::json_escape(model::to_string(sol))
+       << "\"}";
+    h_request_ms_.observe(elapsed_ms);
+    complete(req.index, status, os.str());
+  }
+
+  void complete_unsolved(std::size_t index, const std::string& id,
+                         RequestStatus status, const std::string& error) {
+    std::ostringstream os;
+    os << "{\"index\":" << index;
+    if (!id.empty()) os << ",\"id\":\"" << obs::json_escape(id) << "\"";
+    os << ",\"status\":\"" << to_string(status) << "\""
+       << ",\"error\":\"" << obs::json_escape(error) << "\"}";
+    complete(index, status, os.str());
+  }
+
+  void complete(std::size_t index, RequestStatus status, std::string line) {
+    switch (status) {
+      case RequestStatus::kOk: ++n_ok_; c_ok_.inc(); break;
+      case RequestStatus::kBudgetExhausted: ++n_budget_; c_budget_.inc(); break;
+      case RequestStatus::kInvalid: ++n_invalid_; c_invalid_.inc(); break;
+      case RequestStatus::kRejected: ++n_rejected_; c_rejected_.inc(); break;
+    }
+    {
+      std::lock_guard lock(done_mu_);
+      done_.emplace(index, std::move(line));
+    }
+    done_cv_.notify_all();
+  }
+
+  /// Write every response whose turn has come (responses are emitted in
+  /// input order; out-of-order completions wait in done_).
+  void flush_ready() {
+    std::lock_guard lock(done_mu_);
+    flush_ready_locked();
+  }
+
+  void flush_ready_locked() {
+    auto it = done_.find(next_emit_);
+    while (it != done_.end()) {
+      out_ << it->second << "\n";
+      done_.erase(it);
+      ++next_emit_;
+      it = done_.find(next_emit_);
+    }
+  }
+
+  std::ostream& out_;
+  const BatchConfig config_;
+  core::Deadline global_;
+  ResultCache cache_;
+
+  std::unique_ptr<par::BoundedQueue<Request>> queue_;
+  std::size_t window_ = 0;
+  std::size_t total_ = 0;
+
+  std::mutex inflight_mu_;
+  std::vector<core::Deadline> inflight_;  // guarded by inflight_mu_
+  std::atomic<bool> draining_{false};
+  std::string drain_reason_;  // written once, before draining_ is set
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::map<std::size_t, std::string> done_;  // guarded by done_mu_
+  std::size_t next_emit_ = 0;                // guarded by done_mu_
+
+  std::atomic<std::size_t> n_ok_{0};
+  std::atomic<std::size_t> n_budget_{0};
+  std::atomic<std::size_t> n_invalid_{0};
+  std::atomic<std::size_t> n_rejected_{0};
+  std::atomic<std::size_t> inflight_count_{0};
+
+  obs::Counter c_ok_;
+  obs::Counter c_budget_;
+  obs::Counter c_invalid_;
+  obs::Counter c_rejected_;
+  obs::Counter c_cache_mismatch_;
+  obs::Gauge g_queue_depth_;
+  obs::Gauge g_inflight_;
+  obs::Histogram h_request_ms_;
+};
+
+}  // namespace
+
+BatchReport run_batch(std::istream& in, std::ostream& out,
+                      const BatchConfig& config) {
+  Engine engine(out, config);
+  return engine.run(in);
+}
+
+}  // namespace sectorpack::srv

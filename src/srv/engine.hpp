@@ -1,0 +1,101 @@
+#pragma once
+// Batch request engine: solve many instances in one process.
+//
+// `sectorpack batch` reads one JSON request per line, fans the requests out
+// over a bounded admission queue (par::BoundedQueue) into a dedicated
+// par::ThreadPool, and writes one JSON response per request, in input
+// order. The engine composes the existing machinery instead of growing new
+// solver paths: per-request budgets are core::Deadline (clamped under the
+// batch-wide budget via Deadline::after_at_most), solving goes through the
+// same run_solver dispatch the `solve` subcommand uses (so a cache miss is
+// byte-identical to a single-shot solve), results are memoized in an LRU
+// ResultCache keyed by canonical instance fingerprint, and every response
+// -- fresh or cached -- passes through the src/verify/ invariants.
+//
+// Failure isolation is per request: a malformed line, an unreadable
+// instance, or an unknown solver yields a status "invalid" response and
+// the batch continues. A global budget or an interrupt (SIGINT in the CLI)
+// stops admission, cancels the deadlines of in-flight solves (they finish
+// as feasible budget-exhausted incumbents), and answers everything not yet
+// started with status "rejected" -- every input line always gets exactly
+// one response. See docs/serving.md for the request/response schema.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/core/deadline.hpp"
+#include "src/model/solution.hpp"
+#include "src/srv/fingerprint.hpp"
+
+namespace sectorpack::srv {
+
+/// One request, parsed from a JSONL line. See docs/serving.md.
+struct Request {
+  std::size_t index = 0;      // 0-based input line ordinal
+  std::string id;             // optional client tag, echoed in the response
+  std::string instance_file;  // exactly one of instance_file /
+  std::string instance_text;  //   inline instance text is set
+  SolverKey solver;
+  double time_limit = -1.0;   // per-request budget in seconds; < 0 = none
+};
+
+/// Per-request outcome, serialized into the response `status` field.
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,               // solved to completion
+  kBudgetExhausted = 1,  // deadline hit; response carries the incumbent
+  kInvalid = 2,          // malformed request / instance / unknown solver
+  kRejected = 3,         // never started: drain or global budget exhausted
+};
+
+[[nodiscard]] const char* to_string(RequestStatus status) noexcept;
+
+struct BatchConfig {
+  unsigned jobs = 0;            // worker count; 0 = hardware_concurrency
+  double time_limit = -1.0;     // global wall-clock budget; < 0 = unlimited
+  std::size_t cache_entries = 128;  // LRU capacity; 0 disables caching
+  std::size_t queue_capacity = 0;   // admission bound; 0 = 4 * jobs
+  /// Cooperative interrupt (the CLI points this at its SIGINT flag): once
+  /// true, admission stops and the batch drains as described above.
+  const std::atomic<bool>* interrupt = nullptr;
+};
+
+struct BatchReport {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t budget_exhausted = 0;
+  std::size_t invalid = 0;
+  std::size_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  bool interrupted = false;  // a drain was triggered before input ran out
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run a batch: JSONL requests on `in`, JSONL responses on `out` (one per
+/// request, input order). Never throws for per-request problems; throws
+/// only on engine-level misuse (e.g. an unwritable output stream).
+BatchReport run_batch(std::istream& in, std::ostream& out,
+                      const BatchConfig& config);
+
+/// True when `family` names a solver run_solver can dispatch.
+[[nodiscard]] bool is_known_solver(const std::string& family) noexcept;
+
+/// Single-instance solver dispatch shared by `sectorpack solve` and the
+/// batch engine -- one code path, so batch cache misses are byte-identical
+/// to single-shot solves. Throws std::invalid_argument on an unknown
+/// family (use is_known_solver to pre-validate).
+[[nodiscard]] model::Solution run_solver(const model::Instance& inst,
+                                         const SolverKey& key,
+                                         const core::SolveOptions& opts);
+
+/// Parse one request line (exposed for tests; run_batch uses it per line).
+/// Throws std::runtime_error naming the offending field.
+[[nodiscard]] Request parse_request(const std::string& line,
+                                    std::size_t index);
+
+}  // namespace sectorpack::srv

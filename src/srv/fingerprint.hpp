@@ -1,0 +1,93 @@
+#pragma once
+// Canonical instance fingerprints for the batch result cache.
+//
+// Two requests hit the same cache entry exactly when they describe the
+// same *problem*: the same multiset of customers, the same multiset of
+// antennas, and the same solver configuration (family, seed, iterations).
+// Presentation differences -- customer or antenna order in the file,
+// whitespace, v1 vs v2 format when the extra columns are at their
+// defaults -- must not change the fingerprint, while any change to a
+// demand, position, value, antenna spec, seed, or solver family must.
+//
+// The canonicalization is a sort: entity indices are ordered by their full
+// numeric tuple (exact comparison -- ties are bit-identical entities and
+// therefore interchangeable), and the 128-bit fingerprint is a sequence
+// hash over the sorted tuples plus the solver key. Because a permuted
+// instance has a *different index space*, the cache never stores a raw
+// solution: it stores the solution re-indexed into canonical entity order
+// (to_canonical), and a hit projects it back through the requesting
+// instance's own permutation (from_canonical). For a byte-identical
+// request the two permutations coincide and the projected solution is
+// exactly the one originally solved.
+//
+// Signed zeros are collapsed (-0.0 hashes and sorts as +0.0); NaNs never
+// reach this layer (model::io rejects them at parse time).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/solution.hpp"
+
+namespace sectorpack::srv {
+
+/// 128-bit order-independent instance+config hash (two independently
+/// seeded 64-bit sequence hashes; collisions are negligible at batch
+/// scale, and a verify pass on every cache hit backstops them anyway).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+
+  /// 32 hex digits, for logs and responses.
+  [[nodiscard]] std::string to_hex() const;
+};
+
+struct FingerprintHasher {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// The solver configuration that participates in the cache key. `seed` and
+/// `iterations` only steer the annealing family today, but they are hashed
+/// for every family: a conservative key never serves a stale result.
+struct SolverKey {
+  std::string family = "local-search";
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 2000;
+};
+
+/// An instance's cache identity: the fingerprint plus the permutations
+/// that map canonical entity order back to this instance's index space.
+/// customer_order[c] / antenna_order[a] give the instance index of the
+/// canonically c-th customer / a-th antenna.
+struct CanonicalInstance {
+  Fingerprint fingerprint;
+  std::vector<std::uint32_t> customer_order;
+  std::vector<std::uint32_t> antenna_order;
+};
+
+[[nodiscard]] CanonicalInstance canonicalize(const model::Instance& inst,
+                                             const SolverKey& key);
+
+/// Re-index a solution of `canon`'s instance into canonical entity order
+/// (alphas and assignment targets move to antenna ranks, assignment rows
+/// to customer ranks). Status is preserved.
+[[nodiscard]] model::Solution to_canonical(const CanonicalInstance& canon,
+                                           const model::Solution& sol);
+
+/// Inverse of to_canonical against (a possibly different permutation of)
+/// the same canonical instance: project a cached canonical solution into
+/// `canon`'s index space.
+[[nodiscard]] model::Solution from_canonical(const CanonicalInstance& canon,
+                                             const model::Solution& canonical);
+
+}  // namespace sectorpack::srv

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal JSON-lines support for the batch request engine.
+//
+// Requests are one flat JSON object per line with scalar values only
+// (string, number, true/false, null) -- see docs/serving.md for the schema.
+// That restriction keeps the parser small and auditable under the same
+// hostile-input rules as src/model/io: strict single-line framing, no
+// nesting, no duplicate keys, no trailing bytes, and every rejection is a
+// std::runtime_error naming what broke. Responses are emitted with the
+// JSON string/number formatters shared with the obs snapshot writer.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sectorpack::srv {
+
+/// One scalar value from a request object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+};
+
+/// Key -> value of one request line (flat: nested objects/arrays rejected).
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parse one JSONL line as a flat object of scalars. Throws
+/// std::runtime_error on any syntax error, nesting, duplicate key, or
+/// trailing non-whitespace.
+[[nodiscard]] JsonObject parse_flat_object(std::string_view line);
+
+}  // namespace sectorpack::srv

@@ -65,7 +65,9 @@ struct VerifyReport {
 /// Contracts-build postcondition for solver entry points: no-op unless
 /// compiled with SECTORPACK_CONTRACTS, in which case a failed verification
 /// reports the offending solver (`where`) plus the violation list and
-/// aborts. Call on the final solution right before returning it.
+/// aborts. Call on the final solution right before returning it. The batch
+/// engine applies it to every response it emits, fresh and cache-hit alike
+/// (`srv::batch(fresh)` / `srv::batch(cache-hit)`).
 void debug_postcondition(const model::Instance& inst,
                          const model::Solution& sol, const char* where);
 

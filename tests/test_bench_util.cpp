@@ -42,13 +42,18 @@ TEST(Stats, SummarizeNegativeValues) {
   EXPECT_DOUBLE_EQ(s.max, 3.0);
 }
 
-TEST(Stats, PercentileInterpolates) {
+TEST(Stats, PercentileNearestRank) {
   const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
   EXPECT_DOUBLE_EQ(bu::percentile(v, 0.0), 10.0);
   EXPECT_DOUBLE_EQ(bu::percentile(v, 1.0), 50.0);
-  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.5), 30.0);
-  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.25), 20.0);
-  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.125), 15.0);  // interpolated
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.5), 30.0);   // rank ceil(2.5) = 3
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.25), 20.0);  // rank ceil(1.25) = 2
+  // Nearest-rank, not interpolation: rank ceil(0.625) = 1 selects the
+  // smallest sample (the old linear interpolation fabricated 15.0 here).
+  EXPECT_DOUBLE_EQ(bu::percentile(v, 0.125), 10.0);
+  // Even-count median is the lower middle sample (rank ceil(2.0) = 2).
+  const std::vector<double> even = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(bu::percentile(even, 0.5), 2.0);
 }
 
 TEST(Stats, PercentileUnsortedInputAndClamping) {
@@ -57,6 +62,34 @@ TEST(Stats, PercentileUnsortedInputAndClamping) {
   EXPECT_DOUBLE_EQ(bu::percentile(v, -1.0), 10.0);  // clamped to 0
   EXPECT_DOUBLE_EQ(bu::percentile(v, 2.0), 50.0);   // clamped to 1
   EXPECT_DOUBLE_EQ(bu::percentile({}, 0.5), 0.0);
+}
+
+// Small rep counts, the regime the bench suite actually runs in (reps is
+// usually 5..20): the p95 rank must never index past the last sample, and
+// its value is pinned by nearest-rank semantics, not by truncation luck.
+TEST(Stats, PercentileSmallRepCounts) {
+  const auto ramp = [](std::size_t n) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i + 1);
+    return v;
+  };
+
+  // reps = 1: every percentile is the single sample.
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(1), 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(1), 0.5), 1.0);
+  // reps = 2: p95 rank ceil(1.9) = 2 -> max; median rank ceil(1.0) = 1.
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(2), 0.95), 2.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(2), 0.5), 1.0);
+  // reps = 3: p95 rank ceil(2.85) = 3 -> max.
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(3), 0.95), 3.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(3), 0.5), 2.0);
+  // reps = 19: p95 rank ceil(18.05) = 19 -> still the max, by definition.
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(19), 0.95), 19.0);
+  // reps = 20 is the first count where p95 is NOT the max: rank 19. The
+  // binary value of 0.95 makes 0.95 * 20 = 19.000000000000004, so a naive
+  // ceil would still (wrongly) select rank 20; the guard pins rank 19.
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(20), 0.95), 19.0);
+  EXPECT_DOUBLE_EQ(bu::percentile(ramp(20), 1.0), 20.0);
 }
 
 TEST(Cell, Formatting) {

@@ -141,6 +141,43 @@ TEST(Deadline, SolveStatusHelpers) {
             model::SolveStatus::kBudgetExhausted);
 }
 
+TEST(Deadline, AfterAtMostClampsUnderTheCap) {
+  // No own budget + unlimited cap: cancellable but never lapses.
+  const core::Deadline free =
+      core::Deadline::after_at_most(-1.0, core::Deadline::never());
+  EXPECT_TRUE(free.limited());
+  EXPECT_FALSE(free.expired());
+  EXPECT_TRUE(std::isinf(free.remaining_seconds()));
+  free.cancel();
+  EXPECT_TRUE(free.expired());
+
+  // NaN means "no own budget" here (requests omit the field), unlike
+  // Deadline::after which rejects NaN as a caller bug.
+  const core::Deadline nan_budget = core::Deadline::after_at_most(
+      std::numeric_limits<double>::quiet_NaN(), core::Deadline::never());
+  EXPECT_FALSE(nan_budget.expired());
+
+  // Zero own budget: already expired regardless of the cap.
+  EXPECT_TRUE(
+      core::Deadline::after_at_most(0.0, core::Deadline::never()).expired());
+
+  // A generous own budget is clamped to the cap's remaining time.
+  const core::Deadline cap = core::Deadline::after(0.0);
+  EXPECT_TRUE(core::Deadline::after_at_most(3600.0, cap).expired());
+
+  // The clamp snapshots the cap; it does NOT share the cap's cancel flag.
+  const core::Deadline wide = core::Deadline::after(3600.0);
+  const core::Deadline sub = core::Deadline::after_at_most(1800.0, wide);
+  wide.cancel();
+  EXPECT_FALSE(sub.expired());
+
+  // A small own budget under a large cap keeps the small budget.
+  EXPECT_LE(
+      core::Deadline::after_at_most(1.0, core::Deadline::after(3600.0))
+          .remaining_seconds(),
+      1.0);
+}
+
 // ---------------------------------------------------------------------------
 // Graceful degradation: a pre-expired deadline stops every solver at its
 // first check point, and the result is always feasible.

@@ -39,6 +39,40 @@ TEST(Angle, NormalizeNearMultipleOfTwoPi) {
   EXPECT_LT(geom::normalize(4.0 * geom::kTwoPi - 1e-18), geom::kTwoPi);
 }
 
+TEST(Angle, NormalizeBoundaryRegressions) {
+  // Tiny negative inputs: fmod leaves them unchanged and the += 2*pi
+  // correction rounds to exactly 2*pi, which must fold back to 0, never
+  // escape the half-open range.
+  EXPECT_DOUBLE_EQ(geom::normalize(-1e-18), 0.0);
+  EXPECT_LT(geom::normalize(-1e-18), geom::kTwoPi);
+  EXPECT_DOUBLE_EQ(geom::normalize(1e-18), 1e-18);
+
+  // Exact multiples of 2*pi from either side map to +0.0.
+  EXPECT_DOUBLE_EQ(geom::normalize(geom::kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(geom::normalize(-geom::kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(geom::normalize(2.0 * geom::kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(geom::normalize(-2.0 * geom::kTwoPi), 0.0);
+
+  // Signed zero: fmod(-0.0, 2*pi) is -0.0, which skips the negative-branch
+  // correction; the result must still be +0.0 (serializers print "-0" and
+  // signbit-based callers misbehave otherwise).
+  EXPECT_FALSE(std::signbit(geom::normalize(-0.0)));
+  EXPECT_FALSE(std::signbit(geom::normalize(0.0)));
+  EXPECT_FALSE(std::signbit(geom::normalize(-geom::kTwoPi)));
+  EXPECT_FALSE(std::signbit(geom::normalize(-2.0 * geom::kTwoPi)));
+
+  // One ulp below 4*pi: fmod is exact, so the result sits just below 2*pi
+  // and must stay strictly inside the range.
+  const double four_pi = 2.0 * geom::kTwoPi;
+  const double n = geom::normalize(std::nextafter(four_pi, 0.0));
+  EXPECT_GE(n, 0.0);
+  EXPECT_LT(n, geom::kTwoPi);
+
+  // Denormal-scale negatives behave like -1e-18.
+  EXPECT_GE(geom::normalize(-1e-300), 0.0);
+  EXPECT_LT(geom::normalize(-1e-300), geom::kTwoPi);
+}
+
 TEST(Angle, CcwDeltaBasics) {
   EXPECT_DOUBLE_EQ(geom::ccw_delta(1.0, 1.0), 0.0);
   EXPECT_NEAR(geom::ccw_delta(0.0, geom::kPi), geom::kPi, 1e-15);

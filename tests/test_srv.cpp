@@ -1,0 +1,557 @@
+// The batch request engine (src/srv/): the strict flat-JSON parser, the
+// canonical instance fingerprint and its permutation projections, the LRU
+// result cache, the bounded admission queue, and run_batch end to end --
+// including the soundness-critical properties: a cache miss is
+// byte-identical to a single-shot solve, a cache hit served to a permuted
+// instance still satisfies every verify:: invariant, and every request gets
+// exactly one response no matter how malformed its line is.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/sectorpack.hpp"
+#include "src/srv/cache.hpp"
+
+using namespace sectorpack;
+
+namespace {
+
+model::Instance small_instance() {
+  return model::InstanceBuilder{}
+      .add_customer_polar(0.3, 5.0, 10.0)
+      .add_customer_polar(2.1, 7.0, 4.0)
+      .add_customer_polar(4.0, 3.0, 6.0)
+      .add_customer_polar(5.5, 8.0, 2.0)
+      .add_antenna(geom::kPi / 3, 10.0, 12.0)
+      .add_antenna(geom::kPi / 2, 10.0, 8.0)
+      .build();
+}
+
+/// The same instance with customers and antennas listed in a different
+/// order (same multiset of entities).
+model::Instance small_instance_permuted() {
+  return model::InstanceBuilder{}
+      .add_customer_polar(5.5, 8.0, 2.0)
+      .add_customer_polar(0.3, 5.0, 10.0)
+      .add_customer_polar(4.0, 3.0, 6.0)
+      .add_customer_polar(2.1, 7.0, 4.0)
+      .add_antenna(geom::kPi / 2, 10.0, 8.0)
+      .add_antenna(geom::kPi / 3, 10.0, 12.0)
+      .build();
+}
+
+std::string json_line(const std::string& instance_text,
+                      const std::string& extra = "") {
+  std::string line = "{\"instance\":\"";
+  for (const char c : instance_text) {
+    if (c == '\n') {
+      line += "\\n";
+    } else if (c == '"') {
+      line += "\\\"";
+    } else {
+      line += c;
+    }
+  }
+  line += "\"";
+  line += extra;
+  line += "}";
+  return line;
+}
+
+srv::BatchReport run(const std::string& input, std::string* output,
+                     const srv::BatchConfig& config = {}) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  const srv::BatchReport report = srv::run_batch(in, out, config);
+  *output = out.str();
+  return report;
+}
+
+std::vector<srv::JsonObject> parse_responses(const std::string& output) {
+  std::vector<srv::JsonObject> responses;
+  std::istringstream is(output);
+  std::string line;
+  while (std::getline(is, line)) {
+    responses.push_back(srv::parse_flat_object(line));
+  }
+  return responses;
+}
+
+std::string field(const srv::JsonObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it == o.end() ? std::string() : it->second.string;
+}
+
+// ---------------------------------------------------------------- jsonl
+
+TEST(SrvJsonl, ParsesEveryScalarKind) {
+  const srv::JsonObject o = srv::parse_flat_object(
+      " { \"s\" : \"a\\tb\\u00e9\\ud83d\\ude00\" , \"n\" : -1.5e2 , "
+      "\"t\" : true , \"f\" : false , \"z\" : null } ");
+  ASSERT_EQ(o.size(), 5u);
+  EXPECT_EQ(o.at("s").kind, srv::JsonValue::Kind::kString);
+  EXPECT_EQ(o.at("s").string, "a\tb\xC3\xA9\xF0\x9F\x98\x80");
+  EXPECT_EQ(o.at("n").kind, srv::JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(o.at("n").number, -150.0);
+  EXPECT_TRUE(o.at("t").boolean);
+  EXPECT_FALSE(o.at("f").boolean);
+  EXPECT_EQ(o.at("z").kind, srv::JsonValue::Kind::kNull);
+}
+
+TEST(SrvJsonl, RejectsMalformedInput) {
+  EXPECT_THROW(srv::parse_flat_object(""), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("[1]"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":{}}"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":[1]}"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":1,\"a\":2}"),
+               std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":1} junk"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":1"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":01}"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":nul}"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":\"\x01\"}"),
+               std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":\"\\ud83d\"}"),
+               std::runtime_error);  // lone high surrogate
+}
+
+// ---------------------------------------------------------------- requests
+
+TEST(SrvRequest, DefaultsAndFields) {
+  const srv::Request req = srv::parse_request(
+      "{\"id\":\"x\",\"instance_file\":\"f.inst\",\"solver\":\"annealing\","
+      "\"seed\":9,\"iterations\":50,\"time_limit\":1.5}",
+      7);
+  EXPECT_EQ(req.index, 7u);
+  EXPECT_EQ(req.id, "x");
+  EXPECT_EQ(req.instance_file, "f.inst");
+  EXPECT_EQ(req.solver.family, "annealing");
+  EXPECT_EQ(req.solver.seed, 9u);
+  EXPECT_EQ(req.solver.iterations, 50u);
+  EXPECT_DOUBLE_EQ(req.time_limit, 1.5);
+
+  const srv::Request defaults =
+      srv::parse_request("{\"instance\":\"text\"}", 0);
+  EXPECT_EQ(defaults.solver.family, "local-search");
+  EXPECT_EQ(defaults.solver.seed, 1u);
+  EXPECT_EQ(defaults.solver.iterations, 2000u);
+  EXPECT_LT(defaults.time_limit, 0.0);  // no per-request budget
+}
+
+TEST(SrvRequest, RejectsBadRequests) {
+  // Unknown field, missing/duplicated instance source, unknown solver,
+  // non-integer seed, negative time limit.
+  EXPECT_THROW(srv::parse_request("{\"instance\":\"x\",\"nope\":1}", 0),
+               std::runtime_error);
+  EXPECT_THROW(srv::parse_request("{\"solver\":\"greedy\"}", 0),
+               std::runtime_error);
+  EXPECT_THROW(
+      srv::parse_request("{\"instance\":\"x\",\"instance_file\":\"y\"}", 0),
+      std::runtime_error);
+  EXPECT_THROW(
+      srv::parse_request("{\"instance\":\"x\",\"solver\":\"qaoa\"}", 0),
+      std::runtime_error);
+  EXPECT_THROW(srv::parse_request("{\"instance\":\"x\",\"seed\":1.5}", 0),
+               std::runtime_error);
+  EXPECT_THROW(srv::parse_request("{\"instance\":\"x\",\"seed\":-1}", 0),
+               std::runtime_error);
+  EXPECT_THROW(
+      srv::parse_request("{\"instance\":\"x\",\"time_limit\":-2}", 0),
+      std::runtime_error);
+}
+
+// ------------------------------------------------------------- fingerprint
+
+TEST(SrvFingerprint, PermutationInvariant) {
+  const srv::SolverKey key;
+  const auto a = srv::canonicalize(small_instance(), key);
+  const auto b = srv::canonicalize(small_instance_permuted(), key);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(SrvFingerprint, TextFormattingInvariant) {
+  // The same instance spelled three ways: generated text, extra blank-free
+  // v1 text with different float spellings, and v2 with the default value
+  // and min_range columns written out explicitly. All hash identically
+  // because the fingerprint is over parsed, resolved numbers, never bytes.
+  const std::string v1 =
+      "sectorpack-instance v1\n"
+      "customers 2\n"
+      "1.0 2.0 3\n"
+      "4 5 6\n"
+      "antennas 1\n"
+      "1.5 10 20\n";
+  const std::string v1_respelled =
+      "sectorpack-instance v1\n"
+      "customers 2\n"
+      "1 2 3.0\n"
+      "4.0 5.0 6\n"
+      "antennas 1\n"
+      "1.5e0 10.0 2e1\n";
+  const std::string v2 =
+      "sectorpack-instance v2\n"
+      "customers 2\n"
+      "1 2 3 3\n"
+      "4 5 6 6\n"
+      "antennas 1\n"
+      "1.5 10 20 0\n";
+  const srv::SolverKey key;
+  const auto fp1 =
+      srv::canonicalize(model::instance_from_string(v1), key).fingerprint;
+  const auto fp1b = srv::canonicalize(
+      model::instance_from_string(v1_respelled), key).fingerprint;
+  const auto fp2 =
+      srv::canonicalize(model::instance_from_string(v2), key).fingerprint;
+  EXPECT_EQ(fp1, fp1b);
+  EXPECT_EQ(fp1, fp2);
+}
+
+TEST(SrvFingerprint, DistinguishesProblemAndSolverChanges) {
+  const model::Instance base = small_instance();
+  const srv::SolverKey key;
+  const srv::Fingerprint fp = srv::canonicalize(base, key).fingerprint;
+
+  model::Instance demand_changed = model::InstanceBuilder{}
+      .add_customer_polar(0.3, 5.0, 11.0)  // demand 10 -> 11
+      .add_customer_polar(2.1, 7.0, 4.0)
+      .add_customer_polar(4.0, 3.0, 6.0)
+      .add_customer_polar(5.5, 8.0, 2.0)
+      .add_antenna(geom::kPi / 3, 10.0, 12.0)
+      .add_antenna(geom::kPi / 2, 10.0, 8.0)
+      .build();
+  EXPECT_NE(srv::canonicalize(demand_changed, key).fingerprint, fp);
+
+  model::Instance moved = model::InstanceBuilder{}
+      .add_customer_polar(0.31, 5.0, 10.0)  // theta 0.3 -> 0.31
+      .add_customer_polar(2.1, 7.0, 4.0)
+      .add_customer_polar(4.0, 3.0, 6.0)
+      .add_customer_polar(5.5, 8.0, 2.0)
+      .add_antenna(geom::kPi / 3, 10.0, 12.0)
+      .add_antenna(geom::kPi / 2, 10.0, 8.0)
+      .build();
+  EXPECT_NE(srv::canonicalize(moved, key).fingerprint, fp);
+
+  srv::SolverKey other = key;
+  other.seed = 2;
+  EXPECT_NE(srv::canonicalize(base, other).fingerprint, fp);
+  other = key;
+  other.iterations = 1999;
+  EXPECT_NE(srv::canonicalize(base, other).fingerprint, fp);
+  other = key;
+  other.family = "greedy";
+  EXPECT_NE(srv::canonicalize(base, other).fingerprint, fp);
+}
+
+TEST(SrvFingerprint, CollisionSmokeOverGenerators) {
+  // Not a proof, just a tripwire: many generated instances, all distinct
+  // fingerprints (128 bits of splitmix64 mixing should never collide here).
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  const srv::SolverKey key;
+  int total = 0;
+  for (const sim::Spatial spatial :
+       {sim::Spatial::kUniformDisk, sim::Spatial::kHotspots,
+        sim::Spatial::kRing, sim::Spatial::kArcBand}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      sim::WorkloadConfig wc;
+      wc.num_customers = 30;
+      wc.spatial = spatial;
+      sim::AntennaConfig ac;
+      ac.count = 3;
+      sim::Rng rng(seed);
+      const model::Instance inst = sim::make_instance(wc, ac, rng);
+      seen.insert({srv::canonicalize(inst, key).fingerprint.hi,
+                   srv::canonicalize(inst, key).fingerprint.lo});
+      ++total;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), total);
+}
+
+TEST(SrvFingerprint, CanonicalRoundTrip) {
+  const model::Instance inst = small_instance_permuted();
+  const auto canon = srv::canonicalize(inst, srv::SolverKey{});
+  model::Solution sol = sectors::solve_greedy(inst);
+  sol.assign[0] = model::kUnserved;  // exercise the unserved mapping too
+  const model::Solution back =
+      srv::from_canonical(canon, srv::to_canonical(canon, sol));
+  EXPECT_EQ(back.status, sol.status);
+  EXPECT_EQ(back.alpha, sol.alpha);
+  EXPECT_EQ(back.assign, sol.assign);
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(SrvCache, LruEvictionAndCounters) {
+  srv::ResultCache cache(2);
+  model::Solution sol;
+  sol.status = model::SolveStatus::kComplete;
+  const srv::Fingerprint a{1, 1}, b{2, 2}, c{3, 3};
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.insert(a, sol);
+  cache.insert(b, sol);
+  EXPECT_TRUE(cache.lookup(a).has_value());  // bumps a over b
+  cache.insert(c, sol);                      // evicts b (LRU)
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(SrvCache, ZeroCapacityDisablesStorage) {
+  srv::ResultCache cache(0);
+  model::Solution sol;
+  cache.insert({1, 1}, sol);
+  EXPECT_FALSE(cache.lookup({1, 1}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ----------------------------------------------------------- bounded queue
+
+TEST(SrvBoundedQueue, BoundsAndDrainsAcrossThreads) {
+  par::BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  // Fill to capacity; the next push would block, so use the timed variant.
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.try_push_for(v, std::chrono::milliseconds(10)));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.try_push_for(overflow, std::chrono::milliseconds(5)));
+
+  std::thread producer([&q] {
+    for (int i = 4; i < 200; ++i) q.push(int{i});
+    q.close();
+  });
+  std::vector<int> got;
+  int v = 0;
+  while (q.pop(v)) got.push_back(v);
+  producer.join();
+  ASSERT_EQ(got.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_FALSE(q.pop(v));  // closed and drained
+}
+
+TEST(SrvBoundedQueue, PushAfterCloseFails) {
+  par::BoundedQueue<int> q(2);
+  q.close();
+  int v = 1;
+  EXPECT_FALSE(q.push(std::move(v)));
+  EXPECT_FALSE(q.try_push_for(v, std::chrono::milliseconds(1)));
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(SrvEngine, MixedBatchOneResponsePerRequest) {
+  const std::string inst_text = model::to_string(small_instance());
+  std::string input;
+  input += json_line(inst_text, ",\"id\":\"good\",\"solver\":\"greedy\"");
+  input += "\n";
+  input += "this is not json\n";
+  input += "\n";  // blank: skipped, no response
+  input += json_line("garbage instance", ",\"id\":\"badinst\"");
+  input += "\n";
+  input += json_line(inst_text, ",\"id\":\"t0\",\"time_limit\":0");
+  input += "\n";
+
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 2;
+  const srv::BatchReport report = run(input, &output, config);
+
+  EXPECT_EQ(report.requests, 4u);
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_EQ(report.invalid, 2u);
+  EXPECT_EQ(report.budget_exhausted, 1u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_FALSE(report.interrupted);
+
+  const auto responses = parse_responses(output);
+  ASSERT_EQ(responses.size(), 4u);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(responses[i].at("index").number,
+                     static_cast<double>(i));  // input order preserved
+  }
+  EXPECT_EQ(field(responses[0], "status"), "ok");
+  EXPECT_EQ(field(responses[0], "id"), "good");
+  EXPECT_EQ(field(responses[1], "status"), "invalid");
+  EXPECT_EQ(field(responses[2], "status"), "invalid");
+  EXPECT_EQ(field(responses[2], "id"), "badinst");
+  EXPECT_EQ(field(responses[3], "status"), "budget_exhausted");
+}
+
+TEST(SrvEngine, CacheMissMatchesSingleShotByteForByte) {
+  const model::Instance inst = small_instance();
+  const std::string inst_text = model::to_string(inst);
+  std::string output;
+  const std::string req =
+      json_line(inst_text, ",\"solver\":\"greedy\"") + "\n";
+  srv::BatchConfig config;
+  config.jobs = 1;
+  run(req, &output, config);
+  const auto responses = parse_responses(output);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(field(responses[0], "cache"), "miss");
+  EXPECT_EQ(field(responses[0], "solution"),
+            model::to_string(sectors::solve_greedy(inst)));
+}
+
+TEST(SrvEngine, PermutedInstanceHitsCacheAndStaysFeasible) {
+  const model::Instance permuted = small_instance_permuted();
+  std::string input;
+  input += json_line(model::to_string(small_instance()),
+                     ",\"id\":\"a\",\"solver\":\"greedy\"");
+  input += "\n";
+  input += json_line(model::to_string(permuted),
+                     ",\"id\":\"b\",\"solver\":\"greedy\"");
+  input += "\n";
+
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 1;  // deterministic order: "a" populates, "b" hits
+  const srv::BatchReport report = run(input, &output, config);
+  EXPECT_EQ(report.cache_hits, 1u);
+  EXPECT_EQ(report.cache_misses, 1u);
+
+  const auto responses = parse_responses(output);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(field(responses[0], "fingerprint"),
+            field(responses[1], "fingerprint"));
+  EXPECT_EQ(field(responses[1], "cache"), "hit");
+  // The projected hit must be a valid solution *of the permuted instance*.
+  const model::Solution sol =
+      model::solution_from_string(field(responses[1], "solution"));
+  EXPECT_TRUE(verify::verify_solution(permuted, sol).ok);
+  EXPECT_DOUBLE_EQ(responses[0].at("served_value").number,
+                   responses[1].at("served_value").number);
+}
+
+TEST(SrvEngine, BudgetExhaustedIncumbentsAreNotCached) {
+  const std::string inst_text = model::to_string(small_instance());
+  std::string input;
+  input += json_line(inst_text, ",\"id\":\"a\",\"time_limit\":0");
+  input += "\n";
+  input += json_line(inst_text, ",\"id\":\"b\"");
+  input += "\n";
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 1;
+  const srv::BatchReport report = run(input, &output, config);
+  // Request "a" degrades and must not poison the cache for "b".
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 2u);
+  const auto responses = parse_responses(output);
+  EXPECT_EQ(field(responses[0], "status"), "budget_exhausted");
+  EXPECT_EQ(field(responses[1], "status"), "ok");
+}
+
+TEST(SrvEngine, GlobalBudgetZeroRejectsEverything) {
+  const std::string inst_text = model::to_string(small_instance());
+  std::string input;
+  for (int i = 0; i < 5; ++i) input += json_line(inst_text) + "\n";
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 2;
+  config.time_limit = 0.0;
+  const srv::BatchReport report = run(input, &output, config);
+  EXPECT_EQ(report.requests, 5u);
+  EXPECT_EQ(report.rejected, 5u);
+  const auto responses = parse_responses(output);
+  ASSERT_EQ(responses.size(), 5u);
+  for (const auto& r : responses) {
+    EXPECT_EQ(field(r, "status"), "rejected");
+  }
+}
+
+TEST(SrvEngine, InterruptFlagDrainsWithRejections) {
+  const std::string inst_text = model::to_string(small_instance());
+  std::string input;
+  for (int i = 0; i < 5; ++i) input += json_line(inst_text) + "\n";
+  std::string output;
+  std::atomic<bool> interrupt{true};  // pre-set: drain before any admission
+  srv::BatchConfig config;
+  config.jobs = 2;
+  config.interrupt = &interrupt;
+  const srv::BatchReport report = run(input, &output, config);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.rejected, 5u);
+  EXPECT_EQ(parse_responses(output).size(), 5u);
+}
+
+TEST(SrvEngine, ParallelBatchIsCompleteAndSound) {
+  // 60 requests over 8 workers with a tiny admission queue: every request
+  // gets its response, in input order, and each response obeys the cache
+  // contract -- a miss is byte-identical to the single-shot solve of that
+  // request's instance, a hit passes the verify:: invariants against it.
+  // (Full byte-determinism across runs is a jobs=1 property: under
+  // parallelism, whether a repeated instance hits or misses is a race.)
+  const model::Instance inst_a = small_instance();
+  const model::Instance inst_b = small_instance_permuted();
+  const std::string a = model::to_string(inst_a);
+  const std::string b = model::to_string(inst_b);
+  std::string input;
+  for (int i = 0; i < 60; ++i) {
+    const char* solver = (i % 3 == 0) ? "greedy"
+                         : (i % 3 == 1) ? "local-search"
+                                        : "uniform";
+    input += json_line(i % 2 == 0 ? a : b,
+                       std::string(",\"solver\":\"") + solver + "\"");
+    input += "\n";
+  }
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 8;
+  config.queue_capacity = 4;  // force backpressure on the admission path
+  const srv::BatchReport report = run(input, &output, config);
+  EXPECT_EQ(report.requests, 60u);
+  EXPECT_EQ(report.ok, 60u);
+  EXPECT_EQ(report.cache_hits + report.cache_misses, 60u);
+  EXPECT_GT(report.cache_hits, 0u);
+
+  const auto responses = parse_responses(output);
+  ASSERT_EQ(responses.size(), 60u);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const model::Instance& inst = i % 2 == 0 ? inst_a : inst_b;
+    EXPECT_DOUBLE_EQ(responses[i].at("index").number, static_cast<double>(i));
+    EXPECT_EQ(field(responses[i], "status"), "ok");
+    const model::Solution sol =
+        model::solution_from_string(field(responses[i], "solution"));
+    EXPECT_TRUE(verify::verify_solution(inst, sol).ok) << "response " << i;
+    if (field(responses[i], "cache") == "miss") {
+      srv::SolverKey key;
+      key.family = field(responses[i], "solver");
+      EXPECT_EQ(field(responses[i], "solution"),
+                model::to_string(srv::run_solver(inst, key, {})))
+          << "response " << i;
+    }
+  }
+}
+
+TEST(SrvEngine, RunSolverMatchesDirectCalls) {
+  const model::Instance inst = small_instance();
+  const core::SolveOptions opts;
+  EXPECT_EQ(model::to_string(srv::run_solver(inst, {"greedy", 1, 2000}, opts)),
+            model::to_string(sectors::solve_greedy(inst)));
+  EXPECT_EQ(model::to_string(
+                srv::run_solver(inst, {"local-search", 1, 2000}, opts)),
+            model::to_string(sectors::solve_local_search(inst)));
+  sectors::AnnealConfig anneal;
+  anneal.seed = 5;
+  anneal.iterations = 100;
+  EXPECT_EQ(
+      model::to_string(srv::run_solver(inst, {"annealing", 5, 100}, opts)),
+      model::to_string(sectors::solve_annealing(inst, anneal)));
+  EXPECT_FALSE(srv::is_known_solver("qaoa"));
+  EXPECT_THROW(static_cast<void>(srv::run_solver(inst, {"qaoa", 1, 1}, opts)),
+               std::invalid_argument);
+}
+
+}  // namespace

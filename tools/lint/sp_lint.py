@@ -13,9 +13,10 @@ Rules (see docs/static-analysis.md for the full table):
                     helpers (geom::angles_equal, kAngleEps, kRadiusEps).
   deadline-loop     unbounded loops (for(;;), while(true), while(1)) in the
                     solver families (src/{sectors,assign,single,angles,
-                    knapsack,bounds,cover}/) must poll the PR-3 deadline
+                    knapsack,bounds,cover,srv}/) must poll the PR-3 deadline
                     machinery (deadline/expired/cancel) inside the body so
-                    --time-limit can interrupt them.
+                    --time-limit can interrupt them (src/srv/ counts: the
+                    batch engine's pump loops must honor drain/cancel).
   untrusted-count   naked integer parses (std::stoull and family, strtoull,
                     atoi) and reserve(<parse>) outside src/model/io --
                     counts from text must go through the clamped readers.
@@ -50,7 +51,7 @@ SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
 SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 
 SOLVER_DIRS = ("src/sectors/", "src/assign/", "src/single/", "src/angles/",
-               "src/knapsack/", "src/bounds/", "src/cover/")
+               "src/knapsack/", "src/bounds/", "src/cover/", "src/srv/")
 
 WAIVER_RE = re.compile(
     r"//\s*sp-lint:\s*allow\(([a-z0-9-]+)\)\s*(.*)$")

@@ -11,6 +11,8 @@
 // Instances and solutions use the plain-text formats documented in
 // src/model/io.hpp. "-" for --in/-o means stdin/stdout.
 
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <initializer_list>
@@ -129,6 +131,13 @@ Args parse_args(int argc, char** argv) {
     }
     if (i + 1 >= argc) {
       throw UsageError("missing value for --" + key);
+    }
+    // Every flag here is single-valued; a repeated occurrence is a typo or
+    // a mangled script, and silently keeping one of the two values (the old
+    // behavior kept the last) hides which one took effect. Note -o and
+    // --out collide deliberately: they are the same option.
+    if (args.named.count(key) > 0) {
+      throw UsageError("duplicate option --" + key + " (given more than once)");
     }
     args.named[key] = argv[++i];
   }
@@ -263,35 +272,21 @@ int cmd_solve(const Args& args) {
   // Flag values are checked before any file IO so a bad invocation is
   // always a usage error (2), even when --in is also bad.
   const std::string solver = args.get("solver", "local-search");
+  if (!srv::is_known_solver(solver)) {
+    throw UsageError("unknown --solver: " + solver);
+  }
+  srv::SolverKey key;
+  key.family = solver;
+  key.seed = args.get_size("seed", 1);
+  key.iterations = args.get_size("iterations", 2000);
   const core::SolveOptions opts = solve_options(args);
   const model::Instance inst = load_instance(args);
 
   const bench_util::Timer timer;
   const obs::ScopedSpan span("cli.solve");
-  model::Solution sol;
-  if (solver == "greedy") {
-    sectors::GreedyConfig config;
-    config.solve = opts;
-    sol = sectors::solve_greedy(inst, config);
-  } else if (solver == "local-search") {
-    sectors::LocalSearchConfig config;
-    config.solve = opts;
-    sol = sectors::solve_local_search(inst, config);
-  } else if (solver == "uniform") {
-    sol = sectors::solve_uniform_orientations(inst,
-                                              knapsack::Oracle::exact(), opts);
-  } else if (solver == "annealing") {
-    sectors::AnnealConfig config;
-    config.seed = args.get_size("seed", 1);
-    config.iterations = args.get_size("iterations", 2000);
-    config.solve = opts;
-    sol = sectors::solve_annealing(inst, config);
-  } else if (solver == "exact") {
-    sol = sectors::solve_exact(inst, /*tuple_limit=*/1u << 20,
-                               /*node_limit=*/1u << 26, opts);
-  } else {
-    throw UsageError("unknown --solver: " + solver);
-  }
+  // Shared dispatch with the batch engine (srv::run_solver), so `solve`
+  // and a `batch` cache miss produce byte-identical solutions.
+  model::Solution sol = srv::run_solver(inst, key, opts);
   h_solve_ms.observe(timer.elapsed_ms());
   if (sol.status == model::SolveStatus::kBudgetExhausted) {
     // Mirror the status into the metrics registry so --stats json carries
@@ -511,6 +506,60 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+/// SIGINT -> cooperative drain: the batch engine polls this flag, stops
+/// admission, cancels in-flight deadlines, and still writes one response
+/// per request. A lock-free atomic store is async-signal-safe.
+std::atomic<bool> g_interrupt{false};
+
+int cmd_batch(const Args& args) {
+  require_known(args, {"in", "out", "jobs", "time-limit", "cache-entries",
+                       "queue-capacity", "stats", "trace-out"});
+  srv::BatchConfig config;
+  config.jobs = static_cast<unsigned>(args.get_size("jobs", 0));
+  if (args.has("time-limit")) {
+    const double seconds = args.get_double("time-limit", 0.0);
+    if (seconds < 0.0) {
+      throw UsageError("--time-limit must be >= 0 seconds");
+    }
+    config.time_limit = seconds;
+  }
+  config.cache_entries = args.get_size("cache-entries", 128);
+  config.queue_capacity = args.get_size("queue-capacity", 0);
+  config.interrupt = &g_interrupt;
+
+  const std::string in_path = args.get("in", "");
+  if (in_path.empty()) {
+    throw UsageError("--in <requests.jsonl> is required ('-' for stdin)");
+  }
+  const std::string out_path = args.get("out", "-");
+
+  std::ifstream fin;
+  std::istream* in = &std::cin;
+  if (in_path != "-") {
+    fin.open(in_path);
+    if (!fin) throw std::runtime_error("cannot open " + in_path);
+    in = &fin;
+  }
+  std::ofstream fout;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    fout.open(out_path);
+    if (!fout) throw std::runtime_error("cannot open " + out_path);
+    out = &fout;
+  }
+
+  using SignalHandler = void (*)(int);
+  const SignalHandler previous = std::signal(
+      SIGINT, [](int) { g_interrupt.store(true, std::memory_order_relaxed); });
+  const srv::BatchReport report = srv::run_batch(*in, *out, config);
+  if (previous != SIG_ERR) std::signal(SIGINT, previous);
+
+  out->flush();
+  if (!*out) throw std::runtime_error("error writing " + out_path);
+  std::cerr << "batch " << report.to_string() << "\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: sectorpack <command> [options]\n"
@@ -523,6 +572,12 @@ int usage() {
       "            [--stats json|text] [--trace-out FILE]\n"
       "            (on expiry: best solution so far, status\n"
       "             budget_exhausted, still exit 0)\n"
+      "  batch     --in requests.jsonl --out responses.jsonl [--jobs N]\n"
+      "            [--time-limit SEC] [--cache-entries M]\n"
+      "            [--queue-capacity Q] [--stats json|text]\n"
+      "            [--trace-out FILE]   (one JSON response per request,\n"
+      "            input order; SIGINT drains gracefully; see\n"
+      "            docs/serving.md)\n"
       "  validate  --in FILE --solution FILE\n"
       "  verify    --in FILE --solution FILE   (named-invariant check:\n"
       "            shape, alpha-normalized, assign-range,\n"
@@ -550,6 +605,7 @@ int main(int argc, char** argv) {
     }
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "solve") return with_observability(args, cmd_solve);
+    if (args.command == "batch") return with_observability(args, cmd_batch);
     if (args.command == "validate") return cmd_validate(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "bound") return with_observability(args, cmd_bound);
