@@ -1,0 +1,131 @@
+// S1 -- serving soak: sustained batch requests through srv::run_batch.
+//
+// The ROADMAP's soak gate: push a request mix (3 instances x 4 solver
+// families, with repeats so the result cache sees hits) through the batch
+// engine at several worker counts, and report end-to-end request latency
+// p50/p99 (from the srv.request_ms HDR histogram -- the same path a
+// production scrape reads) plus cache hit-rate. BENCH_s1_soak.json feeds
+// scripts/bench_compare.py, so serving-latency regressions gate like
+// solver regressions.
+//
+// Usage: bench_s1_soak [reps]   (default 5; the JSON carries the medians)
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "src/srv/engine.hpp"
+
+namespace {
+
+using namespace sectorpack;
+
+std::string request_line(const std::string& instance_text,
+                         const std::string& solver, int seed) {
+  std::string line = "{\"instance\":\"";
+  for (const char c : instance_text) {
+    if (c == '\n') {
+      line += "\\n";
+    } else if (c == '"') {
+      line += "\\\"";
+    } else {
+      line += c;
+    }
+  }
+  line += "\",\"solver\":\"" + solver + "\"";
+  if (solver == "annealing") {
+    line += ",\"seed\":" + std::to_string(seed) + ",\"iterations\":400";
+  }
+  line += "}";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t reps =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5;
+  bench_util::print_experiment_header(
+      std::cout, "S1", "serving soak (batch engine, request latency + cache)");
+  bench::BenchReport report("s1_soak");
+
+  // Three instances spanning the workload shapes, four solver families
+  // (exact excluded: its runtime dwarfs the serving path and would turn a
+  // latency soak into an exact-solver bench). Each (instance, family) pair
+  // repeats so the fingerprint cache contributes hits like a steady-state
+  // server, for 240 requests per batch run.
+  const std::vector<model::Instance> instances = {
+      bench::make_workload(sim::Spatial::kUniformDisk, 60, 3, 1.0, 0.5, 101),
+      bench::make_workload(sim::Spatial::kHotspots, 80, 4, 0.8, 0.4, 202),
+      bench::make_workload(sim::Spatial::kRing, 40, 2, 1.2, 0.6, 303),
+  };
+  const std::vector<std::string> families = {"greedy", "local-search",
+                                             "uniform", "annealing"};
+  std::string input;
+  std::size_t total_requests = 0;
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    for (const model::Instance& inst : instances) {
+      const std::string text = model::to_string(inst);
+      for (const std::string& family : families) {
+        input += request_line(text, family, repeat % 4);
+        input += "\n";
+        ++total_requests;
+      }
+    }
+  }
+
+  bench_util::Table table({"jobs", "requests", "t_med_ms", "p50_req_ms",
+                           "p99_req_ms", "hit_rate"});
+
+  for (const unsigned jobs : {1u, 4u}) {
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double hit_rate = 0.0;
+    bool failed = false;
+    const std::vector<double> times = bench::time_repetitions(reps, [&] {
+      obs::reset();  // per-rep histograms: quantiles reflect this run only
+      srv::BatchConfig config;
+      config.jobs = jobs;
+      config.cache_entries = 64;
+      std::istringstream in(input);
+      std::ostringstream out;
+      const srv::BatchReport batch = srv::run_batch(in, out, config);
+      if (batch.ok != total_requests) {
+        std::cerr << "soak run failed: " << batch.to_string() << "\n";
+        failed = true;
+        return;
+      }
+      const obs::Snapshot snap = obs::snapshot();
+      if (const obs::HdrHistogramSnapshot* h =
+              snap.hdr_histogram("srv.request_ms")) {
+        p50 = h->quantile(0.5);
+        p99 = h->quantile(0.99);
+      }
+      const double lookups =
+          static_cast<double>(batch.cache_hits + batch.cache_misses);
+      hit_rate = lookups > 0.0
+                     ? static_cast<double>(batch.cache_hits) / lookups
+                     : 0.0;
+    });
+    if (failed) return 1;
+    const bench::RepStats stats = bench::summarize_times(times);
+    table.add_row({bench_util::cell(std::size_t{jobs}),
+                   bench_util::cell(total_requests),
+                   bench_util::cell(stats.median_ms, 1),
+                   bench_util::cell(p50, 3), bench_util::cell(p99, 3),
+                   bench_util::cell(hit_rate, 3)});
+    const std::string key = "soak_j" + std::to_string(jobs);
+    report.metric_times(key, times);
+    report.metric(key + ".p50_request_ms", p50);
+    report.metric(key + ".p99_request_ms", p99);
+    report.metric(key + ".cache_hit_rate", hit_rate);
+  }
+
+  table.print(std::cout);
+  report.metric("requests", static_cast<double>(total_requests));
+  report.write();
+  return 0;
+}

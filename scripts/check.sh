@@ -23,16 +23,26 @@
 #              one response per request, exact per-status counts,
 #              miss/solve byte-identity, verified cache hits, and cache
 #              metrics in --stats json.
+#   obs        the telemetry contract (docs/observability.md): a batch run
+#              under ASan+UBSan with --metrics-out / --metrics-jsonl /
+#              --metrics-interval 1 / --access-log / --stats json, long
+#              enough for >= 2 periodic exporter ticks. Validates the
+#              Prometheus exposition with tools/lint/prom_check.py, every
+#              JSONL snapshot envelope, one access-log line per request in
+#              response order, SLO/quality keys in --stats json, and the
+#              --metrics-* flag usage errors.
 #
 # Usage: scripts/check.sh [--lint | --format | --contracts | --tsan |
-#                          --fuzz | --batch] [build-dir]
-#   no flag      run every stage (lint, format, contracts, sanitize, batch)
+#                          --fuzz | --batch | --obs] [build-dir]
+#   no flag      run every stage (lint, format, contracts, sanitize,
+#                batch, obs)
 #   --lint       static analysis only
 #   --format     format check only
 #   --contracts  contracts-enabled test build only
 #   --tsan       ThreadSanitizer battery only (exclusive with ASan)
 #   --fuzz       hostile-input battery only (ASan+UBSan)
 #   --batch      batch-engine corpus only (ASan+UBSan, then TSan)
+#   --obs        telemetry contract only (ASan+UBSan)
 #
 # Each stage prints a summary line "[gate] <stage>: PASS"; the first
 # failing stage aborts the run (set -e).
@@ -45,6 +55,7 @@ case "${1:-}" in
   --tsan) MODE="sanitize"; TSAN=1; shift ;;
   --fuzz) MODE="fuzz"; shift ;;
   --batch) MODE="batch"; shift ;;
+  --obs) MODE="obs"; shift ;;
   --lint) MODE="lint"; shift ;;
   --format) MODE="format"; shift ;;
   --contracts) MODE="contracts"; shift ;;
@@ -328,6 +339,151 @@ print("batch corpus OK: 200 responses, %d miss-identity checks, "
 EOF
 }
 
+# Telemetry contract (docs/observability.md): one sanitized batch run with
+# every observability surface enabled, long enough (two deadline-capped
+# annealing requests at --time-limit-equivalent 2.6 s) for the periodic
+# exporter to tick at least twice at --metrics-interval 1, then validate
+# every artifact it produced.
+run_obs() {
+  local build_dir
+  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j"$JOBS"
+
+  # The exposition validator must believe its own fixtures first.
+  python3 tools/lint/prom_check.py --self-test
+
+  local CLI="$build_dir/tools/sectorpack"
+  local TMP
+  TMP="$(mktemp -d)"
+  # Self-clearing: a RETURN trap outlives the function that set it and
+  # would re-fire (with $TMP unbound) at the next function return.
+  trap 'rm -rf "$TMP"; trap - RETURN' RETURN
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+    if [[ "$got" != "$want" ]]; then
+      echo "FAIL: expected exit $want, got $got: $*" >&2
+      cat "$TMP/err" >&2
+      exit 1
+    fi
+  }
+
+  expect_rc 0 "$CLI" generate --n 40 --k 3 --seed 21 -o "$TMP/o1.inst"
+  expect_rc 0 "$CLI" generate --n 25 --k 2 --seed 22 --spatial hotspots \
+    -o "$TMP/o2.inst"
+
+  # 62 requests: 60 fast ones across the solver families (with repeats, so
+  # the cache produces hits) plus 2 deadline-capped annealing requests
+  # whose 2.6 s budgets keep the batch alive across >= 2 exporter ticks.
+  python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+solvers = ["greedy", "local-search", "uniform", "annealing"]
+lines = []
+for i in range(60):
+    lines.append(json.dumps({"id": "q%d" % i,
+                             "instance_file": "%s/o%d.inst" % (tmp, i % 2 + 1),
+                             "solver": solvers[i % 4],
+                             "seed": i % 3 + 1, "iterations": 200}))
+for i in range(2):
+    lines.append(json.dumps({"id": "slow%d" % i,
+                             "instance_file": "%s/o1.inst" % tmp,
+                             "solver": "annealing", "seed": 7,
+                             "iterations": 2000000000, "time_limit": 2.6}))
+open("%s/requests.jsonl" % tmp, "w").write("\n".join(lines) + "\n")
+EOF
+
+  expect_rc 0 "$CLI" batch --in "$TMP/requests.jsonl" \
+    --out "$TMP/responses.jsonl" --jobs 2 --cache-entries 32 \
+    --metrics-out "$TMP/metrics.prom" --metrics-jsonl "$TMP/metrics.jsonl" \
+    --metrics-interval 1 --access-log "$TMP/access.jsonl" --stats json
+  cp "$TMP/out" "$TMP/stats.json"
+
+  # The exposition file is a valid scrape with real content.
+  python3 tools/lint/prom_check.py "$TMP/metrics.prom" --min-samples 20
+
+  # Snapshot stream, access log, and stats envelope keep their contracts.
+  python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+
+requests = [l for l in open("%s/requests.jsonl" % tmp) if l.strip()]
+responses = [json.loads(l) for l in open("%s/responses.jsonl" % tmp)]
+assert len(responses) == len(requests), \
+    "expected %d responses, got %d" % (len(requests), len(responses))
+
+# >= 2 periodic snapshots, each a valid schema-versioned envelope with a
+# strictly increasing seq (the final drain export makes one more).
+snaps = [json.loads(l) for l in open("%s/metrics.jsonl" % tmp)]
+assert len(snaps) >= 2, "expected >= 2 exporter snapshots, got %d" % len(snaps)
+for k, snap in enumerate(snaps):
+    assert snap["schema_version"] == 1, snap.get("schema_version")
+    assert len(snap["emitted_at"]) == 24 and snap["emitted_at"].endswith("Z")
+    assert snap["seq"] == k, "seq gap at snapshot %d" % k
+    assert "counters" in snap and "histograms" in snap
+
+# Access log: exactly one line per request, in response (== input) order,
+# with the full field set on solved lines.
+access = [json.loads(l) for l in open("%s/access.jsonl" % tmp)]
+assert len(access) == len(requests), \
+    "access log has %d lines for %d requests" % (len(access), len(requests))
+assert [a["index"] for a in access] == list(range(len(requests)))
+for a, r in zip(access, responses):
+    assert a["index"] == r["index"] and a["status"] == r["status"]
+    assert a["queue_us"] >= 0
+    if a["status"] in ("ok", "budget_exhausted"):
+        assert a["solver"] and len(a["fingerprint"]) == 32
+        assert a["cache"] in ("hit", "miss") and a["solve_us"] >= 0
+slow = [a for a in access if a["id"].startswith("slow")]
+assert len(slow) == 2 and all(a["deadline_budget_ms"] == 2600.0 for a in slow)
+
+# --stats json: schema-versioned envelope carrying SLO gauges, the quality
+# histogram, and the HDR request-latency histogram with quantiles.
+stats = json.loads(open("%s/stats.json" % tmp).read())
+assert stats["schema_version"] == 1 and stats["wall_ms"] > 0
+assert len(stats["emitted_at"]) == 24 and stats["emitted_at"].endswith("Z")
+for gauge in ("slo.p50_ms", "slo.p95_ms", "slo.p99_ms",
+              "slo.deadline_hit_rate", "slo.cache_hit_rate"):
+    assert gauge in stats["gauges"], gauge
+hist = stats["histograms"]
+assert hist["srv.request_ms"]["count"] == len(
+    [r for r in responses if r["status"] in ("ok", "budget_exhausted")])
+assert hist["srv.request_ms"]["p99"] >= hist["srv.request_ms"]["p50"] > 0
+assert hist["quality.gap_permille"]["count"] > 0
+assert any(k.startswith("quality.") and k.endswith(".solves")
+           for k in stats["counters"])
+print("obs corpus OK: %d responses, %d snapshots, %d access lines"
+      % (len(responses), len(snaps), len(access)))
+EOF
+
+  # Flag discipline: duplicates and bad values are usage errors (2) that
+  # name the offending flag.
+  expect_rc 2 "$CLI" batch --in "$TMP/requests.jsonl" \
+    --metrics-out "$TMP/a.prom" --metrics-out "$TMP/b.prom"
+  grep -q 'duplicate option --metrics-out' "$TMP/err"
+  expect_rc 2 "$CLI" batch --in "$TMP/requests.jsonl" \
+    --metrics-jsonl "$TMP/a.jsonl" --metrics-interval 1 --metrics-interval 2
+  grep -q 'duplicate option --metrics-interval' "$TMP/err"
+  expect_rc 2 "$CLI" batch --in "$TMP/requests.jsonl" \
+    --metrics-out "$TMP/a.prom" --metrics-interval 0
+  grep -q 'metrics-interval' "$TMP/err"
+  expect_rc 2 "$CLI" batch --in "$TMP/requests.jsonl" --metrics-interval 1
+  grep -q 'metrics-interval' "$TMP/err"
+  expect_rc 2 "$CLI" batch --in "$TMP/requests.jsonl" --slo-window 0
+  grep -q 'slo-window' "$TMP/err"
+
+  # An unwritable metrics path is a runtime error (1), not silent loss.
+  expect_rc 1 "$CLI" batch --in "$TMP/requests.jsonl" \
+    --out /dev/null --metrics-out /nonexistent-dir/metrics.prom
+
+  echo "[gate] obs: PASS (ASan+UBSan, build dir: $build_dir)"
+}
+
 run_batch() {
   local build_dir
   # ASan + UBSan pass.
@@ -353,13 +509,15 @@ case "$MODE" in
   fuzz) run_sanitize 1 ;;
   sanitize) run_sanitize 0 ;;
   batch) run_batch ;;
+  obs) run_obs ;;
   all)
     run_lint
     run_format
     run_contracts
     run_sanitize 0
     run_batch
+    run_obs
     echo
-    echo "All gates passed (lint, format, contracts, sanitize, batch)."
+    echo "All gates passed (lint, format, contracts, sanitize, batch, obs)."
     ;;
 esac

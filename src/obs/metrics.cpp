@@ -35,6 +35,46 @@ double histogram_bucket_lower(std::size_t bucket) noexcept {
   return std::ldexp(1.0, static_cast<int>(bucket) - 1);
 }
 
+namespace {
+unsigned clamp_sub_bits(unsigned sub_bits) noexcept {
+  return std::clamp(sub_bits, 1u, kHdrMaxSubBits);
+}
+}  // namespace
+
+std::size_t hdr_bucket_count(unsigned sub_bits) noexcept {
+  return kHdrOctaves << clamp_sub_bits(sub_bits);
+}
+
+std::size_t hdr_bucket_index(double value, unsigned sub_bits) noexcept {
+  const unsigned bits = clamp_sub_bits(sub_bits);
+  const double lowest = std::ldexp(1.0, kHdrMinExp);
+  if (!(value >= lowest)) return 0;  // also catches NaN, negatives, underflow
+  const int e = std::ilogb(value);
+  if (e > kHdrMaxExp) return hdr_bucket_count(bits) - 1;
+  // Mantissa fraction in [0, 1) selects the linear sub-bucket.
+  const double frac = std::ldexp(value, -e) - 1.0;
+  const std::size_t sub_count = std::size_t{1} << bits;
+  const auto sub = std::min(
+      static_cast<std::size_t>(frac * static_cast<double>(sub_count)),
+      sub_count - 1);
+  return (static_cast<std::size_t>(e - kHdrMinExp) << bits) | sub;
+}
+
+double hdr_bucket_lower(std::size_t bucket, unsigned sub_bits) noexcept {
+  const unsigned bits = clamp_sub_bits(sub_bits);
+  const std::size_t sub_count = std::size_t{1} << bits;
+  const int e = kHdrMinExp + static_cast<int>(bucket >> bits);
+  const std::size_t sub = bucket & (sub_count - 1);
+  return std::ldexp(
+      1.0 + static_cast<double>(sub) / static_cast<double>(sub_count), e);
+}
+
+double hdr_bucket_upper(std::size_t bucket, unsigned sub_bits) noexcept {
+  const unsigned bits = clamp_sub_bits(sub_bits);
+  if (bucket + 1 >= hdr_bucket_count(bits)) return kInf;
+  return hdr_bucket_lower(bucket + 1, bits);
+}
+
 namespace detail {
 
 // One writer thread's slice of the registry. Only the owning thread writes;
@@ -47,12 +87,27 @@ struct Shard {
     std::atomic<double> min{kInf};
     std::atomic<double> max{-kInf};
   };
+  struct HdrSlot {
+    std::array<std::atomic<std::uint64_t>, kHdrMaxBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{kInf};
+    std::atomic<double> max{-kInf};
+  };
   std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
   std::array<Hist, kMaxHistograms> hists{};
+  std::array<HdrSlot, kMaxHdrHistograms> hdr{};
 
   void zero() {
     for (auto& c : counters) c.store(0, std::memory_order_relaxed);
     for (auto& h : hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(kInf, std::memory_order_relaxed);
+      h.max.store(-kInf, std::memory_order_relaxed);
+    }
+    for (auto& h : hdr) {
       for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
       h.count.store(0, std::memory_order_relaxed);
       h.sum.store(0.0, std::memory_order_relaxed);
@@ -68,6 +123,8 @@ struct State {
   std::vector<std::string> counter_names;    // slot id -> name
   std::vector<std::string> gauge_names;
   std::vector<std::string> hist_names;
+  std::vector<std::string> hdr_names;
+  std::vector<unsigned> hdr_sub_bits;        // parallel to hdr_names
   std::vector<std::shared_ptr<Shard>> shards;  // one per writer thread, kept
   // Gauges are set rarely and need last-write-wins across threads, so they
   // live directly in the shared state rather than in shards.
@@ -79,6 +136,14 @@ struct State {
 
 namespace {
 
+bool contains_name(const std::vector<std::string>& names,
+                   std::string_view name) {
+  for (const std::string& n : names) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
 std::size_t register_name(State& st, std::vector<std::string>& names,
                           std::size_t limit, std::string_view name,
                           const char* kind) {
@@ -86,12 +151,44 @@ std::size_t register_name(State& st, std::vector<std::string>& names,
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return i;
   }
+  // A fixed-bucket and an HDR histogram under one name would collide as
+  // duplicate keys in the snapshot's "histograms" JSON object.
+  if (&names == &st.hist_names && contains_name(st.hdr_names, name)) {
+    throw std::invalid_argument("obs: '" + std::string(name) +
+                                "' is already an hdr histogram");
+  }
   if (names.size() >= limit) {
     throw std::length_error(std::string("obs: too many ") + kind +
                             " metrics (limit " + std::to_string(limit) + ")");
   }
   names.emplace_back(name);
   return names.size() - 1;
+}
+
+std::size_t register_hdr(State& st, std::string_view name,
+                         unsigned sub_bits) {
+  std::lock_guard lock(st.mu);
+  for (std::size_t i = 0; i < st.hdr_names.size(); ++i) {
+    if (st.hdr_names[i] != name) continue;
+    if (st.hdr_sub_bits[i] != sub_bits) {
+      throw std::invalid_argument(
+          "obs: hdr histogram '" + std::string(name) +
+          "' re-registered with a different precision");
+    }
+    return i;
+  }
+  if (contains_name(st.hist_names, name)) {
+    throw std::invalid_argument("obs: '" + std::string(name) +
+                                "' is already a fixed-bucket histogram");
+  }
+  if (st.hdr_names.size() >= kMaxHdrHistograms) {
+    throw std::length_error(
+        "obs: too many hdr histograms (limit " +
+        std::to_string(kMaxHdrHistograms) + ")");
+  }
+  st.hdr_names.emplace_back(name);
+  st.hdr_sub_bits.push_back(sub_bits);
+  return st.hdr_names.size() - 1;
 }
 
 // Thread-local cache of this thread's shard per registry. Keyed by the
@@ -146,6 +243,23 @@ void Histogram::observe(double value) const noexcept {
   }
 }
 
+void HdrHistogram::observe(double value) const noexcept {
+  if (!enabled() || state_ == nullptr) return;
+  detail::Shard::HdrSlot& h = detail::local_shard(state_)->hdr[id_];
+  h.buckets[hdr_bucket_index(value, sub_bits_)].fetch_add(
+      1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  // Single-writer slots: load-modify-store without CAS is race-free here.
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+}
+
 Registry::Registry() {
   static std::atomic<std::uint64_t> next_uid{1};
   state_ = std::make_shared<detail::State>(
@@ -170,6 +284,13 @@ Histogram Registry::histogram(std::string_view name) {
   const std::size_t id = detail::register_name(
       *state_, state_->hist_names, kMaxHistograms, name, "histogram");
   return Histogram(state_, id);
+}
+
+HdrHistogram Registry::hdr_histogram(std::string_view name,
+                                     unsigned sub_bits) {
+  const unsigned bits = std::clamp(sub_bits, 1u, kHdrMaxSubBits);
+  const std::size_t id = detail::register_hdr(*state_, name, bits);
+  return HdrHistogram(state_, id, bits);
 }
 
 Snapshot Registry::snapshot() const {
@@ -214,6 +335,37 @@ Snapshot Registry::snapshot() const {
     snap.histograms.push_back(std::move(h));
   }
 
+  std::vector<std::uint64_t> merged;
+  for (std::size_t i = 0; i < state_->hdr_names.size(); ++i) {
+    HdrHistogramSnapshot h;
+    h.name = state_->hdr_names[i];
+    h.sub_bits = state_->hdr_sub_bits[i];
+    h.min = kInf;
+    h.max = -kInf;
+    const std::size_t buckets = hdr_bucket_count(h.sub_bits);
+    merged.assign(buckets, 0);
+    for (const auto& shard : state_->shards) {
+      const detail::Shard::HdrSlot& sh = shard->hdr[i];
+      h.count += sh.count.load(std::memory_order_relaxed);
+      h.sum += sh.sum.load(std::memory_order_relaxed);
+      h.min = std::min(h.min, sh.min.load(std::memory_order_relaxed));
+      h.max = std::max(h.max, sh.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < buckets; ++b) {
+        merged[b] += sh.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (h.count == 0) {
+      h.min = 0.0;
+      h.max = 0.0;
+    }
+    for (std::size_t b = 0; b < buckets; ++b) {
+      if (merged[b] != 0) {
+        h.buckets.emplace_back(static_cast<std::uint32_t>(b), merged[b]);
+      }
+    }
+    snap.hdr_histograms.push_back(std::move(h));
+  }
+
   const auto by_name = [](const auto& a, const auto& b) {
     return a.first < b.first;
   };
@@ -221,6 +373,10 @@ Snapshot Registry::snapshot() const {
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.histograms.begin(), snap.histograms.end(),
             [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snap.hdr_histograms.begin(), snap.hdr_histograms.end(),
+            [](const HdrHistogramSnapshot& a, const HdrHistogramSnapshot& b) {
               return a.name < b.name;
             });
   return snap;
@@ -244,6 +400,9 @@ Counter counter(std::string_view name) {
 Gauge gauge(std::string_view name) { return Registry::global().gauge(name); }
 Histogram histogram(std::string_view name) {
   return Registry::global().histogram(name);
+}
+HdrHistogram hdr_histogram(std::string_view name, unsigned sub_bits) {
+  return Registry::global().hdr_histogram(name, sub_bits);
 }
 Snapshot snapshot() { return Registry::global().snapshot(); }
 void reset() { Registry::global().reset(); }
@@ -279,11 +438,50 @@ double HistogramSnapshot::quantile(double q) const noexcept {
   return max;
 }
 
+double HdrHistogramSnapshot::mean() const noexcept {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HdrHistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets) {
+    const auto next = static_cast<double>(seen + n);
+    if (next >= target) {
+      // Interpolate by rank inside this bucket, clamped to the recorded
+      // extremes so the range-clamping buckets never inflate an answer.
+      // Bucket 0 also holds everything below the range (including 0), so
+      // its effective lower bound is the recorded min, not 2^kHdrMinExp.
+      const double lo =
+          bucket == 0 ? min : std::max(hdr_bucket_lower(bucket, sub_bits), min);
+      const double hi = std::min(hdr_bucket_upper(bucket, sub_bits), max);
+      if (hi <= lo) return lo;
+      const double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(n);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += n;
+  }
+  return max;
+}
+
 std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;
   }
   return 0;
+}
+
+const HdrHistogramSnapshot* Snapshot::hdr_histogram(
+    std::string_view name) const noexcept {
+  for (const HdrHistogramSnapshot& h : hdr_histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 std::string json_escape(std::string_view s) {
@@ -351,7 +549,8 @@ std::string Snapshot::to_json() const {
        << ",\"min\":" << json_number(h.min)
        << ",\"max\":" << json_number(h.max)
        << ",\"p50\":" << json_number(h.quantile(0.5))
-       << ",\"p95\":" << json_number(h.quantile(0.95)) << ",\"buckets\":[";
+       << ",\"p95\":" << json_number(h.quantile(0.95))
+       << ",\"p99\":" << json_number(h.quantile(0.99)) << ",\"buckets\":[";
     bool first = true;
     for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
       if (h.buckets[b] == 0) continue;
@@ -359,6 +558,26 @@ std::string Snapshot::to_json() const {
       first = false;
       os << "[" << json_number(histogram_bucket_lower(b)) << ","
          << h.buckets[b] << "]";
+    }
+    os << "]}";
+  }
+  for (std::size_t i = 0; i < hdr_histograms.size(); ++i) {
+    const HdrHistogramSnapshot& h = hdr_histograms[i];
+    if (i > 0 || !histograms.empty()) os << ",";
+    os << "\"" << json_escape(h.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_number(h.sum)
+       << ",\"min\":" << json_number(h.min)
+       << ",\"max\":" << json_number(h.max)
+       << ",\"p50\":" << json_number(h.quantile(0.5))
+       << ",\"p95\":" << json_number(h.quantile(0.95))
+       << ",\"p99\":" << json_number(h.quantile(0.99))
+       << ",\"precision_bits\":" << h.sub_bits << ",\"buckets\":[";
+    bool first = true;
+    for (const auto& [bucket, n] : h.buckets) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << json_number(hdr_bucket_lower(bucket, h.sub_bits)) << ","
+         << n << "]";
     }
     os << "]}";
   }
@@ -379,6 +598,14 @@ std::string Snapshot::to_text() const {
        << " min=" << json_number(h.min) << " p50="
        << json_number(h.quantile(0.5)) << " p95="
        << json_number(h.quantile(0.95)) << " max=" << json_number(h.max)
+       << "\n";
+  }
+  for (const HdrHistogramSnapshot& h : hdr_histograms) {
+    os << h.name << " count=" << h.count << " mean=" << json_number(h.mean())
+       << " min=" << json_number(h.min) << " p50="
+       << json_number(h.quantile(0.5)) << " p95="
+       << json_number(h.quantile(0.95)) << " p99="
+       << json_number(h.quantile(0.99)) << " max=" << json_number(h.max)
        << "\n";
   }
   return os.str();

@@ -47,6 +47,36 @@ inline constexpr std::size_t kHistogramBuckets = 40;
 [[nodiscard]] std::size_t histogram_bucket_index(double value) noexcept;
 [[nodiscard]] double histogram_bucket_lower(std::size_t bucket) noexcept;
 
+// ---------------------------------------------------------------------------
+// Log-linear (HDR-style) histograms: each power-of-two octave is split into
+// 2^sub_bits equal-width sub-buckets, so every bucket's relative width is at
+// most 2^-sub_bits and quantile() answers with that relative error bound
+// (<= 0.79% at the default precision of 7 bits). The value range covers
+// octaves [2^kHdrMinExp, 2^(kHdrMaxExp+1)): in milliseconds that is ~1us up
+// to ~12 days. Values below the range (including 0, negatives, NaN) land in
+// bucket 0; values above clamp to the last bucket. Quantiles are clamped to
+// the recorded min/max, so range clamping never inflates the extremes.
+
+inline constexpr std::size_t kMaxHdrHistograms = 8;
+inline constexpr int kHdrMinExp = -10;
+inline constexpr int kHdrMaxExp = 30;
+inline constexpr unsigned kHdrMaxSubBits = 7;   // 128 sub-buckets per octave
+inline constexpr unsigned kHdrDefaultSubBits = kHdrMaxSubBits;
+inline constexpr std::size_t kHdrOctaves =
+    static_cast<std::size_t>(kHdrMaxExp - kHdrMinExp + 1);
+inline constexpr std::size_t kHdrMaxBuckets = kHdrOctaves << kHdrMaxSubBits;
+
+/// Buckets used by a histogram of the given precision (sub_bits is clamped
+/// to [1, kHdrMaxSubBits], as at registration).
+[[nodiscard]] std::size_t hdr_bucket_count(unsigned sub_bits) noexcept;
+[[nodiscard]] std::size_t hdr_bucket_index(double value,
+                                           unsigned sub_bits) noexcept;
+[[nodiscard]] double hdr_bucket_lower(std::size_t bucket,
+                                      unsigned sub_bits) noexcept;
+/// Exclusive upper bound; +infinity for the last bucket.
+[[nodiscard]] double hdr_bucket_upper(std::size_t bucket,
+                                      unsigned sub_bits) noexcept;
+
 namespace detail {
 struct State;
 }  // namespace detail
@@ -65,14 +95,35 @@ struct HistogramSnapshot {
   [[nodiscard]] double quantile(double q) const noexcept;
 };
 
+struct HdrHistogramSnapshot {
+  std::string name;
+  unsigned sub_bits = kHdrDefaultSubBits;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Non-empty buckets only, ascending by bucket index.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Rank-interpolated quantile, q in [0, 1], clamped to the recorded
+  /// min/max. Relative error is bounded by the bucket width, 2^-sub_bits.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
 /// A merged, point-in-time view of a Registry. Counters and gauges are
 /// sorted by name; unset gauges are omitted.
 struct Snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<HdrHistogramSnapshot> hdr_histograms;
 
   [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  /// Lookup by name; nullptr when absent. The pointer is into this
+  /// snapshot, valid while the snapshot is alive and unmodified.
+  [[nodiscard]] const HdrHistogramSnapshot* hdr_histogram(
+      std::string_view name) const noexcept;
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_text() const;
 };
@@ -120,6 +171,23 @@ class Histogram {
   std::size_t id_ = 0;
 };
 
+/// Log-linear distribution with accurate quantiles (see the constants
+/// above); same lock-free per-thread shard discipline as Histogram.
+class HdrHistogram {
+ public:
+  HdrHistogram() = default;
+  void observe(double value) const noexcept;
+
+ private:
+  friend class Registry;
+  HdrHistogram(std::shared_ptr<detail::State> state, std::size_t id,
+               unsigned sub_bits) noexcept
+      : state_(std::move(state)), id_(id), sub_bits_(sub_bits) {}
+  std::shared_ptr<detail::State> state_;
+  std::size_t id_ = 0;
+  unsigned sub_bits_ = kHdrDefaultSubBits;
+};
+
 class Registry {
  public:
   Registry();
@@ -132,6 +200,12 @@ class Registry {
   [[nodiscard]] Counter counter(std::string_view name);
   [[nodiscard]] Gauge gauge(std::string_view name);
   [[nodiscard]] Histogram histogram(std::string_view name);
+  /// sub_bits is clamped to [1, kHdrMaxSubBits]. Re-registering the same
+  /// name with a different precision, or reusing a fixed-bucket histogram
+  /// name (and vice versa), throws std::invalid_argument: one name must
+  /// mean one distribution in the snapshot.
+  [[nodiscard]] HdrHistogram hdr_histogram(
+      std::string_view name, unsigned sub_bits = kHdrDefaultSubBits);
 
   /// Merge all shards into a point-in-time view. Safe to call while other
   /// threads keep writing (their in-flight writes may or may not be seen).
@@ -152,6 +226,8 @@ class Registry {
 [[nodiscard]] Counter counter(std::string_view name);
 [[nodiscard]] Gauge gauge(std::string_view name);
 [[nodiscard]] Histogram histogram(std::string_view name);
+[[nodiscard]] HdrHistogram hdr_histogram(
+    std::string_view name, unsigned sub_bits = kHdrDefaultSubBits);
 [[nodiscard]] Snapshot snapshot();
 void reset();
 

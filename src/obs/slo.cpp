@@ -1,0 +1,90 @@
+#include "src/obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/obs/metrics.hpp"
+
+namespace sectorpack::obs {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted window (the bench_util convention:
+/// rank = ceil(p * n), 1-based, clamped). Exact, no interpolation.
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  // The epsilon keeps e.g. p=0.5 over 10 samples at rank 5, not 6, when
+  // p * n lands exactly on an integer boundary under rounding.
+  auto rank = static_cast<std::size_t>(std::ceil(p * n - 1e-9));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+SloTracker::SloTracker(std::size_t window)
+    : ring_(std::max<std::size_t>(window, 1)) {}
+
+void SloTracker::record(double latency_ms, bool deadline_ok, bool cache_hit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = Sample{latency_ms, deadline_ok, cache_hit};
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  ++total_;
+}
+
+SloTracker::Summary SloTracker::summary() const {
+  Summary s;
+  std::vector<double> latencies;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s.window = ring_.size();
+    s.total = total_;
+    s.in_window = filled_;
+    if (filled_ == 0) return s;
+    latencies.reserve(filled_);
+    std::size_t deadline_ok = 0;
+    std::size_t cache_hits = 0;
+    for (std::size_t i = 0; i < filled_; ++i) {
+      const Sample& sample = ring_[i];
+      latencies.push_back(sample.latency_ms);
+      deadline_ok += sample.deadline_ok ? 1 : 0;
+      cache_hits += sample.cache_hit ? 1 : 0;
+    }
+    s.deadline_hit_rate =
+        static_cast<double>(deadline_ok) / static_cast<double>(filled_);
+    s.cache_hit_rate =
+        static_cast<double>(cache_hits) / static_cast<double>(filled_);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_ms = nearest_rank(latencies, 0.50);
+  s.p95_ms = nearest_rank(latencies, 0.95);
+  s.p99_ms = nearest_rank(latencies, 0.99);
+  return s;
+}
+
+std::string SloTracker::Summary::to_string() const {
+  std::ostringstream os;
+  os << "window=" << in_window << "/" << window << " total=" << total
+     << " p50_ms=" << p50_ms << " p95_ms=" << p95_ms << " p99_ms=" << p99_ms
+     << " deadline_hit_rate=" << deadline_hit_rate
+     << " cache_hit_rate=" << cache_hit_rate;
+  return os.str();
+}
+
+void SloTracker::publish(Registry* registry) const {
+  const Summary s = summary();
+  Registry& reg = registry != nullptr ? *registry : Registry::global();
+  reg.gauge("slo.window").set(static_cast<double>(s.window));
+  reg.gauge("slo.samples").set(static_cast<double>(s.in_window));
+  reg.gauge("slo.total").set(static_cast<double>(s.total));
+  reg.gauge("slo.p50_ms").set(s.p50_ms);
+  reg.gauge("slo.p95_ms").set(s.p95_ms);
+  reg.gauge("slo.p99_ms").set(s.p99_ms);
+  reg.gauge("slo.deadline_hit_rate").set(s.deadline_hit_rate);
+  reg.gauge("slo.cache_hit_rate").set(s.cache_hit_rate);
+}
+
+}  // namespace sectorpack::obs

@@ -1,0 +1,72 @@
+#pragma once
+// Rolling-window SLO tracking for the batch engine.
+//
+// Registry histograms answer "over the whole run"; an operator watching a
+// long-lived batch needs "over the last W requests": is the deadline
+// hit-rate degrading *now*, did tail latency move after a cache flush?
+// SloTracker keeps a fixed ring of the last W request outcomes and computes
+// window quantiles exactly (nearest-rank over the retained samples), so the
+// summary is independent of histogram bucketing.
+//
+// Thread model: record() is called from engine worker threads and takes one
+// short mutex (append to a preallocated ring); summary()/publish() are
+// called rarely (drain, export ticks). This is intentionally simpler than
+// the obs shard discipline -- the per-request cost is one lock around a few
+// stores, far below a solve, and a window must see writes from all threads
+// in one total order to mean anything.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sectorpack::obs {
+
+class Registry;
+
+class SloTracker {
+ public:
+  /// One request outcome inside the window.
+  struct Sample {
+    double latency_ms = 0.0;
+    bool deadline_ok = false;  // finished without exhausting its budget
+    bool cache_hit = false;
+  };
+
+  /// Point-in-time rollup of the last `in_window` (<= window) requests.
+  struct Summary {
+    std::size_t window = 0;     // configured capacity W
+    std::uint64_t total = 0;    // requests recorded since construction
+    std::size_t in_window = 0;  // samples the percentiles are computed over
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double deadline_hit_rate = 1.0;  // fraction of window with deadline_ok
+    double cache_hit_rate = 0.0;     // fraction of window with cache_hit
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  /// `window` is clamped to >= 1. Memory is `window * sizeof(Sample)`,
+  /// allocated up front so record() never allocates.
+  explicit SloTracker(std::size_t window = 512);
+
+  void record(double latency_ms, bool deadline_ok, bool cache_hit);
+
+  [[nodiscard]] Summary summary() const;
+
+  /// Write the summary into `registry` (nullptr = global) as `slo.*` gauges:
+  /// slo.window, slo.samples, slo.total, slo.p50_ms, slo.p95_ms, slo.p99_ms,
+  /// slo.deadline_hit_rate, slo.cache_hit_rate. Call at drain or on export
+  /// ticks so `--stats json` and the exporter carry the rolling view.
+  void publish(Registry* registry = nullptr) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;   // guarded by mu_
+  std::size_t next_ = 0;       // guarded by mu_
+  std::size_t filled_ = 0;     // guarded by mu_
+  std::uint64_t total_ = 0;    // guarded by mu_
+};
+
+}  // namespace sectorpack::obs

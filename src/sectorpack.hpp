@@ -27,7 +27,9 @@
 #include "src/model/io.hpp"
 #include "src/model/solution.hpp"
 #include "src/model/validate.hpp"
+#include "src/obs/exporter.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/slo.hpp"
 #include "src/obs/trace.hpp"
 #include "src/par/bounded_queue.hpp"
 #include "src/par/parallel_for.hpp"

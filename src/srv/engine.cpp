@@ -1,5 +1,6 @@
 #include "src/srv/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -13,8 +14,10 @@
 #include <vector>
 
 #include "src/bench_util/timer.hpp"
+#include "src/bounds/upper.hpp"
 #include "src/model/io.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/slo.hpp"
 #include "src/obs/trace.hpp"
 #include "src/par/bounded_queue.hpp"
 #include "src/par/thread_pool.hpp"
@@ -159,6 +162,7 @@ std::string BatchReport::to_string() const {
      << " rejected=" << rejected << " cache_hit=" << cache_hits
      << " cache_miss=" << cache_misses << " cache_evicted=" << cache_evictions;
   if (interrupted) os << " interrupted=yes";
+  if (!slo_summary.empty()) os << " slo[" << slo_summary << "]";
   return os.str();
 }
 
@@ -174,6 +178,7 @@ class Engine {
         global_(config.time_limit >= 0.0 ? core::Deadline::after(config.time_limit)
                                          : core::Deadline::never()),
         cache_(config.cache_entries),
+        slo_(config.slo_window),
         c_ok_(obs::counter("srv.requests.ok")),
         c_budget_(obs::counter("srv.requests.budget_exhausted")),
         c_invalid_(obs::counter("srv.requests.invalid")),
@@ -181,7 +186,21 @@ class Engine {
         c_cache_mismatch_(obs::counter("srv.cache.mismatch")),
         g_queue_depth_(obs::gauge("srv.queue.depth")),
         g_inflight_(obs::gauge("srv.inflight")),
-        h_request_ms_(obs::histogram("srv.request_ms")) {}
+        h_request_ms_(obs::hdr_histogram("srv.request_ms")),
+        h_queue_us_(obs::hdr_histogram("srv.queue_wait_us")),
+        h_gap_(obs::hdr_histogram("quality.gap_permille")) {
+    // Pre-register the per-family quality counters so the worker hot path
+    // never takes the registration mutex.
+    for (const char* family :
+         {"greedy", "local-search", "uniform", "annealing", "exact"}) {
+      quality_.emplace(
+          family,
+          QualityCounters{
+              obs::counter(std::string("quality.") + family + ".solves"),
+              obs::counter(std::string("quality.") + family +
+                           ".gap_permille_sum")});
+    }
+  }
 
   BatchReport run(std::istream& in) {
     {
@@ -229,6 +248,10 @@ class Engine {
       // block every admitted request has completed.
     }
     flush_ready();
+    // Publish the rolling-window view into `slo.*` gauges so `--stats json`
+    // and the exporter's final tick carry it alongside the run totals.
+    slo_.publish();
+    if (config_.access_log != nullptr) config_.access_log->flush();
 
     BatchReport report;
     report.requests = total_;
@@ -240,6 +263,7 @@ class Engine {
     report.cache_misses = cache_.misses();
     report.cache_evictions = cache_.evictions();
     report.interrupted = draining();
+    report.slo_summary = slo_.summary().to_string();
     return report;
   }
 
@@ -261,6 +285,7 @@ class Engine {
 
     const std::size_t index = req.index;
     const std::string id = req.id;
+    req.admitted_at = std::chrono::steady_clock::now();
     bool pushed = false;
     while (!pushed && !draining()) {
       Request& slot = req;
@@ -329,10 +354,20 @@ class Engine {
   void process(Request req, unsigned slot) {
     const obs::ScopedSpan span("srv.request");
     const bench_util::Timer timer;
+    // Queue wait: admission (admit() stamped the request) to dequeue. A
+    // default-constructed stamp means the request never went through
+    // admit(), so the wait is unknown and reported as zero.
+    const double queue_us =
+        req.admitted_at.time_since_epoch().count() == 0
+            ? 0.0
+            : std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - req.admitted_at)
+                  .count();
+    h_queue_us_.observe(queue_us);
 
     if (draining()) {
       complete_unsolved(req.index, req.id, RequestStatus::kRejected,
-                        drain_reason_);
+                        drain_reason_, queue_us);
       return;
     }
 
@@ -342,7 +377,8 @@ class Engine {
                  ? model::instance_from_string(req.instance_text)
                  : model::read_instance_file(req.instance_file);
     } catch (const std::exception& e) {
-      complete_unsolved(req.index, req.id, RequestStatus::kInvalid, e.what());
+      complete_unsolved(req.index, req.id, RequestStatus::kInvalid, e.what(),
+                        queue_us);
       return;
     }
 
@@ -360,7 +396,7 @@ class Engine {
           if (verify::verify_solution(inst, sol).ok) {
             verify::debug_postcondition(inst, sol, "srv::batch(cache-hit)");
             complete_solved(req, inst, canon, std::move(sol),
-                            /*cache_hit=*/true, timer.elapsed_ms());
+                            /*cache_hit=*/true, timer.elapsed_ms(), queue_us);
             return;
           }
         }
@@ -394,7 +430,8 @@ class Engine {
       inflight_[slot] = core::Deadline{};
     }
     if (!error.empty()) {
-      complete_unsolved(req.index, req.id, RequestStatus::kInvalid, error);
+      complete_unsolved(req.index, req.id, RequestStatus::kInvalid, error,
+                        queue_us);
       return;
     }
 
@@ -404,18 +441,19 @@ class Engine {
       cache_.insert(canon.fingerprint, to_canonical(canon, sol));
     }
     complete_solved(req, inst, canon, std::move(sol), /*cache_hit=*/false,
-                    timer.elapsed_ms());
+                    timer.elapsed_ms(), queue_us);
   }
 
   // --------------------------------------------------------------- responses
 
   void complete_solved(const Request& req, const model::Instance& inst,
                        const CanonicalInstance& canon, model::Solution sol,
-                       bool cache_hit, double elapsed_ms) {
+                       bool cache_hit, double elapsed_ms, double queue_us) {
     const RequestStatus status =
         sol.status == model::SolveStatus::kComplete
             ? RequestStatus::kOk
             : RequestStatus::kBudgetExhausted;
+    const double served = served_value(inst, sol);
     std::ostringstream os;
     os << "{\"index\":" << req.index;
     if (!req.id.empty()) os << ",\"id\":\"" << obs::json_escape(req.id) << "\"";
@@ -423,25 +461,76 @@ class Engine {
        << ",\"solver\":\"" << obs::json_escape(req.solver.family) << "\""
        << ",\"cache\":\"" << (cache_hit ? "hit" : "miss") << "\""
        << ",\"fingerprint\":\"" << canon.fingerprint.to_hex() << "\""
-       << ",\"served_value\":" << obs::json_number(served_value(inst, sol))
+       << ",\"served_value\":" << obs::json_number(served)
        << ",\"solve_ms\":" << obs::json_number(elapsed_ms)
        << ",\"solution\":\"" << obs::json_escape(model::to_string(sol))
        << "\"}";
     h_request_ms_.observe(elapsed_ms);
-    complete(req.index, status, os.str());
+    slo_.record(elapsed_ms, /*deadline_ok=*/status == RequestStatus::kOk,
+                cache_hit);
+
+    if (obs::enabled()) {
+      // Solution quality against the cheap demand/capacity bound, in
+      // permille of the bound (0 = matched the bound, 1000 = served
+      // nothing). The clamp guards rounding noise when served == bound.
+      const double bound = bounds::trivial_bound(inst);
+      const double gap =
+          bound > 0.0
+              ? std::clamp(1000.0 * (bound - served) / bound, 0.0, 1000.0)
+              : 0.0;
+      h_gap_.observe(gap);
+      const auto it = quality_.find(req.solver.family);
+      if (it != quality_.end()) {
+        it->second.solves.inc();
+        it->second.gap_sum.add(
+            static_cast<std::uint64_t>(std::llround(gap)));
+      }
+    }
+
+    std::string access;
+    if (config_.access_log != nullptr) {
+      std::ostringstream al;
+      al << "{\"index\":" << req.index << ",\"id\":\""
+         << obs::json_escape(req.id) << "\""
+         << ",\"status\":\"" << to_string(status) << "\""
+         << ",\"solver\":\"" << obs::json_escape(req.solver.family) << "\""
+         << ",\"cache\":\"" << (cache_hit ? "hit" : "miss") << "\""
+         << ",\"fingerprint\":\"" << canon.fingerprint.to_hex() << "\""
+         << ",\"queue_us\":" << obs::json_number(queue_us)
+         << ",\"solve_us\":" << obs::json_number(elapsed_ms * 1000.0)
+         << ",\"deadline_budget_ms\":"
+         << (req.time_limit >= 0.0
+                 ? obs::json_number(req.time_limit * 1000.0)
+                 : std::string("null"))
+         << ",\"deadline_used_ms\":" << obs::json_number(elapsed_ms) << "}";
+      access = al.str();
+    }
+    complete(req.index, status, os.str(), std::move(access));
   }
 
   void complete_unsolved(std::size_t index, const std::string& id,
-                         RequestStatus status, const std::string& error) {
+                         RequestStatus status, const std::string& error,
+                         double queue_us = 0.0) {
     std::ostringstream os;
     os << "{\"index\":" << index;
     if (!id.empty()) os << ",\"id\":\"" << obs::json_escape(id) << "\"";
     os << ",\"status\":\"" << to_string(status) << "\""
        << ",\"error\":\"" << obs::json_escape(error) << "\"}";
-    complete(index, status, os.str());
+    std::string access;
+    if (config_.access_log != nullptr) {
+      std::ostringstream al;
+      al << "{\"index\":" << index << ",\"id\":\"" << obs::json_escape(id)
+         << "\""
+         << ",\"status\":\"" << to_string(status) << "\""
+         << ",\"error\":\"" << obs::json_escape(error) << "\""
+         << ",\"queue_us\":" << obs::json_number(queue_us) << "}";
+      access = al.str();
+    }
+    complete(index, status, os.str(), std::move(access));
   }
 
-  void complete(std::size_t index, RequestStatus status, std::string line) {
+  void complete(std::size_t index, RequestStatus status, std::string line,
+                std::string access) {
     switch (status) {
       case RequestStatus::kOk: ++n_ok_; c_ok_.inc(); break;
       case RequestStatus::kBudgetExhausted: ++n_budget_; c_budget_.inc(); break;
@@ -450,7 +539,7 @@ class Engine {
     }
     {
       std::lock_guard lock(done_mu_);
-      done_.emplace(index, std::move(line));
+      done_.emplace(index, Done{std::move(line), std::move(access)});
     }
     done_cv_.notify_all();
   }
@@ -465,7 +554,12 @@ class Engine {
   void flush_ready_locked() {
     auto it = done_.find(next_emit_);
     while (it != done_.end()) {
-      out_ << it->second << "\n";
+      out_ << it->second.response << "\n";
+      // The access log is written by this reorder/emit stage so its line
+      // order always matches the response order, worker timing aside.
+      if (config_.access_log != nullptr) {
+        *config_.access_log << it->second.access << "\n";
+      }
       done_.erase(it);
       ++next_emit_;
       it = done_.find(next_emit_);
@@ -486,10 +580,17 @@ class Engine {
   std::atomic<bool> draining_{false};
   std::string drain_reason_;  // written once, before draining_ is set
 
+  /// One completed request waiting in the reorder buffer: its response
+  /// line plus (when enabled) its access-log line, emitted together.
+  struct Done {
+    std::string response;
+    std::string access;
+  };
+
   std::mutex done_mu_;
   std::condition_variable done_cv_;
-  std::map<std::size_t, std::string> done_;  // guarded by done_mu_
-  std::size_t next_emit_ = 0;                // guarded by done_mu_
+  std::map<std::size_t, Done> done_;  // guarded by done_mu_
+  std::size_t next_emit_ = 0;         // guarded by done_mu_
 
   std::atomic<std::size_t> n_ok_{0};
   std::atomic<std::size_t> n_budget_{0};
@@ -497,6 +598,12 @@ class Engine {
   std::atomic<std::size_t> n_rejected_{0};
   std::atomic<std::size_t> inflight_count_{0};
 
+  struct QualityCounters {
+    obs::Counter solves;
+    obs::Counter gap_sum;  // integer permille, divide by solves for mean
+  };
+
+  obs::SloTracker slo_;
   obs::Counter c_ok_;
   obs::Counter c_budget_;
   obs::Counter c_invalid_;
@@ -504,7 +611,10 @@ class Engine {
   obs::Counter c_cache_mismatch_;
   obs::Gauge g_queue_depth_;
   obs::Gauge g_inflight_;
-  obs::Histogram h_request_ms_;
+  obs::HdrHistogram h_request_ms_;
+  obs::HdrHistogram h_queue_us_;
+  obs::HdrHistogram h_gap_;
+  std::map<std::string, QualityCounters> quality_;
 };
 
 }  // namespace

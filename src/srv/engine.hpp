@@ -21,6 +21,7 @@
 // one response. See docs/serving.md for the request/response schema.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -40,6 +41,8 @@ struct Request {
   std::string instance_text;  //   inline instance text is set
   SolverKey solver;
   double time_limit = -1.0;   // per-request budget in seconds; < 0 = none
+  /// Set by the engine at admission; queue wait = dequeue time - this.
+  std::chrono::steady_clock::time_point admitted_at{};
 };
 
 /// Per-request outcome, serialized into the response `status` field.
@@ -60,6 +63,13 @@ struct BatchConfig {
   /// Cooperative interrupt (the CLI points this at its SIGINT flag): once
   /// true, admission stops and the batch drains as described above.
   const std::atomic<bool>* interrupt = nullptr;
+  /// Per-request JSONL access log (`--access-log` in the CLI): one line per
+  /// request, written by the reorder/emit stage in response order. nullptr
+  /// disables it. See docs/serving.md for the line schema.
+  std::ostream* access_log = nullptr;
+  /// Rolling-window size for the SLO tracker (clamped to >= 1); the window
+  /// summary lands in BatchReport::slo_summary and, via obs, in `slo.*`.
+  std::size_t slo_window = 512;
 };
 
 struct BatchReport {
@@ -72,6 +82,9 @@ struct BatchReport {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   bool interrupted = false;  // a drain was triggered before input ran out
+  /// Rolling-window SLO rollup at drain (obs::SloTracker::Summary
+  /// to_string: window, p50/p95/p99 ms, deadline and cache hit-rates).
+  std::string slo_summary;
 
   [[nodiscard]] std::string to_string() const;
 };

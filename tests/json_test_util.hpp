@@ -1,0 +1,178 @@
+#pragma once
+// Minimal strict JSON reader shared by the observability tests: enough to
+// prove emitted artifacts (snapshots, traces, exporter files, access logs)
+// are well-formed and to look up values. Throws std::runtime_error on any
+// syntax error. Test-only -- production code never parses its own output.
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sectorpack::testjson {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    const JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json error at " + std::to_string(pos_) + ": " +
+                             why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(
+                      text_[pos_ + static_cast<std::size_t>(i)]))) {
+                fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            out += '?';  // code point itself is irrelevant to these tests
+            break;
+          }
+          default: fail("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      auto obj = std::make_shared<JsonObject>();
+      if (!consume('}')) {
+        do {
+          std::string key = parse_string();
+          expect(':');
+          (*obj)[std::move(key)] = parse_value();
+        } while (consume(','));
+        expect('}');
+      }
+      return {obj};
+    }
+    if (c == '[') {
+      ++pos_;
+      auto arr = std::make_shared<JsonArray>();
+      if (!consume(']')) {
+        do {
+          arr->push_back(parse_value());
+        } while (consume(','));
+        expect(']');
+      }
+      return {arr};
+    }
+    if (c == '"') return {parse_string()};
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return {true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return {false};
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return {nullptr};
+    }
+    // number
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("bad value");
+    return {std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sectorpack::testjson

@@ -1,16 +1,16 @@
-// Tests for src/obs/: counter/gauge/histogram semantics, concurrent
-// increments through par::parallel_for, trace-JSON well-formedness (parsed
-// with a minimal JSON reader below), and the no-op path when obs is off.
+// Tests for src/obs/: counter/gauge/histogram semantics (fixed-bucket and
+// HDR log-linear), concurrent increments through par::parallel_for, trace
+// JSON well-formedness (parsed with tests/json_test_util.hpp), and the
+// no-op path when obs is off.
 
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <algorithm>
+#include <cmath>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <variant>
+#include <thread>
 #include <vector>
 
 #include "src/knapsack/knapsack.hpp"
@@ -18,171 +18,19 @@
 #include "src/obs/trace.hpp"
 #include "src/par/parallel_for.hpp"
 #include "src/par/thread_pool.hpp"
+#include "src/geom/angle.hpp"
+#include "src/model/instance.hpp"
+#include "src/model/io.hpp"
+#include "src/srv/engine.hpp"
+#include "tests/json_test_util.hpp"
 
 using namespace sectorpack;
+using testjson::JsonArray;
+using testjson::JsonObject;
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal strict JSON reader: enough to prove the emitted artifacts are
-// well-formed and to look up values. Throws std::runtime_error on any
-// syntax error.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v;
-
-  [[nodiscard]] const JsonObject& object() const {
-    return *std::get<std::shared_ptr<JsonObject>>(v);
-  }
-  [[nodiscard]] const JsonArray& array() const {
-    return *std::get<std::shared_ptr<JsonArray>>(v);
-  }
-  [[nodiscard]] double number() const { return std::get<double>(v); }
-  [[nodiscard]] const std::string& str() const {
-    return std::get<std::string>(v);
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    const JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("json error at " + std::to_string(pos_) + ": " +
-                             why);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(
-                      static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)]))) {
-                fail("bad \\u escape");
-              }
-            }
-            pos_ += 4;
-            out += '?';  // code point itself is irrelevant to these tests
-            break;
-          }
-          default: fail("bad escape char");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') {
-      ++pos_;
-      auto obj = std::make_shared<JsonObject>();
-      if (!consume('}')) {
-        do {
-          std::string key = parse_string();
-          expect(':');
-          (*obj)[std::move(key)] = parse_value();
-        } while (consume(','));
-        expect('}');
-      }
-      return {obj};
-    }
-    if (c == '[') {
-      ++pos_;
-      auto arr = std::make_shared<JsonArray>();
-      if (!consume(']')) {
-        do {
-          arr->push_back(parse_value());
-        } while (consume(','));
-        expect(']');
-      }
-      return {arr};
-    }
-    if (c == '"') return {parse_string()};
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      return {true};
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      return {false};
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return {nullptr};
-    }
-    // number
-    const std::size_t start = pos_;
-    if (consume('-')) {
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("bad value");
-    return {std::stod(text_.substr(start, pos_ - start))};
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
 
 /// Re-enable/disable around each test so ordering never leaks state.
 class ObsTest : public ::testing::Test {
@@ -443,6 +291,277 @@ TEST_F(ObsTest, TraceNoopWhenNoSession) {
   obs::trace_stop(os);
   const JsonValue root = JsonParser(os.str()).parse();
   EXPECT_TRUE(root.object().at("traceEvents").array().empty());
+}
+
+// ---------------------------------------------------------------------------
+// HDR log-linear histograms
+
+TEST_F(ObsTest, HdrBucketIndexEdges) {
+  const unsigned bits = obs::kHdrDefaultSubBits;
+  const std::size_t sub = std::size_t{1} << bits;
+  // Below range (including junk) lands in bucket 0.
+  EXPECT_EQ(obs::hdr_bucket_index(-1.0, bits), 0u);
+  EXPECT_EQ(obs::hdr_bucket_index(0.0, bits), 0u);
+  EXPECT_EQ(obs::hdr_bucket_index(std::nan(""), bits), 0u);
+  // Exactly the range minimum is the first bucket; 1.0 starts the octave
+  // at exponent 0.
+  EXPECT_EQ(obs::hdr_bucket_index(std::ldexp(1.0, obs::kHdrMinExp), bits), 0u);
+  EXPECT_EQ(obs::hdr_bucket_index(1.0, bits),
+            static_cast<std::size_t>(-obs::kHdrMinExp) * sub);
+  // Above range clamps to the last bucket.
+  EXPECT_EQ(obs::hdr_bucket_index(1e30, bits), obs::hdr_bucket_count(bits) - 1);
+  // lower/upper bracket the value that maps into the bucket.
+  for (double v : {0.002, 0.5, 1.0, 1.5, 3.25, 1000.0, 123456.0}) {
+    const std::size_t b = obs::hdr_bucket_index(v, bits);
+    EXPECT_GE(v, obs::hdr_bucket_lower(b, bits)) << v;
+    EXPECT_LT(v, obs::hdr_bucket_upper(b, bits)) << v;
+  }
+  // Buckets tile the range: each upper bound is the next lower bound, and
+  // relative width never exceeds 2^-sub_bits.
+  for (std::size_t b = 0; b + 1 < obs::hdr_bucket_count(bits); ++b) {
+    const double lo = obs::hdr_bucket_lower(b, bits);
+    const double hi = obs::hdr_bucket_upper(b, bits);
+    EXPECT_DOUBLE_EQ(hi, obs::hdr_bucket_lower(b + 1, bits));
+    EXPECT_LE((hi - lo) / lo, std::ldexp(1.0, -static_cast<int>(bits)) + 1e-12);
+  }
+}
+
+TEST_F(ObsTest, HdrHistogramStats) {
+  obs::Registry reg;
+  const obs::HdrHistogram h = reg.hdr_histogram("test.hdr");
+  for (double v : {0.5, 1.0, 3.0, 100.0}) h.observe(v);
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.hdr_histograms.size(), 1u);
+  const obs::HdrHistogramSnapshot& hs = snap.hdr_histograms[0];
+  EXPECT_EQ(hs.name, "test.hdr");
+  EXPECT_EQ(hs.sub_bits, obs::kHdrDefaultSubBits);
+  EXPECT_EQ(hs.count, 4u);
+  EXPECT_DOUBLE_EQ(hs.sum, 104.5);
+  EXPECT_DOUBLE_EQ(hs.min, 0.5);
+  EXPECT_DOUBLE_EQ(hs.max, 100.0);
+  EXPECT_DOUBLE_EQ(hs.mean(), 104.5 / 4.0);
+  ASSERT_EQ(hs.buckets.size(), 4u);  // sparse: only non-empty buckets
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < hs.buckets.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(hs.buckets[i - 1].first, hs.buckets[i].first);
+    }
+    total += hs.buckets[i].second;
+  }
+  EXPECT_EQ(total, hs.count);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.0), hs.min);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), hs.max);
+  // Lookup helper finds it; misses return nullptr.
+  EXPECT_EQ(snap.hdr_histogram("test.hdr"), &hs);
+  EXPECT_EQ(snap.hdr_histogram("test.other"), nullptr);
+}
+
+TEST_F(ObsTest, HdrQuantileWithinOnePercent) {
+  obs::Registry reg;
+  const obs::HdrHistogram h = reg.hdr_histogram("test.hdr_q");
+  // Known distribution: 1..10000 each observed once, so the true q-quantile
+  // is q*10000 (up to rank rounding). Spans ~13 octaves.
+  const int n = 10000;
+  for (int i = 1; i <= n; ++i) h.observe(static_cast<double>(i));
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::HdrHistogramSnapshot* hs = snap.hdr_histogram("test.hdr_q");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, static_cast<std::uint64_t>(n));
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+    const double exact = q * n;
+    const double got = hs->quantile(q);
+    // Acceptance bound: <= 1% relative error (default precision gives
+    // bucket widths <= 0.79%; allow rank rounding of +-1 sample on top).
+    EXPECT_NEAR(got, exact, 0.01 * exact + 1.0) << "q=" << q;
+  }
+  // Monotone in q.
+  double prev = hs->quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = hs->quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_F(ObsTest, HdrLowPrecisionStillBracketsQuantiles) {
+  obs::Registry reg;
+  const obs::HdrHistogram h = reg.hdr_histogram("test.hdr_coarse", 2);
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::HdrHistogramSnapshot* hs = snap.hdr_histogram("test.hdr_coarse");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->sub_bits, 2u);
+  // 2 sub-bits -> 25% bucket width; the estimate must stay within one
+  // bucket of truth and inside the recorded range.
+  const double p50 = hs->quantile(0.5);
+  EXPECT_NEAR(p50, 500.0, 0.25 * 500.0 + 1.0);
+  EXPECT_GE(hs->quantile(0.0), hs->min);
+  EXPECT_LE(hs->quantile(1.0), hs->max);
+}
+
+TEST_F(ObsTest, HdrRegistrationConflictsThrow) {
+  obs::Registry reg;
+  (void)reg.hdr_histogram("test.conflict", 7);
+  (void)reg.hdr_histogram("test.conflict", 7);  // same precision: fine
+  EXPECT_THROW((void)reg.hdr_histogram("test.conflict", 3),
+               std::invalid_argument);
+  // One name means one distribution: a fixed-bucket histogram name cannot
+  // be reused as HDR and vice versa.
+  (void)reg.histogram("test.fixed");
+  EXPECT_THROW((void)reg.hdr_histogram("test.fixed"), std::invalid_argument);
+  (void)reg.hdr_histogram("test.hdr_only");
+  EXPECT_THROW((void)reg.histogram("test.hdr_only"), std::invalid_argument);
+}
+
+TEST_F(ObsTest, HdrDisabledAndDefaultHandlesAreSafe) {
+  obs::Registry reg;
+  const obs::HdrHistogram h = reg.hdr_histogram("test.hdr_off");
+  obs::set_enabled(false);
+  h.observe(5.0);
+  ASSERT_EQ(reg.snapshot().hdr_histograms.size(), 1u);
+  EXPECT_EQ(reg.snapshot().hdr_histograms[0].count, 0u);
+  const obs::HdrHistogram empty;
+  empty.observe(1.0);  // must not crash
+}
+
+TEST_F(ObsTest, HdrConcurrentObservationsMerge) {
+  obs::Registry reg;
+  const obs::HdrHistogram h = reg.hdr_histogram("test.hdr_par");
+  par::ThreadPool pool(4);
+  const std::size_t n = 100000;
+  par::parallel_for(
+      n, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          h.observe(static_cast<double>(1 + i % 1000));
+        }
+      },
+      &pool);
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::HdrHistogramSnapshot* hs = snap.hdr_histogram("test.hdr_par");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, n);
+  EXPECT_DOUBLE_EQ(hs->min, 1.0);
+  EXPECT_DOUBLE_EQ(hs->max, 1000.0);
+  std::uint64_t total = 0;
+  for (const auto& [bucket, count] : hs->buckets) total += count;
+  EXPECT_EQ(total, n);
+}
+
+TEST_F(ObsTest, HdrResetZeroesValuesKeepsRegistration) {
+  obs::Registry reg;
+  reg.hdr_histogram("test.hdr_reset").observe(3.0);
+  reg.reset();
+  ASSERT_EQ(reg.snapshot().hdr_histograms.size(), 1u);
+  EXPECT_EQ(reg.snapshot().hdr_histograms[0].count, 0u);
+  EXPECT_TRUE(reg.snapshot().hdr_histograms[0].buckets.empty());
+  reg.hdr_histogram("test.hdr_reset").observe(9.0);
+  EXPECT_EQ(reg.snapshot().hdr_histograms[0].count, 1u);
+}
+
+TEST_F(ObsTest, HdrSnapshotJsonAndText) {
+  obs::Registry reg;
+  reg.hdr_histogram("test.hdr_json").observe(2.5);
+  reg.hdr_histogram("test.hdr_json").observe(40.0);
+  const obs::Snapshot snap = reg.snapshot();
+  const JsonValue root = JsonParser(snap.to_json()).parse();
+  const JsonObject& hist =
+      root.object().at("histograms").object().at("test.hdr_json").object();
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number(), 42.5);
+  EXPECT_DOUBLE_EQ(hist.at("precision_bits").number(),
+                   static_cast<double>(obs::kHdrDefaultSubBits));
+  EXPECT_GT(hist.at("p99").number(), 0.0);
+  ASSERT_EQ(hist.at("buckets").array().size(), 2u);
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("test.hdr_json count=2"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge merge across threads (regression for the shard-merge design: gauges
+// live in shared State with one atomic cell, so the snapshot value is the
+// last write in wall-clock order, never a function of registration order).
+
+TEST_F(ObsTest, GaugeConcurrentWritesYieldOneWrittenValue) {
+  obs::Registry reg;
+  // Register from the main thread first so registration order is fixed
+  // before any worker writes.
+  const obs::Gauge g = reg.gauge("test.gauge_race");
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 1000; ++i) {
+        g.set(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Whichever thread wrote last wins; the value must be one of the written
+  // values, never a blend or a stale per-shard default.
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  const double v = snap.gauges[0].second;
+  EXPECT_GE(v, 1.0);
+  EXPECT_LE(v, 8.0);
+  EXPECT_DOUBLE_EQ(v, std::floor(v));
+  // A write after all joins is the definitive last write and must win
+  // regardless of which thread's shard "registered" first.
+  g.set(-7.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges[0].second, -7.5);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing under concurrent batch load: every request records exactly one
+// "srv.request" span, and the trace stays parseable after 100 requests
+// solved across multiple workers (run under TSan via the full suite).
+
+TEST_F(ObsTest, TraceSpansMatchBatchRequestCount) {
+  const model::Instance inst = model::InstanceBuilder{}
+                                   .add_customer_polar(0.3, 5.0, 10.0)
+                                   .add_customer_polar(2.1, 7.0, 4.0)
+                                   .add_customer_polar(4.0, 3.0, 6.0)
+                                   .add_antenna(geom::kPi / 3, 10.0, 12.0)
+                                   .build();
+  std::string line = "{\"instance\":\"";
+  for (const char c : model::to_string(inst)) {
+    if (c == '\n') {
+      line += "\\n";
+    } else if (c == '"') {
+      line += "\\\"";
+    } else {
+      line += c;
+    }
+  }
+  line += "\",\"solver\":\"greedy\"}";
+
+  const std::size_t requests = 100;
+  std::ostringstream input;
+  for (std::size_t i = 0; i < requests; ++i) input << line << "\n";
+
+  obs::trace_start();
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  srv::BatchConfig config;
+  config.jobs = 4;
+  config.cache_entries = 0;  // every request takes the full solve path
+  const srv::BatchReport report = srv::run_batch(in, out, config);
+  EXPECT_EQ(report.requests, requests);
+  EXPECT_EQ(report.ok, requests);
+
+  std::ostringstream trace;
+  obs::trace_stop(trace);
+  const JsonValue root = JsonParser(trace.str()).parse();
+  const JsonArray& events = root.object().at("traceEvents").array();
+  std::size_t request_spans = 0;
+  for (const JsonValue& ev : events) {
+    const JsonObject& e = ev.object();
+    if (e.at("name").str() == "srv.request" && e.at("ph").str() == "X") {
+      ++request_spans;
+    }
+  }
+  EXPECT_EQ(request_spans, requests);
 }
 
 TEST_F(ObsTest, SolverCountersPopulate) {

@@ -535,6 +535,77 @@ TEST(SrvEngine, ParallelBatchIsCompleteAndSound) {
   }
 }
 
+TEST(SrvEngine, AccessLogOneLinePerRequestInResponseOrder) {
+  const std::string inst_text = model::to_string(small_instance());
+  std::string input;
+  for (int i = 0; i < 20; ++i) {
+    input += json_line(inst_text, ",\"id\":\"req" + std::to_string(i) +
+                                      "\",\"solver\":\"greedy\""
+                                      ",\"time_limit\":5");
+    input += "\n";
+  }
+  input += "not json at all\n";  // still gets an access-log line
+
+  std::ostringstream access;
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 4;
+  config.access_log = &access;
+  const srv::BatchReport report = run(input, &output, config);
+  EXPECT_EQ(report.requests, 21u);
+
+  // One line per request, in response (= input) order, with the per-request
+  // telemetry fields; lines parse as flat JSON objects.
+  std::vector<srv::JsonObject> lines;
+  std::istringstream is(access.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    lines.push_back(srv::parse_flat_object(line));
+  }
+  ASSERT_EQ(lines.size(), 21u);
+  const auto responses = parse_responses(output);
+  ASSERT_EQ(responses.size(), 21u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lines[i].at("index").number, static_cast<double>(i));
+    EXPECT_EQ(field(lines[i], "status"), field(responses[i], "status"));
+    EXPECT_GE(lines[i].at("queue_us").number, 0.0);
+  }
+  // Solved lines carry solver/cache/fingerprint/latency/deadline fields.
+  const srv::JsonObject& solved = lines[0];
+  EXPECT_EQ(field(solved, "solver"), "greedy");
+  const std::string cache = field(solved, "cache");
+  EXPECT_TRUE(cache == "hit" || cache == "miss");
+  EXPECT_EQ(field(solved, "fingerprint").size(), 32u);
+  EXPECT_GT(solved.at("solve_us").number, 0.0);
+  EXPECT_DOUBLE_EQ(solved.at("deadline_budget_ms").number, 5000.0);
+  EXPECT_GT(solved.at("deadline_used_ms").number, 0.0);
+  // The malformed request's line reports the parse error, not solver data.
+  EXPECT_EQ(field(lines[20], "status"), "invalid");
+  EXPECT_FALSE(field(lines[20], "error").empty());
+  EXPECT_EQ(lines[20].count("solver"), 0u);
+}
+
+TEST(SrvEngine, BatchReportCarriesSloSummary) {
+  const std::string inst_text = model::to_string(small_instance());
+  std::string input;
+  for (int i = 0; i < 8; ++i) {
+    input += json_line(inst_text, ",\"solver\":\"greedy\"");
+    input += "\n";
+  }
+  std::string output;
+  srv::BatchConfig config;
+  config.jobs = 2;
+  config.slo_window = 4;
+  const srv::BatchReport report = run(input, &output, config);
+  EXPECT_EQ(report.ok, 8u);
+  EXPECT_NE(report.slo_summary.find("window=4/4"), std::string::npos);
+  EXPECT_NE(report.slo_summary.find("total=8"), std::string::npos);
+  EXPECT_NE(report.slo_summary.find("p99_ms="), std::string::npos);
+  EXPECT_NE(report.slo_summary.find("deadline_hit_rate=1"),
+            std::string::npos);
+  EXPECT_NE(report.to_string().find("slo["), std::string::npos);
+}
+
 TEST(SrvEngine, RunSolverMatchesDirectCalls) {
   const model::Instance inst = small_instance();
   const core::SolveOptions opts;

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""prom_check: validate a Prometheus text-exposition (0.0.4) file.
+
+The obs::Exporter rewrites a text-exposition file every --metrics-interval
+seconds; this checker is the contract for that output, run by
+`scripts/check.sh --obs` against a real export. It enforces what a scraper
+would rely on:
+
+  * every non-empty line is a comment (`# TYPE` / `# HELP`) or a sample;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * a `# TYPE` line precedes the first sample of its metric, and no metric
+    is typed twice;
+  * sample values parse as floats (+Inf/-Inf/NaN allowed);
+  * for every histogram: `_bucket{le="..."}` series has strictly ascending
+    `le` thresholds, cumulative (nondecreasing) counts, ends with
+    le="+Inf", the +Inf bucket equals `_count`, and both `_sum` and
+    `_count` samples exist.
+
+Usage:
+    python3 tools/lint/prom_check.py FILE [--min-samples N]
+    python3 tools/lint/prom_check.py --self-test
+
+Exit status: 0 valid, 1 violations found, 2 usage error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$")
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_value(text):
+    """Float per the exposition format; returns None when unparseable."""
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_metric(name):
+    """Strip the histogram/summary sample suffix to the declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_text(text, min_samples=1):
+    """Return a list of 'line N: message' violations (empty == valid)."""
+    errors = []
+    types = {}            # metric family -> declared type
+    sampled = set()       # families that already emitted a sample
+    histograms = {}       # family -> {"buckets": [(le, v)], "sum": v|None,
+                          #            "count": v|None}
+    samples = 0
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        def err(message, lineno=lineno):
+            errors.append("line %d: %s" % (lineno, message))
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # free-form comment: legal, ignored
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    err("malformed TYPE line: %r" % line)
+                    continue
+                name = parts[2]
+                if not NAME_RE.match(name):
+                    err("invalid metric name in TYPE line: %r" % name)
+                elif name in types:
+                    err("duplicate TYPE for metric %r" % name)
+                elif name in sampled:
+                    err("TYPE for %r appears after its samples" % name)
+                else:
+                    types[name] = parts[3]
+                    if parts[3] == "histogram":
+                        histograms[name] = {
+                            "buckets": [], "sum": None, "count": None}
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            err("unparseable sample line: %r" % line)
+            continue
+        name = match.group("name")
+        family = base_metric(name)
+        if family not in types and name not in types:
+            err("sample %r has no preceding TYPE line" % name)
+            family = name  # keep scanning; avoid cascading errors
+        value = parse_value(match.group("value"))
+        if value is None:
+            err("unparseable value %r for %r" % (match.group("value"), name))
+            continue
+        samples += 1
+        sampled.add(family if family in types else name)
+
+        labels = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                lm = LABEL_RE.match(part.strip())
+                if not lm:
+                    err("malformed label %r on %r" % (part, name))
+                    break
+                labels[lm.group("key")] = lm.group("val")
+
+        if family in histograms:
+            hist = histograms[family]
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    err("bucket sample for %r lacks an le label" % family)
+                    continue
+                le = parse_value(labels["le"])
+                if le is None and labels["le"] != "+Inf":
+                    err("bucket le=%r is not a float" % labels["le"])
+                    continue
+                hist["buckets"].append((le, value, lineno))
+            elif name == family + "_sum":
+                hist["sum"] = value
+            elif name == family + "_count":
+                hist["count"] = value
+            elif name == family:
+                err("bare sample %r for a histogram-typed metric" % name)
+
+    for family, hist in sorted(histograms.items()):
+        if family not in sampled:
+            continue  # typed but never sampled: legal
+        buckets = hist["buckets"]
+        if not buckets:
+            errors.append("histogram %r has no _bucket series" % family)
+            continue
+        for (lo, _, _), (hi, _, lineno) in zip(buckets, buckets[1:]):
+            if not hi > lo:
+                errors.append(
+                    "line %d: histogram %r le thresholds not ascending "
+                    "(%r after %r)" % (lineno, family, hi, lo))
+        for (_, lo, _), (_, hi, lineno) in zip(buckets, buckets[1:]):
+            if hi < lo:
+                errors.append(
+                    "line %d: histogram %r bucket counts not cumulative "
+                    "(%r after %r)" % (lineno, family, hi, lo))
+        if buckets[-1][0] != math.inf:
+            errors.append(
+                "histogram %r bucket series does not end with le=\"+Inf\""
+                % family)
+        if hist["count"] is None:
+            errors.append("histogram %r lacks a _count sample" % family)
+        elif buckets[-1][0] == math.inf and buckets[-1][1] != hist["count"]:
+            errors.append(
+                "histogram %r +Inf bucket (%r) != _count (%r)"
+                % (family, buckets[-1][1], hist["count"]))
+        if hist["sum"] is None:
+            errors.append("histogram %r lacks a _sum sample" % family)
+
+    if samples < min_samples:
+        errors.append(
+            "only %d samples found (expected at least %d)"
+            % (samples, min_samples))
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: each is (description, text, expected_error_fragment or
+# None for valid).
+
+SELF_TESTS = [
+    ("valid counters, gauges, histogram", """\
+# TYPE sectorpack_srv_requests_ok counter
+sectorpack_srv_requests_ok 240
+# TYPE sectorpack_slo_p99_ms gauge
+sectorpack_slo_p99_ms 11.9
+# TYPE sectorpack_srv_request_ms histogram
+sectorpack_srv_request_ms_bucket{le="0.5"} 3
+sectorpack_srv_request_ms_bucket{le="1"} 5
+sectorpack_srv_request_ms_bucket{le="+Inf"} 7
+sectorpack_srv_request_ms_sum 12.25
+sectorpack_srv_request_ms_count 7
+""", None),
+    ("sample before TYPE", """\
+sectorpack_orphan 1
+""", "no preceding TYPE"),
+    ("duplicate TYPE", """\
+# TYPE sectorpack_a counter
+# TYPE sectorpack_a counter
+sectorpack_a 1
+""", "duplicate TYPE"),
+    ("unparseable value", """\
+# TYPE sectorpack_a counter
+sectorpack_a banana
+""", "unparseable value"),
+    ("le thresholds out of order", """\
+# TYPE sectorpack_h histogram
+sectorpack_h_bucket{le="2"} 1
+sectorpack_h_bucket{le="1"} 2
+sectorpack_h_bucket{le="+Inf"} 2
+sectorpack_h_sum 3
+sectorpack_h_count 2
+""", "not ascending"),
+    ("non-cumulative bucket counts", """\
+# TYPE sectorpack_h histogram
+sectorpack_h_bucket{le="1"} 5
+sectorpack_h_bucket{le="2"} 3
+sectorpack_h_bucket{le="+Inf"} 5
+sectorpack_h_sum 3
+sectorpack_h_count 5
+""", "not cumulative"),
+    ("missing +Inf bucket", """\
+# TYPE sectorpack_h histogram
+sectorpack_h_bucket{le="1"} 5
+sectorpack_h_sum 3
+sectorpack_h_count 5
+""", "does not end with"),
+    ("+Inf bucket disagrees with _count", """\
+# TYPE sectorpack_h histogram
+sectorpack_h_bucket{le="+Inf"} 4
+sectorpack_h_sum 3
+sectorpack_h_count 5
+""", "!= _count"),
+    ("histogram missing _sum", """\
+# TYPE sectorpack_h histogram
+sectorpack_h_bucket{le="+Inf"} 5
+sectorpack_h_count 5
+""", "lacks a _sum"),
+    ("invalid metric name", """\
+# TYPE 9starts_with_digit counter
+9starts_with_digit 1
+""", "invalid metric name"),
+    ("min-samples floor", "", "only 0 samples"),
+]
+
+
+def self_test():
+    failures = 0
+    for description, text, expected in SELF_TESTS:
+        errors = check_text(text, min_samples=1)
+        if expected is None:
+            if errors:
+                print("SELF-TEST FAIL (%s): unexpected errors %r"
+                      % (description, errors))
+                failures += 1
+        else:
+            if not any(expected in e for e in errors):
+                print("SELF-TEST FAIL (%s): wanted %r in %r"
+                      % (description, expected, errors))
+                failures += 1
+    if failures:
+        return 1
+    print("prom_check self-test OK (%d cases)" % len(SELF_TESTS))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", nargs="?", help="exposition file to check")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="fail unless at least N samples are present")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded fixture suite and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.file:
+        parser.error("FILE is required unless --self-test is given")
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print("prom_check: cannot read %s: %s" % (args.file, exc),
+              file=sys.stderr)
+        return 2
+    errors = check_text(text, min_samples=args.min_samples)
+    for error in errors:
+        print("%s: %s" % (args.file, error))
+    if errors:
+        return 1
+    print("%s: valid Prometheus exposition" % args.file)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,9 @@
 // Instances and solutions use the plain-text formats documented in
 // src/model/io.hpp. "-" for --in/-o means stdin/stdout.
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -163,19 +165,52 @@ void require_known(const Args& args,
   }
 }
 
-/// Shared --stats/--trace-out plumbing for the solver-facing commands:
-/// enables obs before running, then prints the registry snapshot and/or
-/// writes the chrome://tracing file afterwards.
+/// Shared --stats/--trace-out/--metrics-* plumbing for the solver-facing
+/// commands: enables obs before running, runs a periodic obs::Exporter when
+/// metrics files are requested, then prints the registry snapshot (as the
+/// schema-versioned envelope for `--stats json`) and/or writes the
+/// chrome://tracing file afterwards.
 int with_observability(const Args& args, int (*run)(const Args&)) {
   const std::string stats = args.get("stats", "");
   if (!stats.empty() && stats != "json" && stats != "text") {
     throw UsageError("--stats must be json or text, got '" + stats + "'");
   }
   const std::string trace_path = args.get("trace-out", "");
-  if (!stats.empty() || !trace_path.empty()) obs::set_enabled(true);
+
+  obs::ExporterConfig exporter_config;
+  exporter_config.prom_path = args.get("metrics-out", "");
+  exporter_config.jsonl_path = args.get("metrics-jsonl", "");
+  const bool metrics_files = !exporter_config.prom_path.empty() ||
+                             !exporter_config.jsonl_path.empty();
+  if (args.has("metrics-interval")) {
+    if (!metrics_files) {
+      throw UsageError(
+          "--metrics-interval requires --metrics-out or --metrics-jsonl");
+    }
+    const double interval = args.get_double("metrics-interval", 0.0);
+    if (!(interval > 0.0)) {
+      throw UsageError("--metrics-interval must be > 0 seconds");
+    }
+    exporter_config.interval_seconds = interval;
+  }
+
+  if (!stats.empty() || !trace_path.empty() || metrics_files) {
+    obs::set_enabled(true);
+  }
   if (!trace_path.empty()) obs::trace_start();
 
-  const int rc = run(args);
+  const bench_util::Timer wall;
+  int rc;
+  {
+    // Scoped so drain/SIGINT cleanup is a normal destructor: the exporter
+    // writes one final snapshot and joins before we read the registry below.
+    obs::Exporter exporter(exporter_config);
+    rc = run(args);
+    exporter.stop();
+    if (metrics_files && !exporter.healthy()) {
+      throw std::runtime_error("metrics export failed (unwritable --metrics-out/--metrics-jsonl path?)");
+    }
+  }
 
   if (!trace_path.empty()) {
     if (!obs::trace_stop_to_file(trace_path)) {
@@ -185,7 +220,8 @@ int with_observability(const Args& args, int (*run)(const Args&)) {
               << "load via chrome://tracing or https://ui.perfetto.dev)\n";
   }
   if (stats == "json") {
-    std::cout << obs::snapshot().to_json() << "\n";
+    std::cout << obs::stats_envelope_json(obs::snapshot(), wall.elapsed_ms())
+              << "\n";
   } else if (stats == "text") {
     std::cout << obs::snapshot().to_text();
   }
@@ -267,8 +303,9 @@ int cmd_generate(const Args& args) {
 
 int cmd_solve(const Args& args) {
   require_known(args, {"in", "solver", "seed", "iterations", "time-limit",
-                       "out", "svg", "stats", "trace-out"});
-  static const obs::Histogram h_solve_ms = obs::histogram("cli.solve_ms");
+                       "out", "svg", "stats", "trace-out", "metrics-out",
+                       "metrics-jsonl", "metrics-interval"});
+  static const obs::HdrHistogram h_solve_ms = obs::hdr_histogram("cli.solve_ms");
   // Flag values are checked before any file IO so a bad invocation is
   // always a usage error (2), even when --in is also bad.
   const std::string solver = args.get("solver", "local-search");
@@ -298,6 +335,18 @@ int cmd_solve(const Args& args) {
   const double bound = inst.is_value_weighted()
                            ? bounds::orientation_free_bound(inst)
                            : bounds::flow_window_bound(inst, opts);
+  if (obs::enabled()) {
+    // Solution-quality telemetry in permille of the cheap demand/capacity
+    // bound, mirroring the batch engine's quality.* metrics so one-shot
+    // solves and batch solves are comparable (docs/observability.md).
+    const double tb = bounds::trivial_bound(inst);
+    const double gap =
+        tb > 0.0 ? std::clamp(1000.0 * (tb - served) / tb, 0.0, 1000.0) : 0.0;
+    obs::hdr_histogram("quality.gap_permille").observe(gap);
+    obs::counter("quality." + solver + ".solves").inc();
+    obs::counter("quality." + solver + ".gap_permille_sum")
+        .add(static_cast<std::uint64_t>(std::llround(gap)));
+  }
   std::cerr << "solver=" << solver
             << " status=" << model::to_string(sol.status)
             << " served_value=" << served << " bound=" << bound << " ratio="
@@ -357,7 +406,8 @@ int cmd_verify(const Args& args) {
 }
 
 int cmd_bound(const Args& args) {
-  require_known(args, {"in", "time-limit", "stats", "trace-out"});
+  require_known(args, {"in", "time-limit", "stats", "trace-out",
+                       "metrics-out", "metrics-jsonl", "metrics-interval"});
   const obs::ScopedSpan span("cli.bound");
   const model::Instance inst = load_instance(args);
   const core::SolveOptions opts = solve_options(args);
@@ -374,7 +424,8 @@ int cmd_bound(const Args& args) {
 }
 
 int cmd_cover(const Args& args) {
-  require_known(args, {"in", "algo", "max-k", "stats", "trace-out"});
+  require_known(args, {"in", "algo", "max-k", "stats", "trace-out",
+                       "metrics-out", "metrics-jsonl", "metrics-interval"});
   const obs::ScopedSpan span("cli.cover");
   const model::Instance inst = load_instance(args);
   if (inst.num_antennas() == 0) {
@@ -513,7 +564,9 @@ std::atomic<bool> g_interrupt{false};
 
 int cmd_batch(const Args& args) {
   require_known(args, {"in", "out", "jobs", "time-limit", "cache-entries",
-                       "queue-capacity", "stats", "trace-out"});
+                       "queue-capacity", "stats", "trace-out", "metrics-out",
+                       "metrics-jsonl", "metrics-interval", "access-log",
+                       "slo-window"});
   srv::BatchConfig config;
   config.jobs = static_cast<unsigned>(args.get_size("jobs", 0));
   if (args.has("time-limit")) {
@@ -526,6 +579,18 @@ int cmd_batch(const Args& args) {
   config.cache_entries = args.get_size("cache-entries", 128);
   config.queue_capacity = args.get_size("queue-capacity", 0);
   config.interrupt = &g_interrupt;
+  config.slo_window = args.get_size("slo-window", config.slo_window);
+  if (config.slo_window == 0) {
+    throw UsageError("--slo-window must be >= 1 requests");
+  }
+
+  std::ofstream access_log;
+  const std::string access_path = args.get("access-log", "");
+  if (!access_path.empty()) {
+    access_log.open(access_path, std::ios::trunc);
+    if (!access_log) throw std::runtime_error("cannot open " + access_path);
+    config.access_log = &access_log;
+  }
 
   const std::string in_path = args.get("in", "");
   if (in_path.empty()) {
@@ -556,6 +621,10 @@ int cmd_batch(const Args& args) {
 
   out->flush();
   if (!*out) throw std::runtime_error("error writing " + out_path);
+  if (!access_path.empty()) {
+    access_log.flush();
+    if (!access_log) throw std::runtime_error("error writing " + access_path);
+  }
   std::cerr << "batch " << report.to_string() << "\n";
   return 0;
 }
@@ -570,14 +639,20 @@ int usage() {
       "  solve     --in FILE --solver greedy|local-search|annealing|\n"
       "            uniform|exact [--time-limit SEC] [-o FILE] [--svg FILE]\n"
       "            [--stats json|text] [--trace-out FILE]\n"
+      "            [--metrics-out FILE] [--metrics-jsonl FILE]\n"
+      "            [--metrics-interval SEC]\n"
       "            (on expiry: best solution so far, status\n"
       "             budget_exhausted, still exit 0)\n"
       "  batch     --in requests.jsonl --out responses.jsonl [--jobs N]\n"
       "            [--time-limit SEC] [--cache-entries M]\n"
       "            [--queue-capacity Q] [--stats json|text]\n"
-      "            [--trace-out FILE]   (one JSON response per request,\n"
-      "            input order; SIGINT drains gracefully; see\n"
-      "            docs/serving.md)\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "            [--metrics-jsonl FILE] [--metrics-interval SEC]\n"
+      "            [--access-log FILE] [--slo-window W]\n"
+      "            (one JSON response per request, input order; SIGINT\n"
+      "            drains gracefully; --metrics-out rewrites a Prometheus\n"
+      "            exposition every interval, --access-log appends one\n"
+      "            JSONL line per request; see docs/serving.md)\n"
       "  validate  --in FILE --solution FILE\n"
       "  verify    --in FILE --solution FILE   (named-invariant check:\n"
       "            shape, alpha-normalized, assign-range,\n"
