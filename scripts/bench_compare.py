@@ -17,6 +17,7 @@ Stdlib only, so it runs on any CI image that has python3.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -49,6 +50,20 @@ def main():
         help="max tolerated median regression in percent (default: 5)",
     )
     args = parser.parse_args()
+
+    # A bench that exists in the candidate run but has no baseline artifact
+    # is *new* (first run after the bench landed): there is nothing to
+    # regress against, so pass with a notice instead of crashing. The next
+    # run, with this artifact promoted to baseline, compares normally.
+    if not os.path.exists(args.baseline) and os.path.exists(args.candidate):
+        cand_doc, cand_medians = load_metrics(args.candidate)
+        print(
+            f"notice: no baseline at {args.baseline}; "
+            f"bench {cand_doc.get('bench')!r} is new "
+            f"({len(cand_medians)} median metric(s) recorded)."
+        )
+        print("PASS (new bench, nothing to compare against).")
+        return 0
 
     base_doc, base_medians = load_metrics(args.baseline)
     cand_doc, cand_medians = load_metrics(args.candidate)

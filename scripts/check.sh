@@ -23,6 +23,13 @@
 #              one response per request, exact per-status counts,
 #              miss/solve byte-identity, verified cache hits, and cache
 #              metrics in --stats json.
+#   huge       the spatial-index contract at scale (docs/performance.md): a
+#              sanitized 10^5-customer instance solved with --spatial flat
+#              and --spatial index must produce byte-identical solution
+#              files, and the shard solver's output must pass the
+#              named-invariant verifier. No --time-limit anywhere: deadline
+#              stops are wall-clock nondeterministic and would break the
+#              byte comparison.
 #   obs        the telemetry contract (docs/observability.md): a batch run
 #              under ASan+UBSan with --metrics-out / --metrics-jsonl /
 #              --metrics-interval 1 / --access-log / --stats json, long
@@ -33,15 +40,16 @@
 #              --metrics-* flag usage errors.
 #
 # Usage: scripts/check.sh [--lint | --format | --contracts | --tsan |
-#                          --fuzz | --batch | --obs] [build-dir]
+#                          --fuzz | --batch | --huge | --obs] [build-dir]
 #   no flag      run every stage (lint, format, contracts, sanitize,
-#                batch, obs)
+#                batch, huge, obs)
 #   --lint       static analysis only
 #   --format     format check only
 #   --contracts  contracts-enabled test build only
 #   --tsan       ThreadSanitizer battery only (exclusive with ASan)
 #   --fuzz       hostile-input battery only (ASan+UBSan)
 #   --batch      batch-engine corpus only (ASan+UBSan, then TSan)
+#   --huge       spatial-index scale contract only (ASan+UBSan)
 #   --obs        telemetry contract only (ASan+UBSan)
 #
 # Each stage prints a summary line "[gate] <stage>: PASS"; the first
@@ -55,6 +63,7 @@ case "${1:-}" in
   --tsan) MODE="sanitize"; TSAN=1; shift ;;
   --fuzz) MODE="fuzz"; shift ;;
   --batch) MODE="batch"; shift ;;
+  --huge) MODE="huge"; shift ;;
   --obs) MODE="obs"; shift ;;
   --lint) MODE="lint"; shift ;;
   --format) MODE="format"; shift ;;
@@ -484,6 +493,67 @@ EOF
   echo "[gate] obs: PASS (ASan+UBSan, build dir: $build_dir)"
 }
 
+# Spatial-index scale contract (docs/performance.md): on a 10^5-customer
+# instance -- above the kAuto crossover, so `--spatial index` really runs
+# the polar grid -- the flat and indexed solves must write byte-identical
+# solution files, and the shard solver must produce verifiable output.
+# Runs sanitized so any index out-of-bounds in the grid's cell walk at
+# scale is caught here, not in production. Deliberately no --time-limit:
+# where a deadline stops a solve depends on wall-clock speed, which would
+# make the byte comparison flaky.
+run_huge() {
+  local build_dir
+  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j"$JOBS"
+
+  local CLI="$build_dir/tools/sectorpack"
+  local TMP
+  TMP="$(mktemp -d)"
+  # Self-clearing: a RETURN trap outlives the function that set it and
+  # would re-fire (with $TMP unbound) at the next function return.
+  trap 'rm -rf "$TMP"; trap - RETURN' RETURN
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+    if [[ "$got" != "$want" ]]; then
+      echo "FAIL: expected exit $want, got $got: $*" >&2
+      cat "$TMP/err" >&2
+      exit 1
+    fi
+  }
+
+  # Small ranges keep each antenna's window to a thin annulus of the
+  # 10^5-point disk -- the regime the grid targets, and cheap enough that
+  # the exact-oracle greedy stays fast under ASan.
+  expect_rc 0 "$CLI" generate --n 100000 --k 4 --demand unit --range 6 \
+    --capacity-fraction 0.001 --seed 77 -o "$TMP/huge.inst"
+
+  # The load-bearing check: one solve per mode, byte-identical outputs.
+  expect_rc 0 "$CLI" solve --in "$TMP/huge.inst" --solver greedy \
+    --spatial flat -o "$TMP/flat.sol"
+  expect_rc 0 "$CLI" solve --in "$TMP/huge.inst" --solver greedy \
+    --spatial index -o "$TMP/index.sol"
+  if ! cmp -s "$TMP/flat.sol" "$TMP/index.sol"; then
+    echo "FAIL: --spatial flat and --spatial index solutions differ" >&2
+    diff "$TMP/flat.sol" "$TMP/index.sol" | head -20 >&2
+    exit 1
+  fi
+  expect_rc 0 "$CLI" verify --in "$TMP/huge.inst" --solution "$TMP/flat.sol"
+
+  # Shard solve: feasible, verifiable output at scale (the merge/repair
+  # path is seam-dependent, so no byte comparison against plain greedy).
+  expect_rc 0 "$CLI" solve --in "$TMP/huge.inst" --solver shard \
+    -o "$TMP/shard.sol"
+  expect_rc 0 "$CLI" verify --in "$TMP/huge.inst" --solution "$TMP/shard.sol"
+
+  echo "[gate] huge: PASS (ASan+UBSan, build dir: $build_dir)"
+}
+
 run_batch() {
   local build_dir
   # ASan + UBSan pass.
@@ -509,6 +579,7 @@ case "$MODE" in
   fuzz) run_sanitize 1 ;;
   sanitize) run_sanitize 0 ;;
   batch) run_batch ;;
+  huge) run_huge ;;
   obs) run_obs ;;
   all)
     run_lint
@@ -516,8 +587,10 @@ case "$MODE" in
     run_contracts
     run_sanitize 0
     run_batch
+    run_huge
     run_obs
     echo
-    echo "All gates passed (lint, format, contracts, sanitize, batch, obs)."
+    echo "All gates passed (lint, format, contracts, sanitize, batch," \
+         "huge, obs)."
     ;;
 esac

@@ -1,6 +1,7 @@
 #include <stdexcept>
 
 #include "src/assign/assign.hpp"
+#include "src/geom/polar_grid.hpp"
 
 namespace sectorpack::assign {
 
@@ -12,6 +13,22 @@ Eligibility compute_eligibility(const model::Instance& inst,
   Eligibility e;
   e.per_antenna.resize(inst.num_antennas());
   e.per_customer.resize(inst.num_customers());
+  if (const geom::PolarGrid* grid = inst.spatial_index()) {
+    // Indexed path: each antenna's sector query returns the covered
+    // customers ascending, and antennas are processed in ascending j --
+    // the same (i, j) visit order as the flat double loop, so both the
+    // per_antenna and per_customer lists come out identical to it.
+    std::vector<std::size_t> covered;
+    for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
+      grid->collect_sector(inst.sector(j, alphas[j]), covered);
+      e.per_antenna[j].reserve(covered.size());
+      for (std::size_t i : covered) {
+        e.per_antenna[j].push_back(i);
+        e.per_customer[i].push_back(static_cast<std::int32_t>(j));
+      }
+    }
+    return e;
+  }
   for (std::size_t j = 0; j < inst.num_antennas(); ++j) {
     const geom::Sector sec = inst.sector(j, alphas[j]);
     for (std::size_t i = 0; i < inst.num_customers(); ++i) {

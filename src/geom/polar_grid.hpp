@@ -1,0 +1,127 @@
+#pragma once
+// Polar grid spatial index: angular wedges x annular rings over a point set
+// given in polar coordinates.
+//
+// The solvers repeatedly answer two query shapes against the customer set:
+//   - annulus:  which customers have radius in [r_lo, r_hi]?   (in_range)
+//   - sector:   which customers does this (annular) sector cover?
+// A flat scan is O(n) per query; with n in the millions and O(k^2) queries
+// per solve that dominates everything else. The grid buckets customers into
+// W uniform angular wedges x R annular rings (ring edges at radius
+// quantiles, so the median radius is an edge and clustered workloads --
+// ring roads, hotspots -- stay balanced) and answers queries by touching
+// only candidate buckets.
+//
+// Bit-identity contract. Grid queries are *conservative bucket pruning plus
+// the exact flat predicate*: candidate buckets are chosen so that every
+// point satisfying the query predicate is in some candidate bucket, then
+// each candidate is re-tested with the same floating-point comparison the
+// flat scan performs, and results are returned in ascending point index --
+// the exact vector the flat loop produces. Downstream solver behavior is
+// therefore independent of which path ran; the crossover below is purely a
+// performance knob. Rings whose full radial extent lies inside the query
+// band are appended wholesale (every member provably passes the radial
+// predicate), which is where the asymptotic win comes from.
+//
+// Lifetime: the grid stores *views* of the theta/radius arrays it was built
+// over; the caller keeps those arrays alive and unchanged (model::Instance
+// is immutable and owns both).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/geom/angle.hpp"
+#include "src/geom/sector.hpp"
+
+namespace sectorpack::geom {
+
+/// Global crossover control for every flat-vs-indexed call site. kAuto uses
+/// the size threshold below; the force modes pin one path (outputs are
+/// bit-identical either way, so this is safe as a process-wide setting --
+/// it exists for benchmarks, tests, and the check.sh byte-identity gate).
+enum class SpatialIndexMode { kAuto, kForceFlat, kForceIndexed };
+
+void set_spatial_index_mode(SpatialIndexMode mode) noexcept;
+[[nodiscard]] SpatialIndexMode spatial_index_mode() noexcept;
+
+/// Crossover threshold: below this many points a flat scan's single pass
+/// beats building/probing the grid (the scan is branch-predictable and the
+/// grid's candidate sort costs m log m); above it bucket pruning wins.
+/// Measured on bench_f7_huge -- the win at 1e6 is >5x, the loss at 1e3 is
+/// noise-level, so the exact value is not sensitive.
+inline constexpr std::size_t kSpatialIndexMinCustomers = 4096;
+
+/// True when call sites should take the indexed path for n points under the
+/// current mode.
+[[nodiscard]] bool use_spatial_index(std::size_t n) noexcept;
+
+/// Build deferral under kAuto (model::Instance::spatial_index): an
+/// instance's grid is built only after this many queries ran flat, so a
+/// one-shot solve never pays the O(n log n) build for a handful of O(n)
+/// scans. Ski-rental: by the time the build happens, at most ~this many
+/// scans were "wasted", within a constant factor of the offline-optimal
+/// choice whatever the final query count turns out to be.
+inline constexpr std::uint32_t kGridBuildAfterQueries = 32;
+
+class PolarGrid {
+ public:
+  /// Build over points (thetas[i], radii[i]). Thetas may be any finite
+  /// angles (binning normalizes); radii must be what the query predicates
+  /// will be compared against (model::Instance's cached polar radii).
+  /// O(n log n): one sort of the radii for quantile ring edges, one
+  /// counting sort into cells.
+  PolarGrid(std::span<const double> thetas, std::span<const double> radii);
+
+  [[nodiscard]] std::size_t num_points() const noexcept {
+    return radii_.size();
+  }
+  [[nodiscard]] std::size_t num_wedges() const noexcept { return wedges_; }
+  [[nodiscard]] std::size_t num_rings() const noexcept { return rings_; }
+
+  /// Point indices of one (ring, wedge) cell, ascending. The cell iterator
+  /// primitive the collect_* queries are built on; exposed for tests and
+  /// for callers that want custom bucket walks.
+  [[nodiscard]] std::span<const std::size_t> cell(std::size_t ring,
+                                                  std::size_t wedge) const {
+    const std::size_t c = ring * wedges_ + wedge;
+    return {items_.data() + cell_start_[c], cell_start_[c + 1] - cell_start_[c]};
+  }
+
+  /// All point indices of one ring (its wedge cells concatenated; ascending
+  /// only within each cell).
+  [[nodiscard]] std::span<const std::size_t> ring(std::size_t k) const {
+    return {items_.data() + cell_start_[k * wedges_],
+            cell_start_[(k + 1) * wedges_] - cell_start_[k * wedges_]};
+  }
+
+  /// Indices i with radii[i] <= r_hi && radii[i] >= r_lo -- the exact
+  /// comparisons of model::Instance::in_range when the caller passes
+  /// r_hi = range * (1 + kRadiusEps), r_lo = min_range * (1 - kRadiusEps).
+  /// `out` is cleared and filled ascending.
+  void collect_annulus(double r_lo, double r_hi,
+                       std::vector<std::size_t>& out) const;
+
+  /// Indices i with sector.contains({thetas[i], radii[i]}) -- the exact
+  /// predicate of the flat eligibility scan. `out` is cleared and filled
+  /// ascending.
+  void collect_sector(const Sector& sector,
+                      std::vector<std::size_t>& out) const;
+
+ private:
+  [[nodiscard]] std::size_t ring_of(double r) const noexcept;
+  [[nodiscard]] std::size_t wedge_of(double theta_normalized) const noexcept;
+
+  std::span<const double> thetas_;
+  std::span<const double> radii_;
+  std::size_t wedges_ = 0;
+  std::size_t rings_ = 0;
+  double inv_wedge_width_ = 0.0;
+  std::vector<double> ring_edges_;       // rings_+1, edges_[0]=0, last=+inf
+  std::vector<std::size_t> cell_start_;  // CSR offsets, ring-major
+  std::vector<std::size_t> items_;       // point indices, ascending per cell
+  std::vector<std::size_t> origin_;      // indices with radius exactly 0.0
+};
+
+}  // namespace sectorpack::geom

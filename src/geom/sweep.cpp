@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/geom/polar_grid.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace sectorpack::geom {
@@ -60,12 +61,44 @@ WindowSweep::WindowSweep(std::span<const double> thetas, double rho)
   if (n == 0) return;
 
   std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
   std::vector<double> norm(n);
   for (std::size_t i = 0; i < n; ++i) norm[i] = normalize(thetas[i]);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return norm[a] < norm[b];
-  });
+  // Total order (norm, index): the explicit position tie-break makes the
+  // sort deterministic (plain std::sort on norm alone leaves ties in
+  // unspecified order), which is what lets the bucketed fast path below
+  // reproduce the comparison sort bit-for-bit.
+  const auto less = [&](std::size_t a, std::size_t b) {
+    return norm[a] < norm[b] || (norm[a] == norm[b] && a < b);
+  };
+  if (use_spatial_index(n)) {
+    // Angular-bucket sort, sharing the polar grid's crossover heuristic:
+    // scatter indices into uniform angle buckets (ascending index within a
+    // bucket, i.e. stable), then comparison-sort each bucket. The bucket of
+    // an angle is monotone in the angle and equal angles share a bucket, so
+    // concatenating the sorted buckets yields exactly the total order
+    // `less` defines -- same output, ~linear time on the near-uniform
+    // angular distributions big instances have.
+    std::size_t buckets = 64;
+    while (buckets < n / 8 && buckets < 65536) buckets <<= 1;
+    const double scale = static_cast<double>(buckets) / kTwoPi;
+    std::vector<std::size_t> start(buckets + 1, 0);
+    const auto bucket_of = [&](std::size_t i) {
+      const std::size_t b = static_cast<std::size_t>(norm[i] * scale);
+      return b < buckets ? b : buckets - 1;
+    };
+    for (std::size_t i = 0; i < n; ++i) ++start[bucket_of(i) + 1];
+    for (std::size_t b = 0; b < buckets; ++b) start[b + 1] += start[b];
+    std::vector<std::size_t> cursor(start.begin(), start.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) order[cursor[bucket_of(i)]++] = i;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      std::sort(order.begin() + static_cast<std::ptrdiff_t>(start[b]),
+                order.begin() + static_cast<std::ptrdiff_t>(start[b + 1]),
+                less);
+    }
+  } else {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), less);
+  }
 
   order2_.resize(2 * n);
   key2_.resize(2 * n);

@@ -11,6 +11,7 @@ Instance::Instance(std::vector<Customer> customers,
     : customers_(std::move(customers)), antennas_(std::move(antennas)) {
   thetas_.reserve(customers_.size());
   radii_.reserve(customers_.size());
+  demands_.reserve(customers_.size());
   values_.reserve(customers_.size());
   for (const Customer& c : customers_) {
     if (!(c.demand > 0.0) || !std::isfinite(c.demand)) {
@@ -29,6 +30,7 @@ Instance::Instance(std::vector<Customer> customers,
     const geom::Polar p = geom::to_polar(c.pos);
     thetas_.push_back(p.theta);
     radii_.push_back(p.r);
+    demands_.push_back(c.demand);
     values_.push_back(v);
     total_demand_ += c.demand;
     total_value_ += v;
@@ -49,6 +51,57 @@ Instance::Instance(std::vector<Customer> customers,
           "antenna min_range must be in [0, range)");
     }
     total_capacity_ += a.capacity;
+  }
+}
+
+const geom::PolarGrid& Instance::polar_grid() const {
+  const geom::PolarGrid* grid = grid_.ptr.load(std::memory_order_acquire);
+  if (grid != nullptr) return *grid;
+  auto* fresh = new geom::PolarGrid(thetas_, radii_);
+  const geom::PolarGrid* expected = nullptr;
+  if (grid_.ptr.compare_exchange_strong(expected, fresh,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;  // another thread won the race; use its grid
+  return *expected;
+}
+
+const geom::PolarGrid* Instance::spatial_index() const {
+  switch (geom::spatial_index_mode()) {
+    case geom::SpatialIndexMode::kForceFlat:
+      return nullptr;
+    case geom::SpatialIndexMode::kForceIndexed:
+      return &polar_grid();
+    case geom::SpatialIndexMode::kAuto:
+      break;
+  }
+  if (customers_.size() < geom::kSpatialIndexMinCustomers) return nullptr;
+  const geom::PolarGrid* grid = grid_.ptr.load(std::memory_order_acquire);
+  if (grid != nullptr) return grid;
+  // Deferral: answer flat until enough queries accumulated to amortize the
+  // build. Relaxed counter -- an off-by-a-few build point is fine.
+  if (grid_.flat_queries.fetch_add(1, std::memory_order_relaxed) <
+      geom::kGridBuildAfterQueries) {
+    return nullptr;
+  }
+  return &polar_grid();
+}
+
+void Instance::in_range_customers(std::size_t j,
+                                  std::vector<std::size_t>& out) const {
+  const AntennaSpec& a = antennas_[j];
+  if (const geom::PolarGrid* grid = spatial_index()) {
+    // Same multiplications as in_range, hoisted out of the per-customer
+    // comparisons (identical values every iteration either way).
+    grid->collect_annulus(a.min_range * (1.0 - geom::kRadiusEps),
+                          a.range * (1.0 + geom::kRadiusEps), out);
+    return;
+  }
+  out.clear();
+  for (std::size_t i = 0; i < customers_.size(); ++i) {
+    if (in_range(i, j)) out.push_back(i);
   }
 }
 

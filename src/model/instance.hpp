@@ -7,10 +7,13 @@
 // each customer to at most one antenna whose (oriented) sector contains it,
 // subject to the antenna capacities; the objective is the served demand.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "src/geom/polar_grid.hpp"
 #include "src/geom/sector.hpp"
 #include "src/geom/vec2.hpp"
 
@@ -37,6 +40,11 @@ struct AntennaSpec {
 };
 
 /// Immutable problem instance with cached polar coordinates.
+///
+/// Customer storage is SoA: theta/radius/demand/value live in separate
+/// arrays (span accessors below) so bucket and sweep scans touch one dense
+/// stream each; the `Customer` records remain available as a compatibility
+/// view holding the Cartesian positions.
 class Instance {
  public:
   Instance() = default;
@@ -66,9 +74,7 @@ class Instance {
   [[nodiscard]] double theta(std::size_t i) const { return thetas_[i]; }
   /// Distance of customer i from the base station.
   [[nodiscard]] double radius(std::size_t i) const { return radii_[i]; }
-  [[nodiscard]] double demand(std::size_t i) const {
-    return customers_[i].demand;
-  }
+  [[nodiscard]] double demand(std::size_t i) const { return demands_[i]; }
   /// Objective contribution of customer i (== demand unless the instance
   /// is value-weighted).
   [[nodiscard]] double value(std::size_t i) const { return values_[i]; }
@@ -77,6 +83,12 @@ class Instance {
   }
   [[nodiscard]] std::span<const double> radii() const noexcept {
     return radii_;
+  }
+  [[nodiscard]] std::span<const double> demands() const noexcept {
+    return demands_;
+  }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
   }
 
   /// True when customer i is within antenna j's radial band
@@ -94,6 +106,28 @@ class Instance {
 
   /// True when some antenna has a near-field dead zone (min_range > 0).
   [[nodiscard]] bool has_annular_antennas() const noexcept;
+
+  /// The polar grid spatial index over the customers, built lazily on first
+  /// use and cached for the instance's lifetime. Thread-safe: concurrent
+  /// first callers race to publish one grid (losers discard theirs).
+  [[nodiscard]] const geom::PolarGrid& polar_grid() const;
+
+  /// The grid if the crossover policy says to use it for this instance
+  /// right now, nullptr for the flat path. Under kAuto the O(n log n) build
+  /// is additionally deferred ski-rental style: the first
+  /// geom::kGridBuildAfterQueries queries run flat (each costs one O(n)
+  /// scan), and only an instance that keeps getting queried pays for a
+  /// build -- a one-shot solve on a fresh instance (e.g. a shard sub-solve)
+  /// never does. Forced modes bypass the deferral. Results are
+  /// bit-identical either way; only wall time depends on the answer.
+  [[nodiscard]] const geom::PolarGrid* spatial_index() const;
+
+  /// Indices of the customers in antenna j's radial band, ascending --
+  /// exactly the i with in_range(i, j), produced by the flat scan below the
+  /// crossover threshold and by the grid above it (geom::use_spatial_index;
+  /// both paths apply the same floating-point predicate, so the output is
+  /// bit-identical either way). `out` is cleared and refilled.
+  void in_range_customers(std::size_t j, std::vector<std::size_t>& out) const;
 
   [[nodiscard]] double total_demand() const noexcept { return total_demand_; }
   [[nodiscard]] double total_value() const noexcept { return total_value_; }
@@ -116,15 +150,52 @@ class Instance {
   [[nodiscard]] bool is_angles_only() const noexcept;
 
  private:
+  // Lazily published grid cache. A plain member type (instead of
+  // std::once_flag or a mutex) keeps Instance copyable and movable: copies
+  // drop the cache (their vectors own fresh buffers, so the old grid's
+  // views would dangle), moves transfer it (vector moves keep the heap
+  // buffers the grid views point into).
+  struct GridSlot {
+    mutable std::atomic<const geom::PolarGrid*> ptr{nullptr};
+    // Queries answered flat while deferring the build (see spatial_index).
+    // Deliberately not copied/moved: a new home means a new amortization.
+    mutable std::atomic<std::uint32_t> flat_queries{0};
+
+    GridSlot() noexcept = default;
+    GridSlot(const GridSlot& /*other*/) noexcept {}
+    GridSlot(GridSlot&& other) noexcept {
+      ptr.store(other.ptr.exchange(nullptr, std::memory_order_acq_rel),
+                std::memory_order_release);
+    }
+    GridSlot& operator=(const GridSlot& other) noexcept {
+      if (this != &other) reset();
+      return *this;
+    }
+    GridSlot& operator=(GridSlot&& other) noexcept {
+      if (this != &other) {
+        reset();
+        ptr.store(other.ptr.exchange(nullptr, std::memory_order_acq_rel),
+                  std::memory_order_release);
+      }
+      return *this;
+    }
+    ~GridSlot() { reset(); }
+    void reset() noexcept {
+      delete ptr.exchange(nullptr, std::memory_order_acq_rel);
+    }
+  };
+
   std::vector<Customer> customers_;
   std::vector<AntennaSpec> antennas_;
   std::vector<double> thetas_;
   std::vector<double> radii_;
+  std::vector<double> demands_;
   std::vector<double> values_;  // resolved (kValueIsDemand -> demand)
   double total_demand_ = 0.0;
   double total_value_ = 0.0;
   double total_capacity_ = 0.0;
   bool value_weighted_ = false;
+  GridSlot grid_;  // last member: assigned after the vectors on copy/move
 };
 
 /// Fluent helper for building instances in examples and tests.

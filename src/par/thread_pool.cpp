@@ -19,6 +19,10 @@ ThreadPool::ThreadPool(unsigned threads)
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  // Last-write-wins across pools (the batch engine creates dedicated
+  // pools), so the gauge reports the size of the most recently created
+  // pool; handle resolved eagerly here like steals_, off the hot paths.
+  obs::gauge("par.pool.size").set(static_cast<double>(threads));
   queues_.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     queues_.push_back(std::make_unique<WorkerQueue>());

@@ -19,6 +19,7 @@
 #include "src/cover/cover.hpp"
 #include "src/geom/angle.hpp"
 #include "src/geom/arc.hpp"
+#include "src/geom/polar_grid.hpp"
 #include "src/geom/sector.hpp"
 #include "src/geom/sweep.hpp"
 #include "src/geom/vec2.hpp"
@@ -36,6 +37,7 @@
 #include "src/par/thread_pool.hpp"
 #include "src/sectors/annealing.hpp"
 #include "src/sectors/sectors.hpp"
+#include "src/shard/shard.hpp"
 #include "src/sim/adversarial.hpp"
 #include "src/sim/generators.hpp"
 #include "src/sim/rng.hpp"

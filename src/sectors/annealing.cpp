@@ -30,12 +30,14 @@ model::Solution solve_annealing(const model::Instance& inst,
 
   sim::Rng rng(config.seed);
 
-  // Candidate orientations per antenna: angles of in-range customers.
+  // Candidate orientations per antenna: angles of in-range customers
+  // (radial filter via the flat/indexed crossover helper; same angles in
+  // the same ascending order either way).
   std::vector<std::vector<double>> cands(k);
+  std::vector<std::size_t> in_band;
   for (std::size_t j = 0; j < k; ++j) {
-    for (std::size_t i = 0; i < inst.num_customers(); ++i) {
-      if (inst.in_range(i, j)) cands[j].push_back(inst.theta(i));
-    }
+    inst.in_range_customers(j, in_band);
+    for (std::size_t i : in_band) cands[j].push_back(inst.theta(i));
     if (cands[j].empty()) cands[j].push_back(0.0);
   }
 

@@ -15,10 +15,11 @@ namespace {
 // anywhere; 0.0 represents that choice).
 std::vector<double> candidates_for(const model::Instance& inst,
                                    std::size_t j) {
+  std::vector<std::size_t> in_band;
+  inst.in_range_customers(j, in_band);
   std::vector<double> thetas;
-  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
-    if (inst.in_range(i, j)) thetas.push_back(inst.theta(i));
-  }
+  thetas.reserve(in_band.size());
+  for (std::size_t i : in_band) thetas.push_back(inst.theta(i));
   std::vector<double> cands = geom::candidate_orientations(
       thetas, inst.antenna(j).rho, geom::CandidateEdges::kLeading);
   if (cands.empty()) cands.push_back(0.0);

@@ -47,12 +47,18 @@ model::Solution solve_greedy(const model::Instance& inst,
   const auto evaluate = [&](std::size_t j, bool window_parallel) {
     AntennaPick pick;
     pick.j = j;
+    // Radial filter via the crossover helper (flat below the threshold,
+    // polar grid above; candidates come back in ascending instance order
+    // either way, so the served-filter below sees the same sequence the
+    // old flat loop produced).
+    std::vector<std::size_t> in_band;
+    inst.in_range_customers(j, in_band);
     std::vector<double> thetas;
     std::vector<double> values;
     std::vector<double> demands;
     std::vector<std::size_t> index;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!served[i] && inst.in_range(i, j)) {
+    for (std::size_t i : in_band) {
+      if (!served[i]) {
         thetas.push_back(inst.theta(i));
         values.push_back(inst.value(i));
         demands.push_back(inst.demand(i));

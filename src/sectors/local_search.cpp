@@ -28,6 +28,7 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
   std::vector<double> values;
   std::vector<double> demands;
   std::vector<std::size_t> index;
+  std::vector<std::size_t> in_band;
 
   // Window memo per antenna, surviving across passes: antenna j's candidate
   // pool (unserved plus its own customers) only changes when some antenna's
@@ -61,15 +62,18 @@ model::Solution improve(const model::Instance& inst, model::Solution start,
       }
 
       // Re-solve antenna j's window over unserved customers plus its own.
+      // Radial candidates from the crossover helper (ascending instance
+      // order, identical to the old flat scan), then the assignment filter.
+      inst.in_range_customers(j, in_band);
       thetas.clear();
       values.clear();
       demands.clear();
       index.clear();
-      for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t i : in_band) {
         const bool free_for_j =
             sol.assign[i] == model::kUnserved ||
             sol.assign[i] == static_cast<std::int32_t>(j);
-        if (free_for_j && inst.in_range(i, j)) {
+        if (free_for_j) {
           thetas.push_back(inst.theta(i));
           values.push_back(inst.value(i));
           demands.push_back(inst.demand(i));

@@ -14,17 +14,20 @@ model::Solution solve(const model::Instance& inst, const Config& config) {
   const model::AntennaSpec& ant = inst.antenna(j);
 
   // Restrict to in-range customers; keep a map back to instance indices.
+  // The radial filter goes through the crossover helper (flat scan or polar
+  // grid, identical output) and the gathers read the SoA arrays.
+  std::vector<std::size_t> index;
+  inst.in_range_customers(j, index);
   std::vector<double> thetas;
   std::vector<double> values;
   std::vector<double> demands;
-  std::vector<std::size_t> index;
-  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
-    if (inst.in_range(i, j)) {
-      thetas.push_back(inst.theta(i));
-      values.push_back(inst.value(i));
-      demands.push_back(inst.demand(i));
-      index.push_back(i);
-    }
+  thetas.reserve(index.size());
+  values.reserve(index.size());
+  demands.reserve(index.size());
+  for (std::size_t i : index) {
+    thetas.push_back(inst.theta(i));
+    values.push_back(inst.value(i));
+    demands.push_back(inst.demand(i));
   }
 
   // Uniform-demand fast path: exact and O(n log n), valid whenever an

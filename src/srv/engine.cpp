@@ -23,6 +23,7 @@
 #include "src/par/thread_pool.hpp"
 #include "src/sectors/annealing.hpp"
 #include "src/sectors/sectors.hpp"
+#include "src/shard/shard.hpp"
 #include "src/srv/cache.hpp"
 #include "src/srv/jsonl.hpp"
 #include "src/verify/verify.hpp"
@@ -74,7 +75,8 @@ const char* to_string(RequestStatus status) noexcept {
 
 bool is_known_solver(const std::string& family) noexcept {
   return family == "greedy" || family == "local-search" ||
-         family == "uniform" || family == "annealing" || family == "exact";
+         family == "uniform" || family == "annealing" || family == "exact" ||
+         family == "shard";
 }
 
 model::Solution run_solver(const model::Instance& inst, const SolverKey& key,
@@ -103,6 +105,11 @@ model::Solution run_solver(const model::Instance& inst, const SolverKey& key,
   if (key.family == "exact") {
     return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20,
                                 /*node_limit=*/1u << 26, opts);
+  }
+  if (key.family == "shard") {
+    shard::ShardConfig config;
+    config.solve = opts;
+    return shard::solve(inst, config);
   }
   throw std::invalid_argument("unknown solver: " + key.family);
 }
@@ -192,7 +199,8 @@ class Engine {
     // Pre-register the per-family quality counters so the worker hot path
     // never takes the registration mutex.
     for (const char* family :
-         {"greedy", "local-search", "uniform", "annealing", "exact"}) {
+         {"greedy", "local-search", "uniform", "annealing", "exact",
+          "shard"}) {
       quality_.emplace(
           family,
           QualityCounters{

@@ -51,7 +51,8 @@ SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
 SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 
 SOLVER_DIRS = ("src/sectors/", "src/assign/", "src/single/", "src/angles/",
-               "src/knapsack/", "src/bounds/", "src/cover/", "src/srv/")
+               "src/knapsack/", "src/bounds/", "src/cover/", "src/srv/",
+               "src/shard/")
 
 WAIVER_RE = re.compile(
     r"//\s*sp-lint:\s*allow\(([a-z0-9-]+)\)\s*(.*)$")

@@ -96,6 +96,10 @@ class DeadlineLoopTest(unittest.TestCase):
     def test_non_solver_dir_exempt(self):
         self.assertEqual(rules("src/par/x.cpp", self.UNCHECKED), set())
 
+    def test_shard_is_a_solver_dir(self):
+        self.assertEqual(violations("src/shard/x.cpp", self.UNCHECKED),
+                         [("deadline-loop", 2)])
+
     def test_bounded_loop_ok(self):
         self.assertEqual(
             rules("src/sectors/x.cpp",

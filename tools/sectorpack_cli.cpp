@@ -302,15 +302,27 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
-  require_known(args, {"in", "solver", "seed", "iterations", "time-limit",
-                       "out", "svg", "stats", "trace-out", "metrics-out",
-                       "metrics-jsonl", "metrics-interval"});
+  require_known(args, {"in", "solver", "spatial", "seed", "iterations",
+                       "time-limit", "out", "svg", "stats", "trace-out",
+                       "metrics-out", "metrics-jsonl", "metrics-interval"});
   static const obs::HdrHistogram h_solve_ms = obs::hdr_histogram("cli.solve_ms");
   // Flag values are checked before any file IO so a bad invocation is
   // always a usage error (2), even when --in is also bad.
   const std::string solver = args.get("solver", "local-search");
   if (!srv::is_known_solver(solver)) {
     throw UsageError("unknown --solver: " + solver);
+  }
+  // Pin the flat-vs-indexed crossover (outputs are bit-identical either
+  // way; check.sh --huge byte-compares the two paths through this flag).
+  const std::string spatial = args.get("spatial", "auto");
+  if (spatial == "flat") {
+    geom::set_spatial_index_mode(geom::SpatialIndexMode::kForceFlat);
+  } else if (spatial == "index") {
+    geom::set_spatial_index_mode(geom::SpatialIndexMode::kForceIndexed);
+  } else if (spatial == "auto") {
+    geom::set_spatial_index_mode(geom::SpatialIndexMode::kAuto);
+  } else {
+    throw UsageError("unknown --spatial: " + spatial);
   }
   srv::SolverKey key;
   key.family = solver;
@@ -637,7 +649,8 @@ int usage() {
       "            --demand unit|uniform-int|pareto --rho-deg D\n"
       "            --capacity-fraction F --seed S -o FILE\n"
       "  solve     --in FILE --solver greedy|local-search|annealing|\n"
-      "            uniform|exact [--time-limit SEC] [-o FILE] [--svg FILE]\n"
+      "            uniform|exact|shard [--spatial flat|index|auto]\n"
+      "            [--time-limit SEC] [-o FILE] [--svg FILE]\n"
       "            [--stats json|text] [--trace-out FILE]\n"
       "            [--metrics-out FILE] [--metrics-jsonl FILE]\n"
       "            [--metrics-interval SEC]\n"
