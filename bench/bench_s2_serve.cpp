@@ -1,0 +1,179 @@
+// S2 -- session serving: incremental re-solve latency under a delta stream.
+//
+// The serving pitch of srv::Session is that a delta (customer arrives/
+// leaves, demand drift, antenna added) re-solves in a fraction of a
+// from-scratch greedy run while staying byte-identical to one. This bench
+// quantifies that on a serving-scale instance: n = 1e5 customers over a
+// disk, k = 6 annular ring antennas (radial bands partition the disk, so a
+// customer delta dirties few bands -- the workload shape the dirty-window
+// memo is built for). A 200-delta mixed stream (45% add, 30% remove, 20%
+// demand_set, 5% antenna_add) runs through one session; each delta's
+// re-solve is timed individually, and the same post-delta instances are
+// spot-checked bitwise against srv::run_solver.
+//
+// BENCH_s2_serve.json carries delta p50/p99, the full re-solve median, and
+// their ratio (speedup_median). The acceptance gate is speedup >= 5x.
+//
+// Usage: bench_s2_serve [n] [deltas]   (defaults 100000, 200)
+
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "src/srv/session.hpp"
+
+namespace {
+
+using namespace sectorpack;
+
+/// n customers uniform over a disk, k thin annular ring antennas at
+/// distinct radii (the F7 regime: each band holds a few percent of the
+/// point set, capacities stay small enough for the exact window DP).
+/// Non-identical specs, so greedy (and the session replay) keeps one
+/// window cache per antenna.
+model::Instance ring_instance(std::size_t n, std::size_t k) {
+  sim::Rng rng(2024);
+  sim::WorkloadConfig wl;
+  wl.num_customers = n;
+  wl.disk_radius = 120.0;
+  wl.demand = sim::DemandDist::kUniformInt;
+  wl.demand_min = 1;
+  wl.demand_max = 10;
+  std::vector<model::Customer> customers = sim::generate_customers(wl, rng);
+
+  std::vector<model::AntennaSpec> antennas;
+  for (std::size_t j = 0; j < k; ++j) {
+    model::AntennaSpec spec;
+    spec.rho = 0.7 + 0.05 * static_cast<double>(j);
+    spec.min_range = 20.0 + 16.0 * static_cast<double>(j);
+    spec.range = spec.min_range + 3.0;
+    spec.capacity = 60.0 + 10.0 * static_cast<double>(j);
+    antennas.push_back(spec);
+  }
+  return model::Instance(std::move(customers), std::move(antennas));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 100'000;
+  const std::size_t deltas =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 200;
+  bench_util::print_experiment_header(
+      std::cout, "S2", "session serving (incremental delta re-solve)");
+  bench::BenchReport report("s2_serve");
+
+  const srv::SolverKey key{"greedy", 1, 0};
+  srv::Session session(ring_instance(n, 6), key);
+
+  const bench_util::Timer init_timer;
+  session.solve_initial({});
+  const double initial_ms = init_timer.elapsed_ms();
+  std::cout << "  n=" << n << " k=6 initial solve " << initial_ms << " ms\n";
+
+  // The mixed delta stream. Removals target random current indices; adds
+  // land anywhere on the disk so every radial band gets dirtied over the
+  // run.
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> coord(-110.0, 110.0);
+  std::uniform_int_distribution<int> demand(1, 10);
+  std::uniform_int_distribution<int> mix(0, 99);
+
+  std::vector<double> delta_ms;
+  delta_ms.reserve(deltas);
+  std::uint64_t memo_hits = 0;
+  std::uint64_t fresh_evals = 0;
+  double dirty_sum = 0.0;
+  for (std::size_t step = 0; step < deltas; ++step) {
+    const int op = mix(gen);
+    const bench_util::Timer timer;
+    srv::ResolveStats stats;
+    if (op < 45) {
+      model::Customer c;
+      c.pos = {coord(gen), coord(gen)};
+      c.demand = static_cast<double>(demand(gen));
+      stats = session.customer_add(c, {});
+    } else if (op < 75) {
+      std::uniform_int_distribution<std::size_t> idx(
+          0, session.instance().num_customers() - 1);
+      stats = session.customer_remove(idx(gen), {});
+    } else if (op < 95) {
+      std::uniform_int_distribution<std::size_t> idx(
+          0, session.instance().num_customers() - 1);
+      stats = session.demand_set(idx(gen), static_cast<double>(demand(gen)),
+                                 {});
+    } else {
+      // Another thin ring, offset between the seed bands so it sees a
+      // fresh customer slice.
+      model::AntennaSpec spec;
+      spec.rho = 0.75;
+      spec.min_range = 28.0 + static_cast<double>(step % 5) * 16.0;
+      spec.range = spec.min_range + 3.0;
+      spec.capacity = 60.0;
+      stats = session.antenna_add(spec, {});
+    }
+    delta_ms.push_back(timer.elapsed_ms());
+    memo_hits += stats.memo_hits;
+    fresh_evals += stats.fresh_evals;
+    dirty_sum += stats.dirty_ratio;
+  }
+
+  // Reference: from-scratch greedy on the final post-stream instance (the
+  // cost a session-less server would pay per delta).
+  const model::Instance final_inst(
+      std::vector<model::Customer>(session.instance().customers().begin(),
+                                   session.instance().customers().end()),
+      std::vector<model::AntennaSpec>(session.instance().antennas().begin(),
+                                      session.instance().antennas().end()));
+  model::Solution full_sol;
+  const std::vector<double> full_times = bench::time_repetitions(
+      5, [&] { full_sol = srv::run_solver(final_inst, key, {}); });
+  const bench::RepStats full = bench::summarize_times(full_times);
+
+  // Byte-identity spot check at the end of the stream.
+  if (model::to_string(full_sol) != model::to_string(session.solution())) {
+    std::cerr << "FAIL: incremental solution diverged from from-scratch\n";
+    return 1;
+  }
+
+  std::vector<double> sorted = delta_ms;
+  const double p50 = bench_util::percentile(sorted, 0.5);
+  const double p99 = bench_util::percentile(sorted, 0.99);
+  const double speedup = p50 > 0.0 ? full.median_ms / p50 : 0.0;
+  const double avg_dirty = dirty_sum / static_cast<double>(deltas);
+
+  bench_util::Table table({"deltas", "p50_ms", "p99_ms", "full_med_ms",
+                           "speedup", "memo_hits", "fresh", "dirty"});
+  table.add_row({bench_util::cell(deltas), bench_util::cell(p50, 3),
+                 bench_util::cell(p99, 3),
+                 bench_util::cell(full.median_ms, 1),
+                 bench_util::cell(speedup, 1),
+                 bench_util::cell(std::size_t{memo_hits}),
+                 bench_util::cell(std::size_t{fresh_evals}),
+                 bench_util::cell(avg_dirty, 3)});
+  table.print(std::cout);
+
+  report.metric("n", static_cast<double>(n));
+  report.metric("deltas", static_cast<double>(deltas));
+  report.metric("initial_solve_ms", initial_ms);
+  report.metric("delta.p50_ms", p50);
+  report.metric("delta.p99_ms", p99);
+  report.metric_times("full_resolve", full_times);
+  report.metric("speedup_median", speedup);
+  report.metric("memo_hits", static_cast<double>(memo_hits));
+  report.metric("fresh_evals", static_cast<double>(fresh_evals));
+  report.metric("dirty_ratio_mean", avg_dirty);
+  report.write();
+
+  if (speedup < 5.0) {
+    std::cerr << "FAIL: median delta re-solve speedup " << speedup
+              << "x < 5x gate\n";
+    return 1;
+  }
+  std::cout << "  speedup gate: " << speedup << "x >= 5x  OK\n";
+  return 0;
+}

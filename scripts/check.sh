@@ -23,6 +23,12 @@
 #              one response per request, exact per-status counts,
 #              miss/solve byte-identity, verified cache hits, and cache
 #              metrics in --stats json.
+#   serve      the `sectorpack serve` session contract (docs/serving.md):
+#              one register plus 50 mixed deltas (add/remove/demand/
+#              antenna) under ASan+UBSan; every response's incremental
+#              solution must be byte-identical to a from-scratch greedy
+#              solve of the same post-delta instance, and the delta stream
+#              must produce dirty-window memo hits.
 #   huge       the spatial-index contract at scale (docs/performance.md): a
 #              sanitized 10^5-customer instance solved with --spatial flat
 #              and --spatial index must produce byte-identical solution
@@ -40,15 +46,17 @@
 #              --metrics-* flag usage errors.
 #
 # Usage: scripts/check.sh [--lint | --format | --contracts | --tsan |
-#                          --fuzz | --batch | --huge | --obs] [build-dir]
+#                          --fuzz | --batch | --serve | --huge | --obs]
+#                         [build-dir]
 #   no flag      run every stage (lint, format, contracts, sanitize,
-#                batch, huge, obs)
+#                batch, serve, huge, obs)
 #   --lint       static analysis only
 #   --format     format check only
 #   --contracts  contracts-enabled test build only
 #   --tsan       ThreadSanitizer battery only (exclusive with ASan)
 #   --fuzz       hostile-input battery only (ASan+UBSan)
 #   --batch      batch-engine corpus only (ASan+UBSan, then TSan)
+#   --serve      session-serving byte-identity gate only (ASan+UBSan)
 #   --huge       spatial-index scale contract only (ASan+UBSan)
 #   --obs        telemetry contract only (ASan+UBSan)
 #
@@ -63,6 +71,7 @@ case "${1:-}" in
   --tsan) MODE="sanitize"; TSAN=1; shift ;;
   --fuzz) MODE="fuzz"; shift ;;
   --batch) MODE="batch"; shift ;;
+  --serve) MODE="serve"; shift ;;
   --huge) MODE="huge"; shift ;;
   --obs) MODE="obs"; shift ;;
   --lint) MODE="lint"; shift ;;
@@ -570,6 +579,130 @@ run_batch() {
   echo "[gate] batch: PASS (ASan+UBSan and TSan, --jobs 8)"
 }
 
+run_serve() {
+  local build_dir
+  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j"$JOBS"
+
+  local CLI="$build_dir/tools/sectorpack"
+  local TMP
+  TMP="$(mktemp -d)"
+  # Self-clearing: a RETURN trap outlives the function that set it and
+  # would re-fire (with $TMP unbound) at the next function return.
+  trap 'rm -rf "$TMP"; trap - RETURN' RETURN
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+    if [[ "$got" != "$want" ]]; then
+      echo "FAIL: expected exit $want, got $got: $*" >&2
+      cat "$TMP/err" >&2
+      exit 1
+    fi
+  }
+
+  expect_rc 0 "$CLI" generate --n 2000 --k 3 --demand uniform-int \
+    --range 25 --capacity-fraction 0.02 --seed 99 -o "$TMP/serve.inst"
+
+  # Build the op stream (register + 50 mixed deltas) AND the per-step
+  # expected instance files. Each delta's numeric tokens are written to
+  # the JSON op and to the instance text from the SAME decimal literal, so
+  # the serve daemon and the from-scratch `solve` parse identical doubles
+  # -- the byte comparison below is then exact, not approximate.
+  python3 - "$TMP" <<'EOF'
+import random, sys
+tmp = sys.argv[1]
+lines = open("%s/serve.inst" % tmp).read().splitlines()
+assert lines[0] == "sectorpack-instance v1", lines[0]
+n = int(lines[1].split()[1])
+customers = lines[2:2 + n]
+k = int(lines[2 + n].split()[1])
+antennas = lines[3 + n:3 + n + k]
+
+def write_step(step):
+    body = ["sectorpack-instance v1", "customers %d" % len(customers)]
+    body += customers
+    body += ["antennas %d" % len(antennas)]
+    body += antennas
+    open("%s/step_%d.inst" % (tmp, step), "w").write("\n".join(body) + "\n")
+
+ops = ['{"op":"register","id":"r","instance_file":"%s/serve.inst",'
+       '"solver":"greedy"}' % tmp]
+write_step(0)
+
+rng = random.Random(7)
+for step in range(1, 51):
+    roll = rng.random()
+    if roll < 0.40:
+        x = repr(round(rng.uniform(-90.0, 90.0), 6))
+        y = repr(round(rng.uniform(-90.0, 90.0), 6))
+        d = str(rng.randint(1, 9))
+        ops.append('{"op":"customer_add","session":"s0","x":%s,"y":%s,'
+                   '"demand":%s}' % (x, y, d))
+        customers.append("%s %s %s" % (x, y, d))
+    elif roll < 0.65:
+        i = rng.randrange(len(customers))
+        ops.append('{"op":"customer_remove","session":"s0","customer":%d}'
+                   % i)
+        del customers[i]
+    elif roll < 0.90:
+        i = rng.randrange(len(customers))
+        d = str(rng.randint(1, 9))
+        ops.append('{"op":"demand_set","session":"s0","customer":%d,'
+                   '"demand":%s}' % (i, d))
+        t = customers[i].split()
+        t[2] = d
+        customers[i] = " ".join(t)
+    else:
+        rho = repr(round(rng.uniform(0.6, 1.2), 6))
+        rg = repr(round(rng.uniform(15.0, 30.0), 6))
+        cap = str(rng.randint(30, 60))
+        ops.append('{"op":"antenna_add","session":"s0","rho":%s,'
+                   '"range":%s,"capacity":%s}' % (rho, rg, cap))
+        antennas.append("%s %s %s" % (rho, rg, cap))
+    write_step(step)
+ops.append('{"op":"close","session":"s0"}')
+open("%s/ops.jsonl" % tmp, "w").write("\n".join(ops) + "\n")
+EOF
+
+  expect_rc 0 "$CLI" serve --in "$TMP/ops.jsonl" \
+    --out "$TMP/responses.jsonl"
+
+  # From-scratch reference solve for every step (register == step 0).
+  local i
+  for i in $(seq 0 50); do
+    expect_rc 0 "$CLI" solve --in "$TMP/step_$i.inst" --solver greedy \
+      -o "$TMP/step_$i.sol"
+  done
+
+  # The load-bearing check: every serve response's solution is bitwise the
+  # from-scratch greedy solution of the post-delta instance.
+  python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+responses = [json.loads(l) for l in open("%s/responses.jsonl" % tmp)]
+assert len(responses) == 52, "expected 52 responses, got %d" % len(responses)
+assert responses[-1]["op"] == "close" and responses[-1]["status"] == "ok"
+for step, r in enumerate(responses[:51]):
+    assert r["status"] == "ok", (step, r["status"])
+    assert r["session"] == "s0", (step, r)
+    assert r["incremental"] is True, (step, r["op"])
+    expected = open("%s/step_%d.sol" % (tmp, step)).read()
+    if r["solution"] != expected:
+        sys.exit("FAIL: step %d (%s): incremental solution differs from "
+                 "from-scratch solve" % (step, r["op"]))
+deltas = responses[1:51]
+hits = sum(r["memo_hits"] for r in deltas)
+assert hits > 0, "50 deltas produced zero dirty-window memo hits"
+EOF
+
+  echo "[gate] serve: PASS (ASan+UBSan, 50-delta byte-identity)"
+}
+
 BUILD_DIR_OVERRIDE="${1:-}"
 
 case "$MODE" in
@@ -579,6 +712,7 @@ case "$MODE" in
   fuzz) run_sanitize 1 ;;
   sanitize) run_sanitize 0 ;;
   batch) run_batch ;;
+  serve) run_serve ;;
   huge) run_huge ;;
   obs) run_obs ;;
   all)
@@ -587,10 +721,11 @@ case "$MODE" in
     run_contracts
     run_sanitize 0
     run_batch
+    run_serve
     run_huge
     run_obs
     echo
     echo "All gates passed (lint, format, contracts, sanitize, batch," \
-         "huge, obs)."
+         "serve, huge, obs)."
     ;;
 esac

@@ -18,10 +18,16 @@ Deadline Deadline::after(double seconds) {
   Deadline d;
   d.flag_ = std::make_shared<std::atomic<bool>>(seconds <= 0.0);
   if (std::isfinite(seconds)) {
+    // Clamp: steady_clock durations are (at most) signed 64-bit
+    // nanoseconds, so casting a huge finite budget (say 1e300 s, which a
+    // JSON time_limit can legally spell) overflows the duration_cast into
+    // an undefined expiry. kMaxBudgetSeconds (~31.7 years) is indistinguishable
+    // from unlimited for any real request and still fits with room to spare.
     d.has_expiry_ = true;
     d.expiry_ = Clock::now() +
                 std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(std::max(seconds, 0.0)));
+                    std::chrono::duration<double>(
+                        std::clamp(seconds, 0.0, kMaxBudgetSeconds)));
   }
   return d;
 }

@@ -33,8 +33,15 @@ class Deadline {
 
   [[nodiscard]] static Deadline never() noexcept { return {}; }
 
+  /// Upper bound on a finite wall-clock budget: larger values are clamped
+  /// (a steady_clock duration is 64-bit nanoseconds, so an unclamped cast
+  /// of e.g. 1e300 s would overflow). ~31.7 years -- behaviorally
+  /// unlimited, representationally safe.
+  static constexpr double kMaxBudgetSeconds = 1e9;
+
   /// Expires `seconds` of wall-clock time from now (steady clock). A
-  /// non-positive budget is already expired. Throws std::invalid_argument
+  /// non-positive budget is already expired; a finite budget above
+  /// kMaxBudgetSeconds is clamped to it. Throws std::invalid_argument
   /// on NaN.
   [[nodiscard]] static Deadline after(double seconds);
 

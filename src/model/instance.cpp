@@ -6,52 +6,136 @@
 
 namespace sectorpack::model {
 
+namespace {
+
+void validate_customer(const Customer& c) {
+  if (!(c.demand > 0.0) || !std::isfinite(c.demand)) {
+    throw std::invalid_argument("customer demand must be finite and > 0");
+  }
+  if (c.value != Customer::kValueIsDemand &&
+      (!(c.value >= 0.0) || !std::isfinite(c.value))) {
+    throw std::invalid_argument(
+        "customer value must be finite and >= 0 (or kValueIsDemand)");
+  }
+}
+
+void validate_antenna(const AntennaSpec& a) {
+  if (!(a.rho > 0.0) || a.rho > geom::kTwoPi + geom::kAngleEps) {
+    throw std::invalid_argument("antenna rho must be in (0, 2*pi]");
+  }
+  if (!(a.range > 0.0) || !std::isfinite(a.range)) {
+    throw std::invalid_argument("antenna range must be finite and > 0");
+  }
+  if (a.capacity < 0.0 || !std::isfinite(a.capacity)) {
+    throw std::invalid_argument("antenna capacity must be finite and >= 0");
+  }
+  if (a.min_range < 0.0 || a.min_range >= a.range ||
+      !std::isfinite(a.min_range)) {
+    throw std::invalid_argument("antenna min_range must be in [0, range)");
+  }
+}
+
+}  // namespace
+
 Instance::Instance(std::vector<Customer> customers,
                    std::vector<AntennaSpec> antennas)
     : customers_(std::move(customers)), antennas_(std::move(antennas)) {
+  for (const Customer& c : customers_) validate_customer(c);
+  for (const AntennaSpec& a : antennas_) validate_antenna(a);
+  recompute_aggregates();
+}
+
+void Instance::recompute_aggregates() {
+  thetas_.clear();
+  radii_.clear();
   thetas_.reserve(customers_.size());
   radii_.reserve(customers_.size());
-  demands_.reserve(customers_.size());
-  values_.reserve(customers_.size());
   for (const Customer& c : customers_) {
-    if (!(c.demand > 0.0) || !std::isfinite(c.demand)) {
-      throw std::invalid_argument("customer demand must be finite and > 0");
-    }
-    double v = c.value;
-    if (v == Customer::kValueIsDemand) {
-      v = c.demand;
-    } else {
-      if (!(v >= 0.0) || !std::isfinite(v)) {
-        throw std::invalid_argument(
-            "customer value must be finite and >= 0 (or kValueIsDemand)");
-      }
-      if (v != c.demand) value_weighted_ = true;
-    }
     const geom::Polar p = geom::to_polar(c.pos);
     thetas_.push_back(p.theta);
     radii_.push_back(p.r);
+  }
+  refold_scalars();
+}
+
+void Instance::refold_scalars() {
+  demands_.clear();
+  values_.clear();
+  demands_.reserve(customers_.size());
+  values_.reserve(customers_.size());
+  total_demand_ = 0.0;
+  total_value_ = 0.0;
+  total_capacity_ = 0.0;
+  value_weighted_ = false;
+  // Left-fold in index order, matching what a fresh construction does, so
+  // totals are bitwise reproducible (floating-point addition is not
+  // associative; an incremental += after a removal would drift).
+  for (const Customer& c : customers_) {
+    double v = c.value;
+    if (v == Customer::kValueIsDemand) {
+      v = c.demand;
+    } else if (v != c.demand) {
+      value_weighted_ = true;
+    }
     demands_.push_back(c.demand);
     values_.push_back(v);
     total_demand_ += c.demand;
     total_value_ += v;
   }
-  for (const AntennaSpec& a : antennas_) {
-    if (!(a.rho > 0.0) || a.rho > geom::kTwoPi + geom::kAngleEps) {
-      throw std::invalid_argument("antenna rho must be in (0, 2*pi]");
-    }
-    if (!(a.range > 0.0) || !std::isfinite(a.range)) {
-      throw std::invalid_argument("antenna range must be finite and > 0");
-    }
-    if (a.capacity < 0.0 || !std::isfinite(a.capacity)) {
-      throw std::invalid_argument("antenna capacity must be finite and >= 0");
-    }
-    if (a.min_range < 0.0 || a.min_range >= a.range ||
-        !std::isfinite(a.min_range)) {
-      throw std::invalid_argument(
-          "antenna min_range must be in [0, range)");
-    }
-    total_capacity_ += a.capacity;
+  for (const AntennaSpec& a : antennas_) total_capacity_ += a.capacity;
+}
+
+void Instance::invalidate_spatial() noexcept {
+  grid_.reset();
+  grid_.flat_queries.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Instance::add_customer(const Customer& c) {
+  validate_customer(c);
+  customers_.push_back(c);
+  // Each polar coordinate is a pure function of its own customer: append
+  // the one conversion instead of redoing the O(n) trig pass. Matches
+  // what recompute_aggregates would produce element-for-element.
+  const geom::Polar p = geom::to_polar(c.pos);
+  thetas_.push_back(p.theta);
+  radii_.push_back(p.r);
+  refold_scalars();
+  invalidate_spatial();
+  return customers_.size() - 1;
+}
+
+void Instance::remove_customer(std::size_t i) {
+  if (i >= customers_.size()) {
+    throw std::out_of_range("Instance::remove_customer: index out of range");
   }
+  customers_.erase(customers_.begin() + static_cast<std::ptrdiff_t>(i));
+  thetas_.erase(thetas_.begin() + static_cast<std::ptrdiff_t>(i));
+  radii_.erase(radii_.begin() + static_cast<std::ptrdiff_t>(i));
+  refold_scalars();
+  invalidate_spatial();
+}
+
+void Instance::set_demand(std::size_t i, double demand) {
+  if (i >= customers_.size()) {
+    throw std::out_of_range("Instance::set_demand: index out of range");
+  }
+  Customer c = customers_[i];
+  c.demand = demand;
+  validate_customer(c);
+  customers_[i] = c;  // position unchanged: thetas_/radii_ stay
+  refold_scalars();
+  invalidate_spatial();
+}
+
+std::size_t Instance::add_antenna(const AntennaSpec& a) {
+  validate_antenna(a);
+  antennas_.push_back(a);
+  refold_scalars();
+  // Antenna edits leave the customer geometry alone, but the ski-rental
+  // counter amortizes queries for *this* workload shape; restarting it is
+  // the conservative reading and costs a handful of flat scans at most.
+  invalidate_spatial();
+  return antennas_.size() - 1;
 }
 
 const geom::PolarGrid& Instance::polar_grid() const {

@@ -149,7 +149,52 @@ class Instance {
   /// "packing to angles" special case where radii are irrelevant.
   [[nodiscard]] bool is_angles_only() const noexcept;
 
+  // ------------------------------------------------------------- mutators
+  //
+  // Delta mutators for session serving (sectorpack serve). Each validates
+  // its input exactly like the constructor (strong guarantee: throws
+  // without mutating), applies the structural edit, then recomputes every
+  // derived array and aggregate by replaying the constructor's loops --
+  // same iteration order, same summation order -- so a mutated instance is
+  // *bitwise* indistinguishable from one freshly constructed from the same
+  // customer/antenna records (the serve byte-identity contract rests on
+  // this). Each mutator also drops the cached spatial index and resets the
+  // ski-rental deferral counter: the grid holds views into the old SoA
+  // buffers and its bucket contents are stale after any customer edit, and
+  // a mutated instance restarts its build amortization from zero.
+
+  /// Append a customer; returns its index (== num_customers() - 1).
+  std::size_t add_customer(const Customer& c);
+  /// Remove customer `i`; customers above shift down by one (indices into
+  /// any previously obtained Solution are stale). Throws std::out_of_range.
+  void remove_customer(std::size_t i);
+  /// Change customer `i`'s demand. A kValueIsDemand customer's objective
+  /// value follows the new demand; an explicit value is left untouched
+  /// (which can flip is_value_weighted() in either direction, exactly as a
+  /// fresh construction would). Throws std::out_of_range /
+  /// std::invalid_argument.
+  void set_demand(std::size_t i, double demand);
+  /// Append an antenna; returns its index (== num_antennas() - 1).
+  std::size_t add_antenna(const AntennaSpec& a);
+
  private:
+  /// Rebuild thetas_/radii_/demands_/values_, the totals, and the
+  /// value-weighted flag from customers_/antennas_, replaying the
+  /// constructor's order so results are bitwise identical to a fresh
+  /// build. O(n + k) including a polar conversion per customer.
+  void recompute_aggregates();
+  /// The cheap half of recompute_aggregates: refold demands_/values_, the
+  /// totals, and the value-weighted flag, leaving thetas_/radii_ alone
+  /// (each is a pure per-customer function, so mutators maintain them
+  /// element-wise). Same left-fold order as the constructor, so totals
+  /// stay bitwise identical to a fresh build without the O(n) trig the
+  /// full rebuild pays -- this is what keeps a serving delta on a big
+  /// session cheap. Callers must have sized thetas_/radii_ to match
+  /// customers_ already. O(n + k), additions and comparisons only.
+  void refold_scalars();
+  /// Drop the published grid and restart the ski-rental counter.
+  void invalidate_spatial() noexcept;
+
   // Lazily published grid cache. A plain member type (instead of
   // std::once_flag or a mutex) keeps Instance copyable and movable: copies
   // drop the cache (their vectors own fresh buffers, so the old grid's

@@ -25,25 +25,49 @@ namespace sectorpack::obs {
 
 class Registry;
 
+/// How a recorded request was disposed of. The kind decides which rollup
+/// lines a sample contributes to (see Summary): near-zero cache-hit
+/// latencies and rejected requests must not dilute the solve percentiles,
+/// and rejected requests must not be invisible to the deadline hit-rate.
+enum class SloKind : std::uint8_t {
+  kSolve = 0,     // a fresh solve ran (ok or budget_exhausted)
+  kCacheHit = 1,  // answered from the result cache, no solve
+  kRejected = 2,  // never started (drain / global budget); deadline_ok=false
+};
+
 class SloTracker {
  public:
   /// One request outcome inside the window.
   struct Sample {
     double latency_ms = 0.0;
     bool deadline_ok = false;  // finished without exhausting its budget
-    bool cache_hit = false;
+    SloKind kind = SloKind::kSolve;
   };
 
   /// Point-in-time rollup of the last `in_window` (<= window) requests.
+  ///
+  /// Semantics (documented in docs/observability.md "SLO tracker"):
+  ///  * p50/p95/p99 are computed over kSolve samples only -- they answer
+  ///    "how slow is a solve right now". Cache hits (near-zero latency)
+  ///    and rejected requests are excluded so the tail cannot be diluted
+  ///    toward zero by a hot cache or a drain storm.
+  ///  * deadline_hit_rate is computed over ALL samples: a cache hit counts
+  ///    as meeting its deadline, a rejected request counts as missing it.
+  ///    It answers "what fraction of admitted requests got a full answer
+  ///    in budget".
+  ///  * cache_hit_rate = kCacheHit / (kSolve + kCacheHit): the fraction of
+  ///    *answered* requests that skipped the solver. Rejected requests are
+  ///    excluded from the denominator (they never consulted the cache).
   struct Summary {
-    std::size_t window = 0;     // configured capacity W
-    std::uint64_t total = 0;    // requests recorded since construction
-    std::size_t in_window = 0;  // samples the percentiles are computed over
+    std::size_t window = 0;      // configured capacity W
+    std::uint64_t total = 0;     // requests recorded since construction
+    std::size_t in_window = 0;   // all retained samples (rates use these)
+    std::size_t solves = 0;      // kSolve samples (percentiles use these)
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double deadline_hit_rate = 1.0;  // fraction of window with deadline_ok
-    double cache_hit_rate = 0.0;     // fraction of window with cache_hit
+    double cache_hit_rate = 0.0;     // hits / (hits + solves)
     [[nodiscard]] std::string to_string() const;
   };
 
@@ -51,14 +75,15 @@ class SloTracker {
   /// allocated up front so record() never allocates.
   explicit SloTracker(std::size_t window = 512);
 
-  void record(double latency_ms, bool deadline_ok, bool cache_hit);
+  void record(double latency_ms, bool deadline_ok, SloKind kind);
 
   [[nodiscard]] Summary summary() const;
 
   /// Write the summary into `registry` (nullptr = global) as `slo.*` gauges:
-  /// slo.window, slo.samples, slo.total, slo.p50_ms, slo.p95_ms, slo.p99_ms,
-  /// slo.deadline_hit_rate, slo.cache_hit_rate. Call at drain or on export
-  /// ticks so `--stats json` and the exporter carry the rolling view.
+  /// slo.window, slo.samples, slo.solve_samples, slo.total, slo.p50_ms,
+  /// slo.p95_ms, slo.p99_ms, slo.deadline_hit_rate, slo.cache_hit_rate.
+  /// Call at drain or on export ticks so `--stats json` and the exporter
+  /// carry the rolling view.
   void publish(Registry* registry = nullptr) const;
 
  private:

@@ -44,5 +44,7 @@
 #include "src/single/single.hpp"
 #include "src/srv/engine.hpp"
 #include "src/srv/jsonl.hpp"
+#include "src/srv/serve.hpp"
+#include "src/srv/session.hpp"
 #include "src/verify/verify.hpp"
 #include "src/viz/svg.hpp"

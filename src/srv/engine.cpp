@@ -37,6 +37,12 @@ namespace {
 // not a request.
 constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
 
+// Reject absurd per-request budgets at parse time. Anything above ~3 years
+// is indistinguishable from "no limit" but would historically overflow the
+// deadline's duration cast (Deadline::after now clamps too -- this is the
+// protocol-level bound, that is the defense in depth).
+constexpr double kMaxTimeLimitSeconds = 1e8;
+
 std::uint64_t require_integer_field(const char* name, double value) {
   if (!(value >= 0.0) || value > kMaxExactInteger ||
       std::floor(value) != value) {
@@ -156,6 +162,10 @@ Request parse_request(const std::string& line, std::size_t index) {
     if (limit->kind != JsonValue::Kind::kNumber || !(limit->number >= 0.0) ||
         std::isnan(limit->number)) {
       throw std::runtime_error("field 'time_limit' must be a number >= 0");
+    }
+    if (limit->number > kMaxTimeLimitSeconds) {
+      throw std::runtime_error(
+          "field 'time_limit' out of range (max 1e8 seconds)");
     }
     req.time_limit = limit->number;
   }
@@ -474,8 +484,11 @@ class Engine {
        << ",\"solution\":\"" << obs::json_escape(model::to_string(sol))
        << "\"}";
     h_request_ms_.observe(elapsed_ms);
+    // Cache hits are recorded as their own kind so their near-zero
+    // latencies never dilute the solve percentiles (docs/observability.md
+    // "SLO tracker" documents the semantics).
     slo_.record(elapsed_ms, /*deadline_ok=*/status == RequestStatus::kOk,
-                cache_hit);
+                cache_hit ? obs::SloKind::kCacheHit : obs::SloKind::kSolve);
 
     if (obs::enabled()) {
       // Solution quality against the cheap demand/capacity bound, in
@@ -519,6 +532,13 @@ class Engine {
   void complete_unsolved(std::size_t index, const std::string& id,
                          RequestStatus status, const std::string& error,
                          double queue_us = 0.0) {
+    // A rejected request is a deadline miss from the client's point of view
+    // -- it asked and got no answer -- so it must drag deadline_hit_rate
+    // down. Invalid requests are client errors, not service failures, and
+    // are deliberately not recorded.
+    if (status == RequestStatus::kRejected) {
+      slo_.record(0.0, /*deadline_ok=*/false, obs::SloKind::kRejected);
+    }
     std::ostringstream os;
     os << "{\"index\":" << index;
     if (!id.empty()) os << ",\"id\":\"" << obs::json_escape(id) << "\"";

@@ -133,7 +133,17 @@ class Cursor {
     const unsigned first = parse_hex4();
     unsigned code = first;
     if (first >= 0xD800 && first <= 0xDBFF) {  // high surrogate
+      // Only a \uDC00-\uDFFF escape can complete the pair. Anything else
+      // -- end of line, a literal character, a different escape -- leaves
+      // the high surrogate unpaired, which no UTF-8 re-encoding can
+      // represent; name that directly instead of a generic expect failure.
+      if (at_end() || peek() != '\\') {
+        fail("unpaired high surrogate \\u escape");
+      }
       expect('\\');
+      if (at_end() || peek() != 'u') {
+        fail("unpaired high surrogate \\u escape");
+      }
       expect('u');
       const unsigned second = parse_hex4();
       if (second < 0xDC00 || second > 0xDFFF) {

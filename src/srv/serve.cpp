@@ -1,0 +1,548 @@
+#include "src/srv/serve.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/bench_util/timer.hpp"
+#include "src/core/deadline.hpp"
+#include "src/model/io.hpp"
+#include "src/model/solution.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/trace.hpp"
+#include "src/srv/engine.hpp"
+#include "src/srv/jsonl.hpp"
+#include "src/srv/session.hpp"
+
+namespace sectorpack::srv {
+
+namespace {
+
+// Same protocol-level bounds as the batch engine (engine.cpp): doubles that
+// cannot name one integer exactly are typos, and budgets beyond ~3 years
+// are indistinguishable from "no limit" (Deadline::after additionally
+// clamps -- defense in depth).
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+constexpr double kMaxTimeLimitSeconds = 1e8;
+
+const JsonValue* find_field(const JsonObject& object, const char* name) {
+  const auto it = object.find(name);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string optional_string_field(const JsonObject& object, const char* name) {
+  const JsonValue* v = find_field(object, name);
+  if (v == nullptr) return {};
+  if (v->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error(std::string("field '") + name +
+                             "' must be a string");
+  }
+  return v->string;
+}
+
+double require_number_field(const JsonObject& object, const char* name) {
+  const JsonValue* v = find_field(object, name);
+  if (v == nullptr) {
+    throw std::runtime_error(std::string("missing field '") + name + "'");
+  }
+  if (v->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error(std::string("field '") + name +
+                             "' must be a number");
+  }
+  return v->number;
+}
+
+std::uint64_t require_integer(const char* name, double value) {
+  if (!(value >= 0.0) || value > kMaxExactInteger ||
+      std::floor(value) != value) {
+    throw std::runtime_error(std::string("field '") + name +
+                             "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+void check_fields(const JsonObject& object,
+                  std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : object) {
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::runtime_error("unknown field '" + key + "' for this op");
+    }
+  }
+}
+
+}  // namespace
+
+ServeOp parse_serve_op(const std::string& line, std::size_t index) {
+  const JsonObject object = parse_flat_object(line);
+
+  ServeOp op;
+  op.index = index;
+  op.op = optional_string_field(object, "op");
+  if (op.op.empty()) throw std::runtime_error("missing field 'op'");
+  op.id = optional_string_field(object, "id");
+  op.session = optional_string_field(object, "session");
+
+  if (const JsonValue* limit = find_field(object, "time_limit")) {
+    if (limit->kind != JsonValue::Kind::kNumber || !(limit->number >= 0.0) ||
+        std::isnan(limit->number)) {
+      throw std::runtime_error("field 'time_limit' must be a number >= 0");
+    }
+    if (limit->number > kMaxTimeLimitSeconds) {
+      throw std::runtime_error(
+          "field 'time_limit' out of range (max 1e8 seconds)");
+    }
+    op.time_limit = limit->number;
+  }
+
+  if (op.op == "register") {
+    check_fields(object, {"op", "id", "time_limit", "instance",
+                          "instance_file", "solver", "seed", "iterations"});
+    op.instance_file = optional_string_field(object, "instance_file");
+    op.instance_text = optional_string_field(object, "instance");
+    if (op.instance_file.empty() == op.instance_text.empty()) {
+      throw std::runtime_error(
+          "exactly one of 'instance_file' and 'instance' is required");
+    }
+    const std::string family = optional_string_field(object, "solver");
+    if (!family.empty()) op.solver.family = family;
+    if (!is_known_solver(op.solver.family)) {
+      throw std::runtime_error("unknown solver '" + op.solver.family + "'");
+    }
+    if (const JsonValue* seed = find_field(object, "seed")) {
+      if (seed->kind != JsonValue::Kind::kNumber) {
+        throw std::runtime_error("field 'seed' must be a number");
+      }
+      op.solver.seed = require_integer("seed", seed->number);
+    }
+    if (const JsonValue* iters = find_field(object, "iterations")) {
+      if (iters->kind != JsonValue::Kind::kNumber) {
+        throw std::runtime_error("field 'iterations' must be a number");
+      }
+      op.solver.iterations = require_integer("iterations", iters->number);
+    }
+    return op;
+  }
+
+  // Every non-register op targets a session.
+  if (op.session.empty()) throw std::runtime_error("missing field 'session'");
+
+  if (op.op == "customer_add") {
+    check_fields(object, {"op", "id", "time_limit", "session", "x", "y",
+                          "demand", "value"});
+    op.customer_rec.pos = {require_number_field(object, "x"),
+                           require_number_field(object, "y")};
+    op.customer_rec.demand = require_number_field(object, "demand");
+    if (find_field(object, "value") != nullptr) {
+      op.customer_rec.value = require_number_field(object, "value");
+    }
+    return op;
+  }
+  if (op.op == "customer_remove") {
+    check_fields(object, {"op", "id", "time_limit", "session", "customer"});
+    op.customer = static_cast<std::size_t>(require_integer(
+        "customer", require_number_field(object, "customer")));
+    return op;
+  }
+  if (op.op == "demand_set") {
+    check_fields(object,
+                 {"op", "id", "time_limit", "session", "customer", "demand"});
+    op.customer = static_cast<std::size_t>(require_integer(
+        "customer", require_number_field(object, "customer")));
+    op.demand = require_number_field(object, "demand");
+    return op;
+  }
+  if (op.op == "antenna_add") {
+    check_fields(object, {"op", "id", "time_limit", "session", "rho", "range",
+                          "capacity", "min_range"});
+    op.antenna.rho = require_number_field(object, "rho");
+    op.antenna.range = require_number_field(object, "range");
+    op.antenna.capacity = require_number_field(object, "capacity");
+    if (find_field(object, "min_range") != nullptr) {
+      op.antenna.min_range = require_number_field(object, "min_range");
+    }
+    return op;
+  }
+  if (op.op == "close") {
+    check_fields(object, {"op", "id", "session"});
+    return op;
+  }
+  throw std::runtime_error("unknown op '" + op.op + "'");
+}
+
+std::string ServeReport::to_string() const {
+  std::ostringstream os;
+  os << "requests=" << requests << " registers=" << registers
+     << " deltas=" << deltas << " ok=" << ok
+     << " budget_exhausted=" << budget_exhausted << " invalid=" << invalid
+     << " rejected=" << rejected << " memo_hit=" << memo_hits
+     << " fresh_eval=" << fresh_evals;
+  if (interrupted) os << " interrupted=yes";
+  if (!slo_summary.empty()) os << " slo[" << slo_summary << "]";
+  return os.str();
+}
+
+namespace {
+
+/// Everything one run_serve call needs. Sequential op loop plus a monitor
+/// thread that turns the interrupt flag / global budget into a cancel of
+/// the op in flight.
+class ServeLoop {
+ public:
+  ServeLoop(std::ostream& out, const ServeConfig& config)
+      : out_(out),
+        config_(config),
+        global_(config.time_limit >= 0.0
+                    ? core::Deadline::after(config.time_limit)
+                    : core::Deadline::never()),
+        slo_(config.slo_window),
+        c_ok_(obs::counter("serve.requests.ok")),
+        c_budget_(obs::counter("serve.requests.budget_exhausted")),
+        c_invalid_(obs::counter("serve.requests.invalid")),
+        c_rejected_(obs::counter("serve.requests.rejected")),
+        c_memo_hits_(obs::counter("serve.memo.hits")),
+        c_memo_misses_(obs::counter("serve.memo.misses")),
+        g_sessions_(obs::gauge("serve.sessions")),
+        h_register_ms_(obs::hdr_histogram("serve.register_ms")),
+        h_delta_ms_(obs::hdr_histogram("serve.delta_ms")),
+        h_dirty_(obs::hdr_histogram("serve.dirty_permille")) {}
+
+  ServeReport run(std::istream& in) {
+    std::thread monitor([this] { watch(); });
+
+    std::string line;
+    std::size_t index = 0;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;  // blank line: not an op, no response
+      }
+      handle_line(line, index++);
+    }
+
+    // End of input: close whatever the client left open. The final
+    // solution of each session was already delivered with its last delta,
+    // so closing is just teardown -- but it must happen before the report
+    // (and the CLI's final exporter tick) so `serve.sessions` ends at 0.
+    store_.clear();
+    g_sessions_.set(0.0);
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    monitor.join();
+
+    slo_.publish();
+
+    ServeReport report = report_;
+    report.interrupted = draining();
+    report.slo_summary = slo_.summary().to_string();
+    return report;
+  }
+
+ private:
+  // ------------------------------------------------------------------ drain
+
+  void watch() {
+    for (;;) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+        if (!draining_) {
+          if (config_.interrupt != nullptr &&
+              config_.interrupt->load(std::memory_order_relaxed)) {
+            begin_drain_locked("serve draining (interrupted)");
+          } else if (global_.expired()) {
+            begin_drain_locked("global time limit exhausted");
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  void begin_drain_locked(const char* reason) {
+    draining_ = true;
+    drain_reason_ = reason;
+    core::note_expired("srv.serve");
+    // The op in flight finishes promptly as a feasible budget-exhausted
+    // incumbent; every later line is rejected before it starts.
+    inflight_.cancel();
+    global_.cancel();
+  }
+
+  [[nodiscard]] bool draining() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_) {
+      // The monitor polls at 5ms; checking inline here as well keeps the
+      // first post-interrupt line from slipping through the gap.
+      if (config_.interrupt != nullptr &&
+          config_.interrupt->load(std::memory_order_relaxed)) {
+        begin_drain_locked("serve draining (interrupted)");
+      } else if (global_.expired()) {
+        begin_drain_locked("global time limit exhausted");
+      }
+    }
+    return draining_;
+  }
+
+  // ------------------------------------------------------------------- loop
+
+  void handle_line(const std::string& line, std::size_t index) {
+    ++report_.requests;
+    if (draining()) {
+      std::string reason;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        reason = drain_reason_;
+      }
+      emit_error(index, /*id=*/"", /*session=*/"", RequestStatus::kRejected,
+                 reason);
+      return;
+    }
+    ServeOp op;
+    try {
+      op = parse_serve_op(line, index);
+    } catch (const std::exception& e) {
+      emit_error(index, /*id=*/"", /*session=*/"", RequestStatus::kInvalid,
+                 e.what());
+      return;
+    }
+    try {
+      dispatch(op);
+    } catch (const std::exception& e) {
+      // Validation errors from the session/instance layer (bad demand,
+      // index out of range, ...). The session kept its previous state.
+      emit_error(op.index, op.id, op.session, RequestStatus::kInvalid,
+                 e.what());
+    }
+  }
+
+  void dispatch(const ServeOp& op) {
+    const obs::ScopedSpan span("serve.request");
+    if (op.op == "register") {
+      do_register(op);
+      return;
+    }
+    if (op.op == "close") {
+      const bool existed = store_.close(op.session);
+      g_sessions_.set(static_cast<double>(store_.size()));
+      if (!existed) {
+        emit_error(op.index, op.id, op.session, RequestStatus::kInvalid,
+                   "unknown session '" + op.session + "'");
+        return;
+      }
+      ++report_.ok;
+      c_ok_.inc();
+      std::ostringstream os;
+      os << "{\"index\":" << op.index;
+      if (!op.id.empty()) {
+        os << ",\"id\":\"" << obs::json_escape(op.id) << "\"";
+      }
+      os << ",\"op\":\"close\",\"session\":\""
+         << obs::json_escape(op.session) << "\",\"status\":\"ok\"}";
+      out_ << os.str() << "\n";
+      out_.flush();
+      return;
+    }
+    do_delta(op);
+  }
+
+  void do_register(const ServeOp& op) {
+    const bench_util::Timer timer;
+    if (store_.size() >= config_.max_sessions) {
+      emit_error(op.index, op.id, /*session=*/"", RequestStatus::kInvalid,
+                 "session limit reached (" +
+                     std::to_string(config_.max_sessions) + ")");
+      return;
+    }
+    model::Instance inst;
+    try {
+      inst = op.instance_file.empty()
+                 ? model::instance_from_string(op.instance_text)
+                 : model::read_instance_file(op.instance_file);
+    } catch (const std::exception& e) {
+      emit_error(op.index, op.id, /*session=*/"", RequestStatus::kInvalid,
+                 e.what());
+      return;
+    }
+
+    const std::string id = store_.create(std::move(inst), op.solver);
+    Session* session = store_.find(id);
+    g_sessions_.set(static_cast<double>(store_.size()));
+    ++report_.registers;
+
+    const ResolveStats stats = session->solve_initial(arm(op.time_limit));
+    disarm();
+    const double elapsed_ms = timer.elapsed_ms();
+    h_register_ms_.observe(elapsed_ms);
+    emit_solved(op, id, *session, stats, elapsed_ms);
+  }
+
+  void do_delta(const ServeOp& op) {
+    Session* session = store_.find(op.session);
+    if (session == nullptr) {
+      emit_error(op.index, op.id, op.session, RequestStatus::kInvalid,
+                 "unknown session '" + op.session + "'");
+      return;
+    }
+    const bench_util::Timer timer;
+    const core::SolveOptions opts = arm(op.time_limit);
+    ResolveStats stats;
+    try {
+      if (op.op == "customer_add") {
+        stats = session->customer_add(op.customer_rec, opts);
+      } else if (op.op == "customer_remove") {
+        stats = session->customer_remove(op.customer, opts);
+      } else if (op.op == "demand_set") {
+        stats = session->demand_set(op.customer, op.demand, opts);
+      } else {  // antenna_add (parse_serve_op admits nothing else)
+        stats = session->antenna_add(op.antenna, opts);
+      }
+    } catch (...) {
+      disarm();
+      throw;
+    }
+    disarm();
+    const double elapsed_ms = timer.elapsed_ms();
+    ++report_.deltas;
+    h_delta_ms_.observe(elapsed_ms);
+    h_dirty_.observe(1000.0 * stats.dirty_ratio);
+    report_.memo_hits += stats.memo_hits;
+    report_.fresh_evals += stats.fresh_evals;
+    c_memo_hits_.add(stats.memo_hits);
+    c_memo_misses_.add(stats.fresh_evals);
+    emit_solved(op, op.session, *session, stats, elapsed_ms);
+  }
+
+  /// Per-op deadline, clamped under the remaining global budget and
+  /// registered so the drain monitor can cancel it mid-solve.
+  core::SolveOptions arm(double time_limit) {
+    const core::Deadline deadline =
+        core::Deadline::after_at_most(time_limit, global_);
+    const std::lock_guard<std::mutex> lock(mu_);
+    inflight_ = deadline;
+    if (draining_) deadline.cancel();
+    return core::SolveOptions{deadline};
+  }
+
+  void disarm() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inflight_ = core::Deadline{};
+  }
+
+  // -------------------------------------------------------------- responses
+
+  void emit_solved(const ServeOp& op, const std::string& session_id,
+                   const Session& session, const ResolveStats& stats,
+                   double elapsed_ms) {
+    const model::Solution& sol = session.solution();
+    const RequestStatus status =
+        sol.status == model::SolveStatus::kComplete
+            ? RequestStatus::kOk
+            : RequestStatus::kBudgetExhausted;
+    if (status == RequestStatus::kOk) {
+      ++report_.ok;
+      c_ok_.inc();
+    } else {
+      ++report_.budget_exhausted;
+      c_budget_.inc();
+    }
+    slo_.record(elapsed_ms, /*deadline_ok=*/status == RequestStatus::kOk,
+                obs::SloKind::kSolve);
+
+    std::ostringstream os;
+    os << "{\"index\":" << op.index;
+    if (!op.id.empty()) os << ",\"id\":\"" << obs::json_escape(op.id) << "\"";
+    os << ",\"op\":\"" << obs::json_escape(op.op) << "\""
+       << ",\"session\":\"" << obs::json_escape(session_id) << "\""
+       << ",\"status\":\"" << to_string(status) << "\""
+       << ",\"solver\":\"" << obs::json_escape(session.solver().family)
+       << "\""
+       << ",\"incremental\":" << (stats.incremental ? "true" : "false")
+       << ",\"memo_hits\":" << stats.memo_hits
+       << ",\"fresh_evals\":" << stats.fresh_evals
+       << ",\"dirty_permille\":"
+       << obs::json_number(1000.0 * stats.dirty_ratio)
+       << ",\"served_value\":"
+       << obs::json_number(served_value(session.instance(), sol))
+       << ",\"solve_ms\":" << obs::json_number(elapsed_ms)
+       << ",\"solution\":\"" << obs::json_escape(model::to_string(sol))
+       << "\"}";
+    out_ << os.str() << "\n";
+    out_.flush();
+  }
+
+  void emit_error(std::size_t index, const std::string& id,
+                  const std::string& session, RequestStatus status,
+                  const std::string& error) {
+    if (status == RequestStatus::kRejected) {
+      ++report_.rejected;
+      c_rejected_.inc();
+      // A rejected op is a deadline miss from the client's point of view;
+      // invalid ops are client errors and are deliberately not recorded
+      // (same accounting as the batch engine, docs/observability.md).
+      slo_.record(0.0, /*deadline_ok=*/false, obs::SloKind::kRejected);
+    } else {
+      ++report_.invalid;
+      c_invalid_.inc();
+    }
+    std::ostringstream os;
+    os << "{\"index\":" << index;
+    if (!id.empty()) os << ",\"id\":\"" << obs::json_escape(id) << "\"";
+    if (!session.empty()) {
+      os << ",\"session\":\"" << obs::json_escape(session) << "\"";
+    }
+    os << ",\"status\":\"" << to_string(status) << "\""
+       << ",\"error\":\"" << obs::json_escape(error) << "\"}";
+    out_ << os.str() << "\n";
+    out_.flush();
+  }
+
+  std::ostream& out_;
+  const ServeConfig& config_;
+  core::Deadline global_;
+  SessionStore store_;
+  obs::SloTracker slo_;
+  ServeReport report_;
+
+  std::mutex mu_;
+  bool stop_ = false;              // guarded by mu_
+  bool draining_ = false;          // guarded by mu_
+  std::string drain_reason_;       // guarded by mu_
+  core::Deadline inflight_;        // guarded by mu_ (cancel is thread-safe)
+
+  obs::Counter c_ok_;
+  obs::Counter c_budget_;
+  obs::Counter c_invalid_;
+  obs::Counter c_rejected_;
+  obs::Counter c_memo_hits_;
+  obs::Counter c_memo_misses_;
+  obs::Gauge g_sessions_;
+  obs::HdrHistogram h_register_ms_;
+  obs::HdrHistogram h_delta_ms_;
+  obs::HdrHistogram h_dirty_;
+};
+
+}  // namespace
+
+ServeReport run_serve(std::istream& in, std::ostream& out,
+                      const ServeConfig& config) {
+  ServeLoop loop(out, config);
+  return loop.run(in);
+}
+
+}  // namespace sectorpack::srv

@@ -1,0 +1,379 @@
+#include "src/srv/session.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/deadline.hpp"
+#include "src/single/single.hpp"
+#include "src/srv/engine.hpp"
+#include "src/verify/verify.hpp"
+
+namespace sectorpack::srv {
+
+namespace {
+
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+Session::Session(model::Instance inst, SolverKey key)
+    : inst_(std::move(inst)),
+      key_(std::move(key)),
+      solution_(model::Solution::empty_for(inst_)) {
+  const std::size_t n = inst_.num_customers();
+  const std::size_t k = inst_.num_antennas();
+  sid_.resize(n);
+  term_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sid_[i] = i;
+    term_[i] = term_at(i);
+  }
+  next_sid_ = n;
+  band_fp_.assign(k, 0);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (inst_.in_range(i, j)) band_fp_[j] += term_[i];
+    }
+  }
+  ensure_antenna_slots();
+}
+
+std::uint64_t Session::term_at(std::size_t i) const {
+  // Chained splitmix64 over the sid and the exact bit patterns of the four
+  // numbers evaluation sees. None of them can be -0.0 here (theta is
+  // normalized into [0, 2*pi), radius >= 0 by construction, demand > 0 and
+  // value > 0 by validation), so no sign-collapsing is needed.
+  std::uint64_t h =
+      knapsack::fingerprint_mix(static_cast<std::uint64_t>(sid_[i]));
+  h = knapsack::fingerprint_mix(h ^
+                                std::bit_cast<std::uint64_t>(inst_.theta(i)));
+  h = knapsack::fingerprint_mix(h ^
+                                std::bit_cast<std::uint64_t>(inst_.radius(i)));
+  h = knapsack::fingerprint_mix(h ^
+                                std::bit_cast<std::uint64_t>(inst_.demand(i)));
+  h = knapsack::fingerprint_mix(h ^
+                                std::bit_cast<std::uint64_t>(inst_.value(i)));
+  return h;
+}
+
+std::size_t Session::index_of_sid(std::size_t sid) const {
+  const auto it = std::lower_bound(sid_.begin(), sid_.end(), sid);
+  if (it == sid_.end() || *it != sid) return kNoIndex;
+  return static_cast<std::size_t>(it - sid_.begin());
+}
+
+void Session::ensure_antenna_slots() {
+  const std::size_t k = inst_.num_antennas();
+  while (caches_.size() < k) caches_.emplace_back();
+  if (memo_.size() < k) memo_.resize(k);
+}
+
+ResolveStats Session::solve_initial(const core::SolveOptions& opts) {
+  return resolve(opts);
+}
+
+ResolveStats Session::customer_add(const model::Customer& c,
+                                   const core::SolveOptions& opts) {
+  const std::size_t i = inst_.add_customer(c);  // throws before mutating
+  sid_.push_back(next_sid_++);
+  term_.push_back(term_at(i));
+  const std::size_t k = inst_.num_antennas();
+  for (std::size_t j = 0; j < k; ++j) {
+    if (inst_.in_range(i, j)) band_fp_[j] += term_[i];
+  }
+  ++deltas_;
+  return resolve(opts);
+}
+
+ResolveStats Session::customer_remove(std::size_t customer,
+                                      const core::SolveOptions& opts) {
+  if (customer >= inst_.num_customers()) {
+    throw std::out_of_range("customer_remove: index out of range");
+  }
+  // Radial membership must be read before the records shift.
+  const std::uint64_t term = term_[customer];
+  const std::size_t k = inst_.num_antennas();
+  std::vector<bool> in_band(k, false);
+  for (std::size_t j = 0; j < k; ++j) {
+    in_band[j] = inst_.in_range(customer, j);
+  }
+  inst_.remove_customer(customer);
+  sid_.erase(sid_.begin() + static_cast<std::ptrdiff_t>(customer));
+  term_.erase(term_.begin() + static_cast<std::ptrdiff_t>(customer));
+  for (std::size_t j = 0; j < k; ++j) {
+    if (in_band[j]) band_fp_[j] -= term;
+  }
+  ++deltas_;
+  return resolve(opts);
+}
+
+ResolveStats Session::demand_set(std::size_t customer, double demand,
+                                 const core::SolveOptions& opts) {
+  if (customer >= inst_.num_customers()) {
+    throw std::out_of_range("demand_set: index out of range");
+  }
+  const std::uint64_t old_term = term_[customer];
+  inst_.set_demand(customer, demand);  // throws before mutating
+  const std::uint64_t new_term = term_at(customer);
+  term_[customer] = new_term;
+  const std::size_t k = inst_.num_antennas();
+  for (std::size_t j = 0; j < k; ++j) {
+    // Radial membership is position-only, so it is unchanged; the band
+    // fingerprint swaps the one term.
+    if (inst_.in_range(customer, j)) {
+      band_fp_[j] += new_term;
+      band_fp_[j] -= old_term;
+    }
+  }
+  // The sid did not change, so every OracleCache entry whose window
+  // contains this customer still matches its member-set key while its
+  // stored packing reflects the OLD demand -- those hits would be wrong.
+  // The oracle caches key by sid alone and must go; the pick memos key by
+  // the per-customer terms (which embed the demand) and stay sound.
+  caches_.clear();
+  ensure_antenna_slots();
+  ++deltas_;
+  return resolve(opts);
+}
+
+ResolveStats Session::antenna_add(const model::AntennaSpec& spec,
+                                  const core::SolveOptions& opts) {
+  const std::size_t j = inst_.add_antenna(spec);  // throws before mutating
+  std::uint64_t fp = 0;
+  const std::size_t n = inst_.num_customers();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (inst_.in_range(i, j)) fp += term_[i];
+  }
+  band_fp_.push_back(fp);
+  // Existing caches/memos stay: each slot is a pure function of its own
+  // antenna's unchanged spec. (If the fleet was identical and the new
+  // antenna breaks that, slot 0's entries still describe antenna 0's spec,
+  // which is the only antenna the non-identical replay reads slot 0 for.)
+  ensure_antenna_slots();
+  ++deltas_;
+  return resolve(opts);
+}
+
+ResolveStats Session::resolve(const core::SolveOptions& opts) {
+  if (key_.family == "greedy") return replay_greedy(opts);
+  // Non-greedy families (local search, annealing, ...) mutate orientations
+  // non-monotonically; there is no round structure to memoize. Fall back to
+  // the shared dispatch -- trivially byte-identical to a fresh solve.
+  ResolveStats stats;
+  solution_ = run_solver(inst_, key_, opts);
+  return stats;
+}
+
+ResolveStats Session::replay_greedy(const core::SolveOptions& opts) {
+  ResolveStats stats;
+  stats.incremental = true;
+  const std::size_t n = inst_.num_customers();
+  const std::size_t k = inst_.num_antennas();
+
+  model::Solution sol = model::Solution::empty_for(inst_);
+  std::vector<bool> served(n, false);
+  std::vector<bool> used(k, false);
+  const bool identical = inst_.antennas_identical();
+
+  // Unserved-in-band fingerprint per antenna, rolled forward as rounds
+  // commit; this is the memo key for an (antenna, round) evaluation.
+  std::vector<std::uint64_t> unserved_fp = band_fp_;
+
+  struct Pick {
+    double value = 0.0;
+    std::size_t j = 0;
+    single::WindowChoice choice;
+  };
+
+  // Memo hit: replay the stored verdict, mapping sids back to current
+  // instance indices. A sid that no longer resolves, or resolves to a
+  // served customer, means the 64-bit key collided with a different member
+  // set -- drop the entry and report a miss so the sweep recomputes.
+  const auto try_memo = [&](std::size_t slot, std::uint64_t key,
+                            std::size_t j, Pick* out) {
+    auto& memo = memo_[slot];
+    const auto it = memo.find(key);
+    if (it == memo.end()) return false;
+    const MemoPick& m = it->second;
+    Pick pick;
+    pick.j = j;
+    pick.value = m.value;
+    pick.choice.alpha = m.alpha;
+    pick.choice.value = m.value;
+    pick.choice.chosen.reserve(m.chosen_sids.size());
+    for (const std::size_t sid : m.chosen_sids) {
+      const std::size_t i = index_of_sid(sid);
+      if (i == kNoIndex || served[i]) {
+        memo.erase(it);
+        return false;
+      }
+      pick.choice.chosen.push_back(i);
+    }
+    *out = std::move(pick);
+    return true;
+  };
+
+  // Fresh evaluation, mirroring sectors::solve_greedy's `evaluate` exactly
+  // (same filtered lists, same window sweep, serial) except that the stable
+  // ids handed to the sweep are session sids rather than instance indices
+  // -- ids only key the OracleCache and the id<->local remapping, never the
+  // output bytes, and sids survive index shifts across deltas.
+  const auto evaluate = [&](std::size_t j, std::size_t slot,
+                            std::uint64_t key) {
+    Pick pick;
+    pick.j = j;
+    std::vector<std::size_t> in_band;
+    inst_.in_range_customers(j, in_band);
+    std::vector<double> thetas;
+    std::vector<double> values;
+    std::vector<double> demands;
+    std::vector<std::size_t> index;
+    std::vector<std::size_t> ids;
+    for (const std::size_t i : in_band) {
+      if (!served[i]) {
+        thetas.push_back(inst_.theta(i));
+        values.push_back(inst_.value(i));
+        demands.push_back(inst_.demand(i));
+        index.push_back(i);
+        ids.push_back(sid_[i]);
+      }
+    }
+    pick.choice = single::best_window_weighted(
+        thetas, values, demands, inst_.antenna(j).rho,
+        inst_.antenna(j).capacity, oracle_, /*parallel=*/false, nullptr,
+        &caches_[slot], ids, opts.deadline);
+    pick.value = pick.choice.value;
+    // Never memoize a deadline-truncated sweep: its verdict depends on
+    // where the clock ran out, not on the member set alone.
+    if (pick.choice.complete && memo_[slot].size() < kMemoMaxEntries) {
+      MemoPick m;
+      m.value = pick.choice.value;
+      m.alpha = pick.choice.alpha;
+      m.chosen_sids.reserve(pick.choice.chosen.size());
+      for (const std::size_t c : pick.choice.chosen) {
+        m.chosen_sids.push_back(ids[c]);
+      }
+      memo_[slot].emplace(key, std::move(m));
+    }
+    for (std::size_t& c : pick.choice.chosen) c = index[c];
+    return pick;
+  };
+
+  const auto round_eval = [&](std::size_t j, Pick* out) {
+    const std::size_t slot = identical ? 0 : j;
+    const std::uint64_t key = unserved_fp[j];
+    ++stats.evals;
+    if (try_memo(slot, key, j, out)) {
+      ++stats.memo_hits;
+      return;
+    }
+    ++stats.fresh_evals;
+    *out = evaluate(j, slot, key);
+  };
+
+  // Round loop: byte-for-byte the control flow of sectors::solve_greedy
+  // (serial branch; the replay never window-parallelizes, matching
+  // GreedyConfig's defaults as dispatched by run_solver).
+  const core::Deadline& deadline = opts.deadline;
+  for (std::size_t round = 0; round < k; ++round) {
+    Pick best;
+    bool have_best = false;
+
+    if (identical) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (used[j]) continue;
+        round_eval(j, &best);
+        have_best = best.value > 0.0;
+        break;
+      }
+    } else {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (used[j]) continue;
+        Pick pick;
+        round_eval(j, &pick);
+        if (pick.value > best.value) {
+          best = std::move(pick);
+          have_best = true;
+        }
+      }
+    }
+
+    if (have_best) {
+      used[best.j] = true;
+      sol.alpha[best.j] = best.choice.alpha;
+      for (const std::size_t i : best.choice.chosen) {
+        served[i] = true;
+        sol.assign[i] = static_cast<std::int32_t>(best.j);
+      }
+      // Roll the committed customers out of every antenna's unserved-band
+      // fingerprint (they can no longer appear in a later round's window).
+      for (std::size_t j = 0; j < k; ++j) {
+        for (const std::size_t i : best.choice.chosen) {
+          if (inst_.in_range(i, j)) unserved_fp[j] -= term_[i];
+        }
+      }
+    }
+    if (deadline.expired()) {
+      sol.status = model::SolveStatus::kBudgetExhausted;
+      core::note_expired("srv.session");
+      break;
+    }
+    if (!have_best) break;
+  }
+
+  // Runtime backstop against 64-bit fingerprint collisions: an aliased memo
+  // or cache hit that slipped past try_memo's liveness check would produce
+  // an infeasible assignment (double-serve, capacity breach). Verify is
+  // O(n + k) -- noise next to a solve -- so every replay pays it; on
+  // failure the session drops all derived state and answers from scratch.
+  const verify::VerifyReport report = verify::verify_solution(inst_, sol);
+  if (!report.ok) {
+    caches_.clear();
+    memo_.clear();
+    ensure_antenna_slots();
+    solution_ = run_solver(inst_, key_, opts);
+    ResolveStats fallback;
+    return fallback;
+  }
+
+  solution_ = std::move(sol);
+  stats.dirty_ratio =
+      stats.evals > 0 ? static_cast<double>(stats.fresh_evals) /
+                            static_cast<double>(stats.evals)
+                      : 0.0;
+  return stats;
+}
+
+std::string SessionStore::create(model::Instance inst, SolverKey key) {
+  std::string id = "s" + std::to_string(next_id_++);
+  sessions_.emplace(id,
+                    std::make_unique<Session>(std::move(inst), std::move(key)));
+  return id;
+}
+
+Session* SessionStore::find(const std::string& id) {
+  const auto it = sessions_.find(id);
+  return it != sessions_.end() ? it->second.get() : nullptr;
+}
+
+bool SessionStore::close(const std::string& id) {
+  return sessions_.erase(id) > 0;
+}
+
+std::vector<std::string> SessionStore::ids() const {
+  // std::map orders lexicographically ("s10" < "s2"); creation order is by
+  // numeric suffix, so sort on that.
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, _] : sessions_) out.push_back(id);
+  std::sort(out.begin(), out.end(), [](const std::string& a,
+                                       const std::string& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace sectorpack::srv

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <limits>
+#include <thread>
 
 #include "src/bench_util/timer.hpp"
 #include "src/bounds/dinic.hpp"
@@ -176,6 +177,69 @@ TEST(Deadline, AfterAtMostClampsUnderTheCap) {
       core::Deadline::after_at_most(1.0, core::Deadline::after(3600.0))
           .remaining_seconds(),
       1.0);
+}
+
+TEST(Deadline, HugeFiniteBudgetIsClampedNotOverflowed) {
+  // 1e308 seconds of budget used to overflow the nanosecond duration cast
+  // and come back already-expired; it must behave as (clamped) unlimited.
+  const core::Deadline huge = core::Deadline::after(1e308);
+  EXPECT_TRUE(huge.limited());
+  EXPECT_FALSE(huge.expired());
+  EXPECT_GT(huge.remaining_seconds(), 0.0);
+  EXPECT_LE(huge.remaining_seconds(), core::Deadline::kMaxBudgetSeconds);
+  huge.cancel();
+  EXPECT_TRUE(huge.expired());
+
+  // Just over the clamp threshold: same story, no wraparound.
+  const core::Deadline over =
+      core::Deadline::after(core::Deadline::kMaxBudgetSeconds * 2.0);
+  EXPECT_FALSE(over.expired());
+
+  // Infinity still means "cancellable, no wall clock" (no expiry at all).
+  const core::Deadline inf =
+      core::Deadline::after(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(inf.expired());
+  EXPECT_TRUE(std::isinf(inf.remaining_seconds()));
+}
+
+TEST(Deadline, AfterAtMostSessionRearming) {
+  // The serve loop arms one after_at_most per delta under a session-lifetime
+  // cap. Degenerate combinations a long-lived session actually produces:
+
+  // Both unlimited: every per-op deadline is cancellable but never lapses,
+  // and arming many of them is independent (no shared flag).
+  const core::Deadline no_cap = core::Deadline::never();
+  const core::Deadline op1 = core::Deadline::after_at_most(-1.0, no_cap);
+  const core::Deadline op2 = core::Deadline::after_at_most(-1.0, no_cap);
+  op1.cancel();
+  EXPECT_TRUE(op1.expired());
+  EXPECT_FALSE(op2.expired());
+
+  // Zero-second op budget under a healthy cap: that op is born expired,
+  // the next op armed under the same cap is not (the cap is unharmed).
+  const core::Deadline cap = core::Deadline::after(3600.0);
+  EXPECT_TRUE(core::Deadline::after_at_most(0.0, cap).expired());
+  EXPECT_FALSE(core::Deadline::after_at_most(-1.0, cap).expired());
+
+  // Re-arming under a shrinking cap: each op's budget is clamped to the
+  // cap's *remaining* time at arm time, so successive ops never outlive it.
+  const core::Deadline short_cap = core::Deadline::after(0.05);
+  const core::Deadline early = core::Deadline::after_at_most(3600.0, short_cap);
+  EXPECT_LE(early.remaining_seconds(), 0.05 + 1e-3);
+  while (!short_cap.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Cap lapsed: a newly armed op with any own budget is already expired.
+  EXPECT_TRUE(core::Deadline::after_at_most(3600.0, short_cap).expired());
+  EXPECT_TRUE(core::Deadline::after_at_most(-1.0, short_cap).expired());
+  // And the earlier op (snapshotted from the same cap) has lapsed with it.
+  EXPECT_TRUE(early.expired());
+
+  // A cancelled cap rejects new arms immediately even with wall time left.
+  const core::Deadline cancelled_cap = core::Deadline::after(3600.0);
+  cancelled_cap.cancel();
+  EXPECT_TRUE(
+      core::Deadline::after_at_most(-1.0, cancelled_cap).expired());
 }
 
 // ---------------------------------------------------------------------------

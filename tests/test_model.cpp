@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "src/model/instance.hpp"
 #include "src/model/solution.hpp"
 #include "src/model/validate.hpp"
@@ -191,4 +194,110 @@ TEST(Validate, BoundaryCustomerAccepted) {
   sol.alpha[0] = 0.0;  // sector [0, 0.5]; customer at theta = 0.5
   sol.assign[0] = 0;
   EXPECT_TRUE(model::is_feasible(inst, sol));
+}
+
+// ------------------------------------------------------------- mutators
+
+TEST(InstanceMutators, MatchFreshConstructionBitwise) {
+  model::Instance inst = model::InstanceBuilder{}
+                             .add_customer_polar(0.1, 5.0, 3.0)
+                             .add_customer_polar(0.2, 8.0, 4.0)
+                             .add_customer_polar(2.5, 6.0, 2.0)
+                             .add_antenna(1.0, 10.0, 6.0)
+                             .build();
+
+  const std::size_t added = inst.add_customer({geom::from_polar(1.3, 7.0), 5.0});
+  EXPECT_EQ(added, 3u);
+  inst.set_demand(1, 2.5);
+  inst.remove_customer(0);
+  const std::size_t aj = inst.add_antenna({0.5, 8.0, 4.0, 1.0});
+  EXPECT_EQ(aj, 1u);
+
+  // Rebuild from the surviving records: every derived array and aggregate
+  // must be bit-identical (the serve byte-identity contract rests on the
+  // mutators replaying the constructor's summation order exactly).
+  const model::Instance fresh(
+      {inst.customers().begin(), inst.customers().end()},
+      {inst.antennas().begin(), inst.antennas().end()});
+  ASSERT_EQ(fresh.num_customers(), inst.num_customers());
+  ASSERT_EQ(fresh.num_antennas(), inst.num_antennas());
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    EXPECT_EQ(fresh.theta(i), inst.theta(i));
+    EXPECT_EQ(fresh.radius(i), inst.radius(i));
+    EXPECT_EQ(fresh.demand(i), inst.demand(i));
+    EXPECT_EQ(fresh.value(i), inst.value(i));
+  }
+  EXPECT_EQ(fresh.total_demand(), inst.total_demand());
+  EXPECT_EQ(fresh.total_value(), inst.total_value());
+  EXPECT_EQ(fresh.total_capacity(), inst.total_capacity());
+  EXPECT_EQ(fresh.is_value_weighted(), inst.is_value_weighted());
+  EXPECT_EQ(fresh.antennas_identical(), inst.antennas_identical());
+}
+
+TEST(InstanceMutators, StrongGuaranteeOnInvalidInput) {
+  model::Instance inst = model::InstanceBuilder{}
+                             .add_customer_polar(0.1, 5.0, 3.0)
+                             .add_antenna(1.0, 10.0, 6.0)
+                             .build();
+  const double demand_before = inst.total_demand();
+
+  EXPECT_THROW(inst.add_customer({{1.0, 0.0}, -1.0}), std::invalid_argument);
+  EXPECT_THROW(inst.set_demand(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(inst.set_demand(5, 1.0), std::out_of_range);
+  EXPECT_THROW(inst.remove_customer(5), std::out_of_range);
+  EXPECT_THROW(inst.add_antenna({0.0, 10.0, 5.0}), std::invalid_argument);
+
+  EXPECT_EQ(inst.num_customers(), 1u);
+  EXPECT_EQ(inst.num_antennas(), 1u);
+  EXPECT_EQ(inst.total_demand(), demand_before);
+}
+
+TEST(InstanceMutators, SetDemandFollowsValueResolution) {
+  // A kValueIsDemand customer's value follows the new demand; an explicit
+  // value stays, exactly as a fresh construction would resolve them.
+  model::Instance inst = model::InstanceBuilder{}
+                             .add_customer_polar(0.1, 5.0, 3.0)
+                             .add_weighted_customer_polar(0.2, 6.0, 4.0, 9.0)
+                             .add_antenna(1.0, 10.0, 6.0)
+                             .build();
+  EXPECT_TRUE(inst.is_value_weighted());
+  inst.set_demand(0, 7.0);
+  EXPECT_EQ(inst.value(0), 7.0);
+  inst.set_demand(1, 9.0);  // demand now equals the explicit value...
+  EXPECT_EQ(inst.value(1), 9.0);
+  EXPECT_EQ(inst.demand(1), 9.0);
+}
+
+TEST(InstanceMutators, MutationAfterGridBuildStaysCoherent) {
+  // Build the spatial index, then mutate: the grid must be dropped and the
+  // in-band query must answer for the *current* customers, byte-identical
+  // to a flat scan (the indexed and flat paths share one predicate).
+  model::InstanceBuilder builder;
+  for (int i = 0; i < 64; ++i) {
+    builder.add_customer_polar(0.1 * i, 1.0 + 0.2 * (i % 40), 1.0);
+  }
+  builder.add_antenna(1.0, 5.0, 10.0);
+  model::Instance inst = builder.build();
+
+  (void)inst.polar_grid();  // force the O(n log n) build
+  const std::size_t idx = inst.add_customer({geom::from_polar(0.5, 2.0), 1.0});
+  inst.remove_customer(3);
+  inst.set_demand(0, 2.0);
+  EXPECT_EQ(idx, 64u);
+
+  std::vector<std::size_t> in_band;
+  inst.in_range_customers(0, in_band);
+  std::vector<std::size_t> flat;
+  for (std::size_t i = 0; i < inst.num_customers(); ++i) {
+    if (inst.in_range(i, 0)) flat.push_back(i);
+  }
+  EXPECT_EQ(in_band, flat);
+
+  // Rebuilding the grid after the mutation must cover the new layout too:
+  // force a build and re-ask through the grid-backed path.
+  const sectorpack::geom::PolarGrid& grid = inst.polar_grid();
+  EXPECT_EQ(grid.num_points(), inst.num_customers());
+  std::vector<std::size_t> again;
+  inst.in_range_customers(0, again);
+  EXPECT_EQ(again, flat);
 }

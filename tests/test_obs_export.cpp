@@ -194,62 +194,94 @@ TEST_F(ObsExportTest, SloTrackerEmptySummary) {
 
 TEST_F(ObsExportTest, SloTrackerExactPercentilesAndRates) {
   obs::SloTracker slo(100);
-  // Latencies 1..100 ms; the odd requests hit their deadline, every fourth
-  // is a cache hit.
+  // Latencies 1..100 ms, all solves; the odd requests hit their deadline.
   for (int i = 1; i <= 100; ++i) {
     slo.record(static_cast<double>(i), /*deadline_ok=*/i % 2 == 1,
-               /*cache_hit=*/i % 4 == 0);
+               obs::SloKind::kSolve);
   }
   const obs::SloTracker::Summary s = slo.summary();
   EXPECT_EQ(s.in_window, 100u);
   EXPECT_EQ(s.total, 100u);
+  EXPECT_EQ(s.solves, 100u);
   // Nearest-rank over 1..100: pXX is exactly XX.
   EXPECT_DOUBLE_EQ(s.p50_ms, 50.0);
   EXPECT_DOUBLE_EQ(s.p95_ms, 95.0);
   EXPECT_DOUBLE_EQ(s.p99_ms, 99.0);
   EXPECT_DOUBLE_EQ(s.deadline_hit_rate, 0.5);
-  EXPECT_DOUBLE_EQ(s.cache_hit_rate, 0.25);
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate, 0.0);
   const std::string str = s.to_string();
   EXPECT_NE(str.find("p99_ms=99"), std::string::npos);
   EXPECT_NE(str.find("deadline_hit_rate=0.5"), std::string::npos);
+  EXPECT_NE(str.find("solves=100"), std::string::npos);
+}
+
+TEST_F(ObsExportTest, SloTrackerKindsKeepSolvePercentilesUndiluted) {
+  obs::SloTracker slo(100);
+  // Ten slow solves at 100ms, forty near-zero cache hits, ten rejected
+  // requests. The old accounting let the hits drag p50 to ~0 and hid the
+  // rejections entirely; the kinds keep the percentiles on solves only and
+  // fold rejections into the deadline hit-rate.
+  for (int i = 0; i < 10; ++i) {
+    slo.record(100.0, /*deadline_ok=*/true, obs::SloKind::kSolve);
+  }
+  for (int i = 0; i < 40; ++i) {
+    slo.record(0.01, /*deadline_ok=*/true, obs::SloKind::kCacheHit);
+  }
+  for (int i = 0; i < 10; ++i) {
+    slo.record(0.0, /*deadline_ok=*/false, obs::SloKind::kRejected);
+  }
+  const obs::SloTracker::Summary s = slo.summary();
+  EXPECT_EQ(s.in_window, 60u);
+  EXPECT_EQ(s.solves, 10u);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 100.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 100.0);
+  // 50 of 60 window samples met their deadline (10 rejections missed).
+  EXPECT_NEAR(s.deadline_hit_rate, 50.0 / 60.0, 1e-12);
+  // Hits over answered requests only: 40 / (40 + 10).
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate, 0.8);
 }
 
 TEST_F(ObsExportTest, SloTrackerWindowEvictsOldSamples) {
   obs::SloTracker slo(4);
   for (int i = 0; i < 100; ++i) {
-    slo.record(1000.0, /*deadline_ok=*/false, /*cache_hit=*/false);
+    slo.record(1000.0, /*deadline_ok=*/false, obs::SloKind::kSolve);
   }
   // The last 4 samples overwrite the slow history entirely.
   for (int i = 0; i < 4; ++i) {
-    slo.record(1.0, /*deadline_ok=*/true, /*cache_hit=*/true);
+    slo.record(1.0, /*deadline_ok=*/true, obs::SloKind::kSolve);
   }
   const obs::SloTracker::Summary s = slo.summary();
   EXPECT_EQ(s.window, 4u);
   EXPECT_EQ(s.in_window, 4u);
   EXPECT_EQ(s.total, 104u);
+  EXPECT_EQ(s.solves, 4u);
   EXPECT_DOUBLE_EQ(s.p99_ms, 1.0);
   EXPECT_DOUBLE_EQ(s.deadline_hit_rate, 1.0);
-  EXPECT_DOUBLE_EQ(s.cache_hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate, 0.0);
 }
 
 TEST_F(ObsExportTest, SloTrackerPublishSetsGauges) {
   obs::Registry reg;
   obs::SloTracker slo(8);
-  slo.record(10.0, /*deadline_ok=*/true, /*cache_hit=*/false);
-  slo.record(20.0, /*deadline_ok=*/false, /*cache_hit=*/true);
+  slo.record(10.0, /*deadline_ok=*/true, obs::SloKind::kSolve);
+  slo.record(20.0, /*deadline_ok=*/false, obs::SloKind::kCacheHit);
   slo.publish(&reg);
   const obs::Snapshot snap = reg.snapshot();
   double window = 0.0;
   double p99 = 0.0;
   double hit = -1.0;
+  double solves = -1.0;
   for (const auto& [name, value] : snap.gauges) {
     if (name == "slo.window") window = value;
     if (name == "slo.p99_ms") p99 = value;
     if (name == "slo.deadline_hit_rate") hit = value;
+    if (name == "slo.solve_samples") solves = value;
   }
   EXPECT_DOUBLE_EQ(window, 8.0);
-  EXPECT_DOUBLE_EQ(p99, 20.0);
+  // Percentiles cover the solve only; the cache hit is excluded.
+  EXPECT_DOUBLE_EQ(p99, 10.0);
   EXPECT_DOUBLE_EQ(hit, 0.5);
+  EXPECT_DOUBLE_EQ(solves, 1.0);
 }
 
 TEST_F(ObsExportTest, SloTrackerConcurrentRecords) {
@@ -259,7 +291,7 @@ TEST_F(ObsExportTest, SloTrackerConcurrentRecords) {
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&slo] {
       for (int i = 0; i < 500; ++i) {
-        slo.record(5.0, /*deadline_ok=*/true, /*cache_hit=*/false);
+        slo.record(5.0, /*deadline_ok=*/true, obs::SloKind::kSolve);
       }
     });
   }

@@ -120,6 +120,53 @@ TEST(SrvJsonl, RejectsMalformedInput) {
                std::runtime_error);  // lone high surrogate
 }
 
+TEST(SrvJsonl, RejectsEveryUnpairedSurrogateShape) {
+  const auto error_of = [](std::string_view line) {
+    try {
+      (void)srv::parse_flat_object(line);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  // Stray low surrogate with no preceding high half.
+  EXPECT_NE(error_of("{\"a\":\"\\udc00\"}").find("stray low surrogate"),
+            std::string::npos);
+  // High surrogate at end of string, before a literal character, and
+  // before a non-\u escape: all unpaired, all named as such (not a generic
+  // "expected ..." from the cursor).
+  EXPECT_NE(error_of("{\"a\":\"\\ud83d\"}").find("unpaired high surrogate"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"a\":\"\\ud83dx\"}").find("unpaired high surrogate"),
+            std::string::npos);
+  EXPECT_NE(
+      error_of("{\"a\":\"\\ud83d\\n\"}").find("unpaired high surrogate"),
+      std::string::npos);
+  // High surrogate followed by a \u escape outside DC00-DFFF.
+  EXPECT_NE(error_of("{\"a\":\"\\ud83d\\u0041\"}")
+                .find("not followed by a low surrogate"),
+            std::string::npos);
+  // Double high surrogate is the same rejection.
+  EXPECT_NE(error_of("{\"a\":\"\\ud83d\\ud83d\"}")
+                .find("not followed by a low surrogate"),
+            std::string::npos);
+  // A well-formed pair still decodes.
+  const srv::JsonObject ok =
+      srv::parse_flat_object("{\"a\":\"\\ud83d\\ude00\"}");
+  EXPECT_EQ(ok.at("a").string, "\xF0\x9F\x98\x80");
+}
+
+TEST(SrvJsonl, RejectsOutOfRangeNumbers) {
+  // Syntactically valid JSON numbers whose value overflows a double must
+  // be a clean parse error, not inf.
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":1e999}"), std::runtime_error);
+  EXPECT_THROW(srv::parse_flat_object("{\"a\":-1e999}"), std::runtime_error);
+  // Large-but-representable survives.
+  const srv::JsonObject ok = srv::parse_flat_object("{\"a\":1e308}");
+  EXPECT_DOUBLE_EQ(ok.at("a").number, 1e308);
+}
+
 // ---------------------------------------------------------------- requests
 
 TEST(SrvRequest, DefaultsAndFields) {
@@ -163,6 +210,19 @@ TEST(SrvRequest, RejectsBadRequests) {
   EXPECT_THROW(
       srv::parse_request("{\"instance\":\"x\",\"time_limit\":-2}", 0),
       std::runtime_error);
+  // Absurd budgets are a protocol error, not a deadline-overflow hazard:
+  // anything above 1e8 seconds (~3 years) is rejected at parse time.
+  EXPECT_THROW(
+      srv::parse_request("{\"instance\":\"x\",\"time_limit\":1e9}", 0),
+      std::runtime_error);
+  EXPECT_THROW(
+      srv::parse_request("{\"instance\":\"x\",\"time_limit\":1e308}", 0),
+      std::runtime_error);
+  // The boundary itself is accepted.
+  EXPECT_DOUBLE_EQ(
+      srv::parse_request("{\"instance\":\"x\",\"time_limit\":1e8}", 0)
+          .time_limit,
+      1e8);
 }
 
 // ------------------------------------------------------------- fingerprint

@@ -641,6 +641,58 @@ int cmd_batch(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  require_known(args, {"in", "out", "time-limit", "max-sessions", "stats",
+                       "trace-out", "metrics-out", "metrics-jsonl",
+                       "metrics-interval", "slo-window"});
+  srv::ServeConfig config;
+  if (args.has("time-limit")) {
+    const double seconds = args.get_double("time-limit", 0.0);
+    if (seconds < 0.0) {
+      throw UsageError("--time-limit must be >= 0 seconds");
+    }
+    config.time_limit = seconds;
+  }
+  config.max_sessions = args.get_size("max-sessions", config.max_sessions);
+  if (config.max_sessions == 0) {
+    throw UsageError("--max-sessions must be >= 1");
+  }
+  config.interrupt = &g_interrupt;
+  config.slo_window = args.get_size("slo-window", config.slo_window);
+  if (config.slo_window == 0) {
+    throw UsageError("--slo-window must be >= 1 requests");
+  }
+
+  const std::string in_path = args.get("in", "-");
+  const std::string out_path = args.get("out", "-");
+
+  std::ifstream fin;
+  std::istream* in = &std::cin;
+  if (in_path != "-") {
+    fin.open(in_path);
+    if (!fin) throw std::runtime_error("cannot open " + in_path);
+    in = &fin;
+  }
+  std::ofstream fout;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    fout.open(out_path);
+    if (!fout) throw std::runtime_error("cannot open " + out_path);
+    out = &fout;
+  }
+
+  using SignalHandler = void (*)(int);
+  const SignalHandler previous = std::signal(
+      SIGINT, [](int) { g_interrupt.store(true, std::memory_order_relaxed); });
+  const srv::ServeReport report = srv::run_serve(*in, *out, config);
+  if (previous != SIG_ERR) std::signal(SIGINT, previous);
+
+  out->flush();
+  if (!*out) throw std::runtime_error("error writing " + out_path);
+  std::cerr << "serve " << report.to_string() << "\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: sectorpack <command> [options]\n"
@@ -666,6 +718,16 @@ int usage() {
       "            drains gracefully; --metrics-out rewrites a Prometheus\n"
       "            exposition every interval, --access-log appends one\n"
       "            JSONL line per request; see docs/serving.md)\n"
+      "  serve     --in ops.jsonl --out responses.jsonl\n"
+      "            [--time-limit SEC] [--max-sessions M]\n"
+      "            [--slo-window W] [--stats json|text]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "            [--metrics-jsonl FILE] [--metrics-interval SEC]\n"
+      "            (session daemon: register an instance once, stream\n"
+      "            customer_add/customer_remove/demand_set/antenna_add\n"
+      "            deltas, get an incrementally re-solved answer per op --\n"
+      "            byte-identical to a from-scratch solve; SIGINT drains;\n"
+      "            see docs/serving.md \"Session protocol\")\n"
       "  validate  --in FILE --solution FILE\n"
       "  verify    --in FILE --solution FILE   (named-invariant check:\n"
       "            shape, alpha-normalized, assign-range,\n"
@@ -694,6 +756,7 @@ int main(int argc, char** argv) {
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "solve") return with_observability(args, cmd_solve);
     if (args.command == "batch") return with_observability(args, cmd_batch);
+    if (args.command == "serve") return with_observability(args, cmd_serve);
     if (args.command == "validate") return cmd_validate(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "bound") return with_observability(args, cmd_bound);
