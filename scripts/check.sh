@@ -6,8 +6,12 @@
 #              from a dedicated build-lint/ configure, via
 #              tools/lint/run_clang_tidy.py (GCC -Werror diagnostics
 #              fallback when clang-tidy is not installed), plus the
-#              sectorpack domain linter tools/lint/sp_lint.py. Fails on any
-#              new diagnostic or unwaived domain-rule violation.
+#              sectorpack domain linter tools/lint/sp_lint.py, plus the
+#              Clang Thread Safety Analysis gate over the SP_* capability
+#              annotations (tools/lint/run_thread_safety.py; prints
+#              "[gate] thread-safety: PASS|SKIP(clang missing)|FAIL",
+#              SP_REQUIRE_THREAD_SAFETY=1 turns SKIP into FAIL). Fails on
+#              any new diagnostic or unwaived domain-rule violation.
 #   format     clang-format --dry-run -Werror over src/ tools/ bench/
 #              tests/ against .clang-format. Skipped (with a notice) when
 #              clang-format is not installed, unless SP_REQUIRE_FORMAT=1.
@@ -53,7 +57,9 @@
 #   --lint       static analysis only
 #   --format     format check only
 #   --contracts  contracts-enabled test build only
-#   --tsan       ThreadSanitizer battery only (exclusive with ASan)
+#   --tsan       ThreadSanitizer battery (exclusive with ASan): test suite
+#                and CLI table, then the 50-delta serve byte-identity run
+#                and a short 80-request --batch --jobs 8 corpus, all TSan
 #   --fuzz       hostile-input battery only (ASan+UBSan)
 #   --batch      batch-engine corpus only (ASan+UBSan, then TSan)
 #   --serve      session-serving byte-identity gate only (ASan+UBSan)
@@ -89,6 +95,27 @@ run_lint() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   python3 tools/lint/run_clang_tidy.py --build-dir build-lint
   python3 tools/lint/sp_lint.py
+  # Clang Thread Safety Analysis over the SP_* capability annotations
+  # (src/core/sync.hpp). The pass exists only in clang; exit 3 means no
+  # clang++ on PATH, reported as SKIP unless SP_REQUIRE_THREAD_SAFETY=1
+  # promotes missing tooling to failure (same policy as SP_REQUIRE_FORMAT).
+  local ts_rc=0
+  python3 tools/lint/run_thread_safety.py --build-dir build-lint || ts_rc=$?
+  case "$ts_rc" in
+    0) echo "[gate] thread-safety: PASS" ;;
+    3)
+      if [[ "${SP_REQUIRE_THREAD_SAFETY:-0}" == "1" ]]; then
+        echo "[gate] thread-safety: FAIL (clang++ not installed but" \
+             "SP_REQUIRE_THREAD_SAFETY=1)" >&2
+        return 1
+      fi
+      echo "[gate] thread-safety: SKIP(clang missing)"
+      ;;
+    *)
+      echo "[gate] thread-safety: FAIL" >&2
+      return 1
+      ;;
+  esac
   echo "[gate] lint: PASS"
 }
 
@@ -242,15 +269,17 @@ run_sanitize() {
   fi
 }
 
-# Drive a 200-request mixed corpus (valid / malformed / deadline-expiring)
-# through `sectorpack batch` in the build at $1 with --jobs $2, then check
-# the per-request contract: one response per request in input order, exact
-# per-status counts, cache misses byte-identical to single-shot `solve`,
-# cache hits accepted by `sectorpack verify`, and cache/queue metrics
-# present in --stats json.
+# Drive a mixed corpus (valid / malformed / deadline-expiring) of $3
+# requests (default 200; TSan uses a shorter one) through `sectorpack
+# batch` in the build at $1 with --jobs $2, then check the per-request
+# contract: one response per request in input order, exact per-status
+# counts, cache misses byte-identical to single-shot `solve`, cache hits
+# accepted by `sectorpack verify`, and cache/queue metrics present in
+# --stats json.
 run_batch_corpus() {
   local CLI="$1/tools/sectorpack"
   local jobs="$2"
+  local count="${3:-200}"
   local TMP
   TMP="$(mktemp -d)"
   # Self-clearing: a RETURN trap outlives the function that set it and
@@ -275,12 +304,12 @@ run_batch_corpus() {
   expect_rc 0 "$CLI" generate --n 30 --k 4 --seed 13 --spatial ring \
     -o "$TMP/b3.inst"
 
-  python3 - "$TMP" <<'EOF'
+  python3 - "$TMP" "$count" <<'EOF'
 import json, sys
-tmp = sys.argv[1]
+tmp, count = sys.argv[1], int(sys.argv[2])
 solvers = ["greedy", "local-search", "uniform", "annealing"]
 lines = []
-for i in range(200):
+for i in range(count):
     inst = "%s/b%d.inst" % (tmp, i % 3 + 1)
     if i % 20 == 7:  # 10 malformed requests, several flavors
         bad = ['{"solver":"greedy"}',                       # no instance
@@ -308,17 +337,24 @@ EOF
     grep -q "$metric" "$TMP/out"
   done
 
-  python3 - "$TMP" "$CLI" <<'EOF'
+  python3 - "$TMP" "$CLI" "$count" <<'EOF'
 import json, subprocess, sys
-tmp, cli = sys.argv[1], sys.argv[2]
+tmp, cli, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
 responses = [json.loads(l) for l in open("%s/responses.jsonl" % tmp)]
-assert len(responses) == 200, "expected 200 responses, got %d" % len(responses)
-assert [r["index"] for r in responses] == list(range(200)), "out of order"
+assert len(responses) == count, \
+    "expected %d responses, got %d" % (count, len(responses))
+assert [r["index"] for r in responses] == list(range(count)), "out of order"
 by_status = {}
 for r in responses:
     by_status.setdefault(r["status"], []).append(r)
 counts = {k: len(v) for k, v in by_status.items()}
-assert counts == {"ok": 185, "invalid": 10, "budget_exhausted": 5}, counts
+# Expected mix replays the generator's formulas (i%20==7 is malformed,
+# i%40==15 deadline-expiring -- disjoint residues, so no double counting).
+invalid = sum(1 for i in range(count) if i % 20 == 7)
+budget = sum(1 for i in range(count) if i % 40 == 15)
+expected = {"ok": count - invalid - budget,
+            "invalid": invalid, "budget_exhausted": budget}
+assert counts == expected, (counts, expected)
 
 # Cache misses are byte-identical to single-shot `solve` (one per family).
 checked = set()
@@ -352,8 +388,8 @@ assert verified > 0, "no cache hits found"
 # Degraded requests carry the status in their solution payload.
 for r in by_status["budget_exhausted"]:
     assert "status budget_exhausted" in r["solution"], r["id"]
-print("batch corpus OK: 200 responses, %d miss-identity checks, "
-      "%d hit verifications" % (len(checked), verified))
+print("batch corpus OK: %d responses, %d miss-identity checks, "
+      "%d hit verifications" % (count, len(checked), verified))
 EOF
 }
 
@@ -579,14 +615,13 @@ run_batch() {
   echo "[gate] batch: PASS (ASan+UBSan and TSan, --jobs 8)"
 }
 
-run_serve() {
-  local build_dir
-  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
-  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-  cmake --build "$build_dir" -j"$JOBS"
-
-  local CLI="$build_dir/tools/sectorpack"
+# The 50-delta session-serving byte-identity battery against the build at
+# $1: one register plus 50 mixed deltas, every response checked bitwise
+# against a from-scratch greedy solve of the same post-delta instance.
+# Shared by run_serve (ASan+UBSan) and the TSan battery, which reuses it
+# for dynamic race coverage of the daemon's monitor/drain paths.
+run_serve_corpus() {
+  local CLI="$1/tools/sectorpack"
   local TMP
   TMP="$(mktemp -d)"
   # Self-clearing: a RETURN trap outlives the function that set it and
@@ -699,18 +734,42 @@ deltas = responses[1:51]
 hits = sum(r["memo_hits"] for r in deltas)
 assert hits > 0, "50 deltas produced zero dirty-window memo hits"
 EOF
+}
 
+run_serve() {
+  local build_dir
+  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j"$JOBS"
+  run_serve_corpus "$build_dir"
   echo "[gate] serve: PASS (ASan+UBSan, 50-delta byte-identity)"
 }
 
 BUILD_DIR_OVERRIDE="${1:-}"
+
+# TSan battery: the sanitized test suite plus the serving corpora -- the
+# daemon's monitor/drain paths and the batch engine's queue/cache/reorder
+# machinery get dynamic race coverage matching the static -Wthread-safety
+# coverage. The batch corpus is shortened (80 requests) to keep the TSan
+# wall-clock bounded; the serve battery runs in full because its races
+# live in the delta/monitor interleaving, not the request volume.
+run_tsan() {
+  run_sanitize 0
+  local build_dir="${BUILD_DIR_OVERRIDE:-build-tsan}"
+  run_serve_corpus "$build_dir"
+  run_batch_corpus "$build_dir" 8 80
+  echo "[gate] tsan-serving: PASS (TSan, 50-delta serve + 80-request batch)"
+}
 
 case "$MODE" in
   lint) run_lint ;;
   format) run_format ;;
   contracts) run_contracts ;;
   fuzz) run_sanitize 1 ;;
-  sanitize) run_sanitize 0 ;;
+  sanitize)
+    if [[ "$TSAN" == "1" ]]; then run_tsan; else run_sanitize 0; fi
+    ;;
   batch) run_batch ;;
   serve) run_serve ;;
   huge) run_huge ;;

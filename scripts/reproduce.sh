@@ -19,13 +19,22 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 } 2>&1 | tee bench_output.txt
 
 # Static-analysis gate summary (clang-tidy profile or GCC fallback + the
-# sp-lint domain rules; see docs/static-analysis.md). Reported pass/fail
-# either way so the reproduction log always states the gate's verdict.
+# sp-lint domain rules + the clang thread-safety analysis; see
+# docs/static-analysis.md). Reported pass/fail either way so the
+# reproduction log always states both gates' verdicts -- including
+# "thread-safety: SKIP(clang missing)" on a GCC-only host, where the
+# capability annotations compile to nothing and only sp-lint's textual
+# concurrency rules enforce the lock discipline.
 GATE="PASS"
-scripts/check.sh --lint || GATE="FAIL"
+LINT_LOG="$(mktemp)"
+scripts/check.sh --lint 2>&1 | tee "$LINT_LOG" || GATE="FAIL"
+TS_LINE="$(grep -o '\[gate\] thread-safety: .*' "$LINT_LOG" | tail -1 \
+           || true)"
+rm -f "$LINT_LOG"
 
 echo
 echo "[gate] lint: $GATE"
+echo "${TS_LINE:-[gate] thread-safety: UNKNOWN (no verdict line in lint log)}"
 echo "Done. See test_output.txt and bench_output.txt."
 if [ "$GATE" != "PASS" ]; then
   exit 1

@@ -50,9 +50,13 @@ Deadline Deadline::after_at_most(double seconds, const Deadline& cap) {
 
 bool Deadline::expired() const noexcept {
   if (!flag_) return false;
+  // sp-sync: relaxed one-way latch; the flag only ever flips false->true,
+  // no data is published through it, and a check that lags a cancel by a
+  // few loads just extends a solve by one loop iteration.
   if (flag_->load(std::memory_order_relaxed)) return true;
   if (has_expiry_ && Clock::now() >= expiry_) {
     // Latch so subsequent checks (on any copy) skip the clock read.
+    // sp-sync: relaxed one-way latch (see above).
     flag_->store(true, std::memory_order_relaxed);
     return true;
   }
@@ -60,11 +64,13 @@ bool Deadline::expired() const noexcept {
 }
 
 void Deadline::cancel() const noexcept {
+  // sp-sync: relaxed one-way latch (see expired()).
   if (flag_) flag_->store(true, std::memory_order_relaxed);
 }
 
 double Deadline::remaining_seconds() const noexcept {
   if (!flag_) return std::numeric_limits<double>::infinity();
+  // sp-sync: relaxed one-way latch (see expired()).
   if (flag_->load(std::memory_order_relaxed)) return 0.0;
   if (!has_expiry_) return std::numeric_limits<double>::infinity();
   const double left =

@@ -1,0 +1,234 @@
+#pragma once
+// Annotated synchronization capabilities for the concurrent stack.
+//
+// This header is the ONLY place in src/ allowed to name std::mutex,
+// std::condition_variable, std::lock_guard, or std::unique_lock (enforced
+// by the sp-lint `raw-mutex` rule). Everything else locks through the
+// wrappers below, which carry Clang Thread Safety Analysis attributes --
+// the GUARDED_BY / REQUIRES capability system deployed at scale in
+// production C++ codebases (Abseil's absl::Mutex is the canonical
+// instance). With clang available, `scripts/check.sh --lint` compiles
+// every TU with -Wthread-safety -Wthread-safety-beta -Werror, so a
+// guarded member touched without its mutex, a helper called without its
+// declared lock precondition, or a lock released on the wrong path is a
+// COMPILE ERROR -- not a TSan report that depends on the test schedule.
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing and the wrappers compile to the raw primitives.
+//
+// How to annotate (full walkthrough in docs/static-analysis.md):
+//
+//   class Queue {
+//    public:
+//     void push(int v) SP_EXCLUDES(mu_) {
+//       core::LockGuard lock(mu_);
+//       items_.push_back(v);            // OK: mu_ held
+//     }
+//    private:
+//     bool can_pop() const SP_REQUIRES(mu_) { return !items_.empty(); }
+//     core::Mutex mu_;
+//     std::vector<int> items_ SP_GUARDED_BY(mu_);
+//   };
+//
+// Condition-variable predicates: clang analyzes a lambda body as its own
+// function, so a predicate reading guarded members inside CondVar::wait
+// would warn even though the wait implementation holds the lock. The
+// supported pattern (Abseil's AssertHeld) is to open the predicate with
+// `mu_.assert_held();` -- a no-op at runtime that tells the analysis the
+// capability is held there by contract:
+//
+//     cv_.wait(lock, [this] {
+//       mu_.assert_held();  // CondVar::wait re-acquires mu_ around us
+//       return !items_.empty() || closed_;
+//     });
+//
+// Escape hatch: SP_NO_THREAD_SAFETY_ANALYSIS disables the analysis for
+// one function. Same discipline as clang-tidy suppressions and sp-lint
+// waivers: every use carries a written rationale on the line above.
+
+#include <chrono>
+#include <condition_variable>  // sp-lint: allow(raw-mutex) this header IS the wrapper: the one place the raw primitives may appear
+#include <mutex>  // sp-lint: allow(raw-mutex) this header IS the wrapper: the one place the raw primitives may appear
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only: GCC has no thread-safety analysis pass, and
+// unknown __attribute__ names would warn under -Werror, so everything
+// expands to nothing there.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable resource). The string names the
+/// capability kind in diagnostics ("mutex" here).
+#define SP_CAPABILITY(x) SP_THREAD_ANNOTATION(capability(x))
+
+/// Marks a class whose constructor acquires and destructor releases a
+/// capability (RAII guards).
+#define SP_SCOPED_CAPABILITY SP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be touched while holding `x`.
+#define SP_GUARDED_BY(x) SP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define SP_PT_GUARDED_BY(x) SP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held on entry
+/// (and are still held on exit).
+#define SP_REQUIRES(...) \
+  SP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define SP_ACQUIRE(...) \
+  SP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (no longer held on return).
+#define SP_RELEASE(...) \
+  SP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define SP_TRY_ACQUIRE(b, ...) \
+  SP_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function may not be called while holding the listed capabilities
+/// (deadlock guard for self-locking public entry points).
+#define SP_EXCLUDES(...) SP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares to the analysis that the capability is held at this point by
+/// contract the checker cannot see (e.g. inside a CondVar predicate).
+#define SP_ASSERT_CAPABILITY(...) \
+  SP_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (lets callers lock
+/// through an accessor).
+#define SP_RETURN_CAPABILITY(x) SP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry a rationale comment on the line above, same rule as clang-tidy
+/// suppressions (docs/static-analysis.md "Waiver policy").
+#define SP_NO_THREAD_SAFETY_ANALYSIS \
+  SP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sectorpack::core {
+
+/// A std::mutex carrying the "mutex" capability. Members it protects are
+/// declared `T member_ SP_GUARDED_BY(mu_);`; internal helpers that assume
+/// the lock are declared `SP_REQUIRES(mu_)`.
+class SP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SP_ACQUIRE() { mu_.lock(); }
+  void unlock() SP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SP_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// Runtime no-op telling the analysis this thread holds the mutex by a
+  /// contract it cannot see -- the CondVar predicate pattern above. Never
+  /// use it to silence a genuine missing lock.
+  void assert_held() const SP_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped primitive, for CondVar only (std::condition_variable
+  /// requires std::unique_lock<std::mutex>). Do not lock through this --
+  /// the analysis cannot see such locks, and sp-lint's raw-mutex rule
+  /// keeps std::unique_lock out of reach everywhere else anyway.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for the common whole-scope case; equivalent to
+/// std::lock_guard but visible to the analysis.
+class SP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) SP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() SP_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that supports manual unlock()/lock() cycles and CondVar
+/// waits; equivalent to std::unique_lock but visible to the analysis.
+/// Always constructed locked (no deferred mode: the analysis -- and the
+/// reader -- should never have to wonder whether a UniqueLock holds).
+class SP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) SP_ACQUIRE(mu)
+      : mu_(mu), lock_(mu.native()) {}
+  ~UniqueLock() SP_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() SP_ACQUIRE() { lock_.lock(); }
+  void unlock() SP_RELEASE() { lock_.unlock(); }
+
+  /// The wrapped lock, for CondVar only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over core::Mutex. Deliberately predicate-only for
+/// untimed waits: `cv.wait(lock)` without a predicate is the classic lost-
+/// wakeup / spurious-wakeup bug, so the API does not offer it (and the
+/// sp-lint `cv-wait-no-predicate` rule rejects it textually anywhere it
+/// might sneak back in). The timed no-predicate overload exists for
+/// bounded polling loops whose re-check is the loop condition itself.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until `pred()` holds; `lock` is released while blocked and
+  /// re-acquired around every predicate evaluation (open the predicate
+  /// with `mu.assert_held()` so the analysis knows -- see the header
+  /// comment).
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+  /// As wait(), but gives up after `timeout`; returns pred().
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) {
+    return cv_.wait_for(lock.native(), timeout, std::move(pred));
+  }
+
+  /// Timed wait WITHOUT a predicate, for polling loops that re-check their
+  /// condition as the enclosing loop condition (e.g. the batch engine's
+  /// reorder-window backpressure). Returns true on notify, false on
+  /// timeout -- callers must treat both as "re-check", never as "ready".
+  template <typename Rep, typename Period>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.native(), timeout) ==
+           std::cv_status::no_timeout;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sectorpack::core

@@ -54,6 +54,9 @@ std::size_t next_pow2(std::size_t v) noexcept {
 
 }  // namespace
 
+// sp-sync: relaxed config knob; set once at CLI startup before solving
+// begins, and a reader seeing the old mode momentarily would only take the
+// (equally correct, byte-identical) other query path.
 void set_spatial_index_mode(SpatialIndexMode mode) noexcept {
   g_spatial_mode.store(mode, std::memory_order_relaxed);
 }

@@ -15,7 +15,7 @@ std::uint64_t fingerprint_mix(std::uint64_t id) noexcept {
 }
 
 bool OracleCache::lookup(std::uint64_t key, Entry* out) const {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
   *out = it->second;
@@ -23,13 +23,13 @@ bool OracleCache::lookup(std::uint64_t key, Entry* out) const {
 }
 
 void OracleCache::store(std::uint64_t key, Entry entry) {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   if (map_.size() >= kMaxEntries) return;  // full: stop memoizing, stay correct
   map_.emplace(key, std::move(entry));
 }
 
 std::size_t OracleCache::size() const {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   return map_.size();
 }
 

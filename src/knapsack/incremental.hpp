@@ -27,11 +27,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/sync.hpp"
 #include "src/knapsack/knapsack.hpp"
 
 namespace sectorpack::knapsack {
@@ -66,8 +66,8 @@ class OracleCache {
   static constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Entry> map_;
+  mutable core::Mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> map_ SP_GUARDED_BY(mu_);
 };
 
 /// Per-scan tallies of how windows were disposed of; merged into the obs

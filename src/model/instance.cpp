@@ -87,6 +87,8 @@ void Instance::refold_scalars() {
 
 void Instance::invalidate_spatial() noexcept {
   grid_.reset();
+  // sp-sync: relaxed restart of the ski-rental counter; an off-by-a-few
+  // build point is fine (see spatial_index()).
   grid_.flat_queries.store(0, std::memory_order_relaxed);
 }
 
@@ -165,7 +167,8 @@ const geom::PolarGrid* Instance::spatial_index() const {
   const geom::PolarGrid* grid = grid_.ptr.load(std::memory_order_acquire);
   if (grid != nullptr) return grid;
   // Deferral: answer flat until enough queries accumulated to amortize the
-  // build. Relaxed counter -- an off-by-a-few build point is fine.
+  // build.
+  // sp-sync: relaxed counter -- an off-by-a-few build point is fine.
   if (grid_.flat_queries.fetch_add(1, std::memory_order_relaxed) <
       geom::kGridBuildAfterQueries) {
     return nullptr;

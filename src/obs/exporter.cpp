@@ -122,7 +122,7 @@ Exporter::~Exporter() { stop(); }
 void Exporter::stop() {
   if (stopped_) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     stop_requested_ = true;
   }
   cv_.notify_all();
@@ -141,9 +141,12 @@ bool Exporter::healthy() const noexcept {
 void Exporter::run() {
   const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::duration<double>(config_.interval_seconds));
-  std::unique_lock<std::mutex> lock(mu_);
+  core::UniqueLock lock(mu_);
   while (!stop_requested_) {
-    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+    if (cv_.wait_for(lock, interval, [this] {
+          mu_.assert_held();  // CondVar::wait_for re-acquires mu_ around us
+          return stop_requested_;
+        })) {
       break;
     }
     lock.unlock();

@@ -21,12 +21,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "src/core/sync.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace sectorpack::obs {
@@ -93,9 +92,9 @@ class Exporter {
   ExporterConfig config_;
   const Registry* registry_;  // nullptr = Registry::global()
   std::chrono::steady_clock::time_point start_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;  // guarded by mu_
+  core::Mutex mu_;
+  core::CondVar cv_;
+  bool stop_requested_ SP_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> ticks_{0};
   std::atomic<bool> healthy_{true};
   bool stopped_ = false;  // join happened (main-thread only)

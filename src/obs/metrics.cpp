@@ -1,11 +1,12 @@
 #include "src/obs/metrics.hpp"
 
+#include "src/core/sync.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,6 +20,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
+// sp-sync: relaxed on/off flag; recording is best-effort around the toggle
+// and no other data is published through it.
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) noexcept {
   g_enabled.store(on, std::memory_order_relaxed);
@@ -99,6 +102,9 @@ struct Shard {
   std::array<HdrSlot, kMaxHdrHistograms> hdr{};
 
   void zero() {
+    // sp-sync: relaxed stores; zero() runs under the registry mutex
+    // (Registry::reset) and concurrent writers/readers already tolerate
+    // per-slot staleness, so no cross-slot ordering is needed.
     for (auto& c : counters) c.store(0, std::memory_order_relaxed);
     for (auto& h : hists) {
       for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
@@ -107,6 +113,7 @@ struct Shard {
       h.min.store(kInf, std::memory_order_relaxed);
       h.max.store(-kInf, std::memory_order_relaxed);
     }
+    // sp-sync: as above.
     for (auto& h : hdr) {
       for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
       h.count.store(0, std::memory_order_relaxed);
@@ -119,13 +126,17 @@ struct Shard {
 
 struct State {
   const std::uint64_t uid;
-  mutable std::mutex mu;
-  std::vector<std::string> counter_names;    // slot id -> name
-  std::vector<std::string> gauge_names;
-  std::vector<std::string> hist_names;
-  std::vector<std::string> hdr_names;
-  std::vector<unsigned> hdr_sub_bits;        // parallel to hdr_names
-  std::vector<std::shared_ptr<Shard>> shards;  // one per writer thread, kept
+  mutable core::Mutex mu;
+  // Registration tables and the shard list are mu-guarded; the hot record
+  // paths never touch them (they go through the thread-local shard cache
+  // in local_shard()).
+  std::vector<std::string> counter_names SP_GUARDED_BY(mu);  // slot -> name
+  std::vector<std::string> gauge_names SP_GUARDED_BY(mu);
+  std::vector<std::string> hist_names SP_GUARDED_BY(mu);
+  std::vector<std::string> hdr_names SP_GUARDED_BY(mu);
+  std::vector<unsigned> hdr_sub_bits SP_GUARDED_BY(mu);  // || to hdr_names
+  std::vector<std::shared_ptr<Shard>> shards
+      SP_GUARDED_BY(mu);  // one per writer thread, kept
   // Gauges are set rarely and need last-write-wins across threads, so they
   // live directly in the shared state rather than in shards.
   std::array<std::atomic<double>, kMaxGauges> gauges{};
@@ -147,7 +158,7 @@ bool contains_name(const std::vector<std::string>& names,
 std::size_t register_name(State& st, std::vector<std::string>& names,
                           std::size_t limit, std::string_view name,
                           const char* kind) {
-  std::lock_guard lock(st.mu);
+  core::LockGuard lock(st.mu);
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return i;
   }
@@ -167,7 +178,7 @@ std::size_t register_name(State& st, std::vector<std::string>& names,
 
 std::size_t register_hdr(State& st, std::string_view name,
                          unsigned sub_bits) {
-  std::lock_guard lock(st.mu);
+  core::LockGuard lock(st.mu);
   for (std::size_t i = 0; i < st.hdr_names.size(); ++i) {
     if (st.hdr_names[i] != name) continue;
     if (st.hdr_sub_bits[i] != sub_bits) {
@@ -203,7 +214,7 @@ Shard* local_shard(const std::shared_ptr<State>& state) {
   }
   auto shard = std::make_shared<Shard>();
   {
-    std::lock_guard lock(state->mu);
+    core::LockGuard lock(state->mu);
     state->shards.push_back(shard);
   }
   cache.emplace_back(state->uid, shard);
@@ -216,12 +227,16 @@ Shard* local_shard(const std::shared_ptr<State>& state) {
 
 void Counter::add(std::uint64_t delta) const noexcept {
   if (!enabled() || state_ == nullptr) return;
+  // sp-sync: relaxed increment on a single-writer shard slot; snapshot()
+  // sums slots and tolerates a slightly-stale per-thread value.
   detail::local_shard(state_)->counters[id_].fetch_add(
       delta, std::memory_order_relaxed);
 }
 
 void Gauge::set(double value) const noexcept {
   if (!enabled() || state_ == nullptr) return;
+  // sp-sync: relaxed last-write-wins pair; a snapshot racing the first set
+  // may miss the value for one tick, which gauges tolerate by contract.
   state_->gauges[id_].store(value, std::memory_order_relaxed);
   state_->gauge_set[id_].store(true, std::memory_order_relaxed);
 }
@@ -229,12 +244,15 @@ void Gauge::set(double value) const noexcept {
 void Histogram::observe(double value) const noexcept {
   if (!enabled() || state_ == nullptr) return;
   detail::Shard::Hist& h = detail::local_shard(state_)->hists[id_];
+  // sp-sync: relaxed ops on single-writer shard slots; only the owning
+  // thread writes, so load-modify-store without CAS is race-free, and
+  // snapshot() accepts slightly-stale cross-thread reads.
   h.buckets[histogram_bucket_index(value)].fetch_add(
       1, std::memory_order_relaxed);
   h.count.fetch_add(1, std::memory_order_relaxed);
-  // Single-writer slots: load-modify-store without CAS is race-free here.
   h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
               std::memory_order_relaxed);
+  // sp-sync: as above (single-writer slot).
   if (value < h.min.load(std::memory_order_relaxed)) {
     h.min.store(value, std::memory_order_relaxed);
   }
@@ -246,12 +264,14 @@ void Histogram::observe(double value) const noexcept {
 void HdrHistogram::observe(double value) const noexcept {
   if (!enabled() || state_ == nullptr) return;
   detail::Shard::HdrSlot& h = detail::local_shard(state_)->hdr[id_];
+  // sp-sync: relaxed ops on single-writer shard slots (see
+  // Histogram::observe above).
   h.buckets[hdr_bucket_index(value, sub_bits_)].fetch_add(
       1, std::memory_order_relaxed);
   h.count.fetch_add(1, std::memory_order_relaxed);
-  // Single-writer slots: load-modify-store without CAS is race-free here.
   h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
               std::memory_order_relaxed);
+  // sp-sync: as above (single-writer slot).
   if (value < h.min.load(std::memory_order_relaxed)) {
     h.min.store(value, std::memory_order_relaxed);
   }
@@ -262,6 +282,8 @@ void HdrHistogram::observe(double value) const noexcept {
 
 Registry::Registry() {
   static std::atomic<std::uint64_t> next_uid{1};
+  // sp-sync: relaxed uid allocation; uniqueness is all that matters and
+  // fetch_add provides it at any memory order.
   state_ = std::make_shared<detail::State>(
       next_uid.fetch_add(1, std::memory_order_relaxed));
 }
@@ -295,8 +317,11 @@ HdrHistogram Registry::hdr_histogram(std::string_view name,
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
-  std::lock_guard lock(state_->mu);
+  core::LockGuard lock(state_->mu);
 
+  // sp-sync: relaxed reads of single-writer slots throughout this
+  // function; a snapshot is an instantaneous best-effort sum by contract
+  // (writers keep recording while we read), so no acquire pairing exists.
   snap.counters.reserve(state_->counter_names.size());
   for (std::size_t i = 0; i < state_->counter_names.size(); ++i) {
     std::uint64_t total = 0;
@@ -306,6 +331,7 @@ Snapshot Registry::snapshot() const {
     snap.counters.emplace_back(state_->counter_names[i], total);
   }
 
+  // sp-sync: as above (best-effort snapshot reads).
   for (std::size_t i = 0; i < state_->gauge_names.size(); ++i) {
     if (!state_->gauge_set[i].load(std::memory_order_relaxed)) continue;
     snap.gauges.emplace_back(
@@ -318,6 +344,7 @@ Snapshot Registry::snapshot() const {
     h.name = state_->hist_names[i];
     h.min = kInf;
     h.max = -kInf;
+    // sp-sync: as above (best-effort snapshot reads).
     for (const auto& shard : state_->shards) {
       const detail::Shard::Hist& sh = shard->hists[i];
       h.count += sh.count.load(std::memory_order_relaxed);
@@ -344,6 +371,7 @@ Snapshot Registry::snapshot() const {
     h.max = -kInf;
     const std::size_t buckets = hdr_bucket_count(h.sub_bits);
     merged.assign(buckets, 0);
+    // sp-sync: as above (best-effort snapshot reads).
     for (const auto& shard : state_->shards) {
       const detail::Shard::HdrSlot& sh = shard->hdr[i];
       h.count += sh.count.load(std::memory_order_relaxed);
@@ -383,8 +411,10 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(state_->mu);
+  core::LockGuard lock(state_->mu);
   for (const auto& shard : state_->shards) shard->zero();
+  // sp-sync: relaxed stores; reset is best-effort against concurrent
+  // writers by the same contract as snapshot().
   for (auto& g : state_->gauges) g.store(0.0, std::memory_order_relaxed);
   for (auto& f : state_->gauge_set) f.store(false, std::memory_order_relaxed);
 }

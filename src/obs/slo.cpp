@@ -28,7 +28,7 @@ SloTracker::SloTracker(std::size_t window)
     : ring_(std::max<std::size_t>(window, 1)) {}
 
 void SloTracker::record(double latency_ms, bool deadline_ok, SloKind kind) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::LockGuard lock(mu_);
   ring_[next_] = Sample{latency_ms, deadline_ok, kind};
   next_ = (next_ + 1) % ring_.size();
   filled_ = std::min(filled_ + 1, ring_.size());
@@ -39,7 +39,7 @@ SloTracker::Summary SloTracker::summary() const {
   Summary s;
   std::vector<double> latencies;  // kSolve samples only (see slo.hpp)
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::LockGuard lock(mu_);
     s.window = ring_.size();
     s.total = total_;
     s.in_window = filled_;

@@ -17,9 +17,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/core/sync.hpp"
 
 namespace sectorpack::obs {
 
@@ -87,11 +88,11 @@ class SloTracker {
   void publish(Registry* registry = nullptr) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Sample> ring_;   // guarded by mu_
-  std::size_t next_ = 0;       // guarded by mu_
-  std::size_t filled_ = 0;     // guarded by mu_
-  std::uint64_t total_ = 0;    // guarded by mu_
+  mutable core::Mutex mu_;
+  std::vector<Sample> ring_ SP_GUARDED_BY(mu_);
+  std::size_t next_ SP_GUARDED_BY(mu_) = 0;
+  std::size_t filled_ SP_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_ SP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sectorpack::obs

@@ -5,10 +5,10 @@
 #include <chrono>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
+#include "src/core/sync.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace sectorpack::obs {
@@ -31,20 +31,26 @@ struct Event {
 // locked individually: writers only ever take their own (uncontended) lock,
 // the serializer takes each in turn.
 struct Buffer {
-  std::mutex mu;
-  std::vector<Event> events;
+  core::Mutex mu;
+  std::vector<Event> events SP_GUARDED_BY(mu);
+  // Assigned once under Session::mu before the buffer is shared, const
+  // thereafter -- safe to read without mu.
   std::uint32_t tid = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped SP_GUARDED_BY(mu) = 0;
 };
 
 // Bound per-thread memory; beyond this events are counted but dropped.
 constexpr std::size_t kMaxEventsPerThread = 1u << 20;
 
 struct Session {
-  std::mutex mu;
-  std::vector<std::shared_ptr<Buffer>> buffers;
+  core::Mutex mu;
+  std::vector<std::shared_ptr<Buffer>> buffers SP_GUARDED_BY(mu);
+  // Written under mu by trace_start() strictly before the release-store of
+  // g_tracing; recorders acquire-load g_tracing (trace_enabled) before
+  // calling now_us(), which orders this read. Not mu-guarded on purpose:
+  // taking the session lock in now_us() would serialize every span.
   Clock::time_point start{};
-  std::uint32_t next_tid = 1;
+  std::uint32_t next_tid SP_GUARDED_BY(mu) = 1;
 };
 
 std::atomic<bool> g_tracing{false};
@@ -69,7 +75,7 @@ Buffer* local_buffer() {
     buffer = std::make_shared<Buffer>();
     epoch = current;
     Session& s = session();
-    std::lock_guard lock(s.mu);
+    core::LockGuard lock(s.mu);
     buffer->tid = s.next_tid++;
     s.buffers.push_back(buffer);
   }
@@ -79,7 +85,7 @@ Buffer* local_buffer() {
 void record(const char* name, Phase phase, std::int64_t ts_us,
             std::int64_t dur_us, double value) noexcept {
   Buffer* b = local_buffer();
-  std::lock_guard lock(b->mu);
+  core::LockGuard lock(b->mu);
   if (b->events.size() >= kMaxEventsPerThread) {
     ++b->dropped;
     return;
@@ -90,13 +96,16 @@ void record(const char* name, Phase phase, std::int64_t ts_us,
 }  // namespace
 
 bool trace_enabled() noexcept {
-  return g_tracing.load(std::memory_order_relaxed);
+  // Acquire pairs with trace_start()'s release-store and makes the
+  // unlocked read of Session::start in now_us() well-ordered (a relaxed
+  // load here would leave that read racy in principle).
+  return g_tracing.load(std::memory_order_acquire);
 }
 
 void trace_start() {
   Session& s = session();
   {
-    std::lock_guard lock(s.mu);
+    core::LockGuard lock(s.mu);
     s.buffers.clear();
     s.start = Clock::now();
     s.next_tid = 1;
@@ -110,7 +119,7 @@ void trace_stop(std::ostream& os) {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
     Session& s = session();
-    std::lock_guard lock(s.mu);
+    core::LockGuard lock(s.mu);
     buffers = s.buffers;
   }
 
@@ -118,7 +127,7 @@ void trace_stop(std::ostream& os) {
   bool first = true;
   std::uint64_t dropped = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard lock(buffer->mu);
+    core::LockGuard lock(buffer->mu);
     dropped += buffer->dropped;
     for (const Event& e : buffer->events) {
       if (!first) os << ",";
@@ -158,9 +167,9 @@ bool trace_stop_to_file(const std::string& path) {
 std::size_t trace_event_count() {
   std::size_t n = 0;
   Session& s = session();
-  std::lock_guard lock(s.mu);
+  core::LockGuard lock(s.mu);
   for (const auto& buffer : s.buffers) {
-    std::lock_guard block(buffer->mu);
+    core::LockGuard block(buffer->mu);
     n += buffer->events.size();
   }
   return n;

@@ -15,11 +15,11 @@
 // worker that pops until the stream ends.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "src/core/sync.hpp"
 
 namespace sectorpack::par {
 
@@ -36,9 +36,12 @@ class BoundedQueue {
 
   /// Block until there is room (or the queue is closed), then enqueue.
   /// Returns false -- and drops `value` -- when the queue was closed.
-  bool push(T value) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  bool push(T value) SP_EXCLUDES(mu_) {
+    core::UniqueLock lock(mu_);
+    not_full_.wait(lock, [&] {
+      mu_.assert_held();  // CondVar::wait re-acquires mu_ around us
+      return items_.size() < capacity_ || closed_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -49,9 +52,11 @@ class BoundedQueue {
   /// interrupt flag between attempts. Returns false on timeout or close
   /// (check closed() to distinguish; `value` is untouched on failure).
   template <typename Rep, typename Period>
-  bool try_push_for(T& value, std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
+  bool try_push_for(T& value, std::chrono::duration<Rep, Period> timeout)
+      SP_EXCLUDES(mu_) {
+    core::UniqueLock lock(mu_);
     if (!not_full_.wait_for(lock, timeout, [&] {
+          mu_.assert_held();  // CondVar::wait re-acquires mu_ around us
           return items_.size() < capacity_ || closed_;
         })) {
       return false;
@@ -64,9 +69,12 @@ class BoundedQueue {
 
   /// Block until an item is available and pop it into `out`. Returns false
   /// when the queue is closed and fully drained (end of stream).
-  bool pop(T& out) {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  bool pop(T& out) SP_EXCLUDES(mu_) {
+    core::UniqueLock lock(mu_);
+    not_empty_.wait(lock, [&] {
+      mu_.assert_held();  // CondVar::wait re-acquires mu_ around us
+      return !items_.empty() || closed_;
+    });
     if (items_.empty()) return false;  // closed and drained
     out = std::move(items_.front());
     items_.pop_front();
@@ -76,35 +84,35 @@ class BoundedQueue {
 
   /// End of stream: producers fail fast, consumers drain what is queued and
   /// then see pop() == false. Idempotent.
-  void close() {
+  void close() SP_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      core::LockGuard lock(mu_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] bool closed() const SP_EXCLUDES(mu_) {
+    core::LockGuard lock(mu_);
     return closed_;
   }
 
   /// Instantaneous depth (for gauges; racy by nature, exact under the lock).
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const SP_EXCLUDES(mu_) {
+    core::LockGuard lock(mu_);
     return items_.size();
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable core::Mutex mu_;
+  core::CondVar not_full_;
+  core::CondVar not_empty_;
+  std::deque<T> items_ SP_GUARDED_BY(mu_);
   const std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ SP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sectorpack::par

@@ -37,10 +37,11 @@ void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body,
   }
   c_chunks.add(plan.num_chunks);
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t done = 0;
-  std::exception_ptr first_error;
+  // sp-lint: allow(unannotated-guard) block-local mutex: attributes cannot attach to locals; the per-field comments below name it
+  core::Mutex mu;
+  core::CondVar cv;
+  std::size_t done = 0;           // guarded by mu
+  std::exception_ptr first_error;  // guarded by mu
 
   for (std::size_t c = 0; c < plan.num_chunks; ++c) {
     pool->submit([&, c] {
@@ -49,22 +50,25 @@ void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body,
       try {
         body(begin, end);
       } catch (...) {
-        std::lock_guard lock(mu);
+        core::LockGuard lock(mu);
         if (!first_error) first_error = std::current_exception();
       }
       {
         // Notify under the lock; see the matching comment in
         // parallel_reduce (parallel_for.hpp) -- the waiter's stack frame
         // owns cv, so a post-unlock signal races its destruction.
-        std::lock_guard lock(mu);
+        core::LockGuard lock(mu);
         ++done;
         cv.notify_one();
       }
     });
   }
 
-  std::unique_lock lock(mu);
-  cv.wait(lock, [&] { return done == plan.num_chunks; });
+  core::UniqueLock lock(mu);
+  cv.wait(lock, [&] {
+    mu.assert_held();  // CondVar::wait re-acquires mu around us
+    return done == plan.num_chunks;
+  });
   if (first_error) std::rethrow_exception(first_error);
 }
 

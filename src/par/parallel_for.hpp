@@ -11,12 +11,11 @@
 // ascending chunk order, so floating-point reductions are deterministic and
 // independent of thread scheduling.
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "src/core/sync.hpp"
 #include "src/par/thread_pool.hpp"
 
 namespace sectorpack::par {
@@ -49,10 +48,11 @@ template <typename T, typename MapFn, typename CombineFn>
   }
 
   std::vector<T> partial(plan.num_chunks);
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t done = 0;
-  std::exception_ptr first_error;
+  // sp-lint: allow(unannotated-guard) block-local mutex: attributes cannot attach to locals; the per-field comments below name it
+  core::Mutex mu;
+  core::CondVar cv;
+  std::size_t done = 0;           // guarded by mu
+  std::exception_ptr first_error;  // guarded by mu
 
   for (std::size_t c = 0; c < plan.num_chunks; ++c) {
     pool->submit([&, c] {
@@ -61,7 +61,7 @@ template <typename T, typename MapFn, typename CombineFn>
       try {
         partial[c] = map_chunk(begin, end);
       } catch (...) {
-        std::lock_guard lock(mu);
+        core::LockGuard lock(mu);
         if (!first_error) first_error = std::current_exception();
       }
       {
@@ -69,15 +69,18 @@ template <typename T, typename MapFn, typename CombineFn>
         // its predicate holds and it reacquires mu, so signalling after the
         // unlock races that destruction (TSan: pthread_cond_destroy vs
         // pthread_cond_signal).
-        std::lock_guard lock(mu);
+        core::LockGuard lock(mu);
         ++done;
         cv.notify_one();
       }
     });
   }
 
-  std::unique_lock lock(mu);
-  cv.wait(lock, [&] { return done == plan.num_chunks; });
+  core::UniqueLock lock(mu);
+  cv.wait(lock, [&] {
+    mu.assert_held();  // CondVar::wait re-acquires mu around us
+    return done == plan.num_chunks;
+  });
   if (first_error) std::rethrow_exception(first_error);
 
   T acc = std::move(init);

@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(sleep_mu_);
+    core::LockGuard lock(sleep_mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -43,17 +43,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // sp-sync: relaxed round-robin cursor; any interleaving of increments is
+  // an acceptable queue choice, and the queue mutex orders the task itself.
   const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                      static_cast<unsigned>(queues_.size());
   {
-    std::lock_guard lock(queues_[q]->mu);
+    core::LockGuard lock(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(task));
   }
   {
     // Publishing the count under sleep_mu_ closes the race with a worker
     // that found every queue empty and is about to wait: the wait predicate
     // re-reads pending_ under this same mutex.
-    std::lock_guard lock(sleep_mu_);
+    // sp-sync: relaxed suffices because sleep_mu_ provides the ordering.
+    core::LockGuard lock(sleep_mu_);
     pending_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
@@ -64,10 +67,13 @@ bool ThreadPool::try_take(unsigned self, std::function<void()>& task) {
   // Own queue first, front end (FIFO for the owner)...
   {
     WorkerQueue& q = *queues_[self];
-    std::lock_guard lock(q.mu);
+    core::LockGuard lock(q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
+      // sp-sync: relaxed decrement; q.mu ordered the task hand-off, and a
+      // momentarily stale pending_ only costs a sleeping worker one
+      // spurious wake (the predicate re-checks under sleep_mu_).
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -76,10 +82,11 @@ bool ThreadPool::try_take(unsigned self, std::function<void()>& task) {
   // neighbour so thieves spread out instead of all hitting queue 0.
   for (std::size_t step = 1; step < nq; ++step) {
     WorkerQueue& q = *queues_[(self + step) % nq];
-    std::lock_guard lock(q.mu);
+    core::LockGuard lock(q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
+      // sp-sync: relaxed decrement; same reasoning as the own-queue pop.
       pending_.fetch_sub(1, std::memory_order_relaxed);
       steals_.inc();
       return true;
@@ -96,30 +103,40 @@ void ThreadPool::worker_loop(unsigned self) {
       task = nullptr;  // release captures before sleeping
       continue;
     }
-    std::unique_lock lock(sleep_mu_);
+    core::UniqueLock lock(sleep_mu_);
     if (stopping_) {
       // Drain before exiting: pending_ > 0 means some queue still holds a
       // task (possibly submitted after stopping_ was set).
+      // sp-sync: relaxed read is exact here -- increments happen under
+      // sleep_mu_, which this thread holds.
       if (pending_.load(std::memory_order_relaxed) == 0) return;
       continue;
     }
     cv_.wait(lock, [this] {
+      sleep_mu_.assert_held();  // CondVar::wait re-acquires sleep_mu_
+      // sp-sync: relaxed read under sleep_mu_ (see submit()).
       return stopping_ || pending_.load(std::memory_order_relaxed) > 0;
     });
   }
 }
 
 ThreadPool& ThreadPool::global() {
+  // sp-sync: relaxed flag/config pair; the static-local initialization of
+  // `pool` is the real synchronization point (C++ guarantees it), and the
+  // flag only feeds the best-effort late-call warning below.
   g_global_created.store(true, std::memory_order_relaxed);
   static ThreadPool pool(g_global_threads.load(std::memory_order_relaxed));
   return pool;
 }
 
 bool ThreadPool::set_global_threads(unsigned threads) {
+  // sp-sync: relaxed is fine for a best-effort misuse detector; a missed
+  // late call only suppresses the warning, never corrupts state.
   if (g_global_created.load(std::memory_order_relaxed)) {
     static const obs::Counter c_late = obs::counter("par.set_threads.late");
     c_late.inc();
     static std::atomic<bool> warned{false};
+    // sp-sync: relaxed exchange; only dedupes the stderr warning.
     if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "sectorpack: ThreadPool::set_global_threads(%u) called "
@@ -132,6 +149,8 @@ bool ThreadPool::set_global_threads(unsigned threads) {
               "creation");
     return false;
   }
+  // sp-sync: relaxed store; read once inside global()'s static-local
+  // initializer, which already synchronizes.
   g_global_threads.store(threads, std::memory_order_relaxed);
   return true;
 }

@@ -19,15 +19,14 @@
 // thief), which is cheap enough at this library's chunk granularity.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/core/sync.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace sectorpack::par {
@@ -65,8 +64,8 @@ class ThreadPool {
   // One worker's deque. Heap-allocated so the vector of queues never moves
   // a mutex, and padded out to its own cache line(s) by allocation.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    core::Mutex mu;
+    std::deque<std::function<void()>> tasks SP_GUARDED_BY(mu);
   };
 
   void worker_loop(unsigned self);
@@ -79,9 +78,9 @@ class ThreadPool {
   // data itself.
   std::atomic<std::size_t> pending_{0};
   std::atomic<unsigned> next_queue_{0};  // round-robin submit cursor
-  std::mutex sleep_mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;  // guarded by sleep_mu_
+  core::Mutex sleep_mu_;
+  core::CondVar cv_;
+  bool stopping_ SP_GUARDED_BY(sleep_mu_) = false;
   // Resolved eagerly in the constructor: workers must never do a lazy
   // registry lookup -- on first wake they may run arbitrarily late (even
   // during process exit, after the registry's static is gone), while the

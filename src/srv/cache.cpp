@@ -12,7 +12,7 @@ ResultCache::ResultCache(std::size_t max_entries)
 }
 
 std::optional<model::Solution> ResultCache::lookup(const Fingerprint& fp) {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   const auto it = map_.find(fp);
   if (it == map_.end()) {
     ++misses_;
@@ -27,7 +27,7 @@ std::optional<model::Solution> ResultCache::lookup(const Fingerprint& fp) {
 
 void ResultCache::insert(const Fingerprint& fp, model::Solution canonical) {
   if (max_entries_ == 0) return;
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   const auto it = map_.find(fp);
   if (it != map_.end()) {
     // Refresh: same fingerprint means the same problem, so the payload is
@@ -48,22 +48,22 @@ void ResultCache::insert(const Fingerprint& fp, model::Solution canonical) {
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   return map_.size();
 }
 
 std::uint64_t ResultCache::hits() const {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   return hits_;
 }
 
 std::uint64_t ResultCache::misses() const {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   return misses_;
 }
 
 std::uint64_t ResultCache::evictions() const {
-  std::lock_guard lock(mu_);
+  const core::LockGuard lock(mu_);
   return evictions_;
 }
 

@@ -17,11 +17,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "src/core/sync.hpp"
 #include "src/model/solution.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/srv/fingerprint.hpp"
@@ -60,13 +60,14 @@ class ResultCache {
  private:
   using LruList = std::list<std::pair<Fingerprint, model::Solution>>;
 
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHasher> map_;
+  mutable core::Mutex mu_;
+  LruList lru_ SP_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHasher> map_
+      SP_GUARDED_BY(mu_);
   const std::size_t max_entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ SP_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ SP_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ SP_GUARDED_BY(mu_) = 0;
   obs::Counter hit_counter_;
   obs::Counter miss_counter_;
   obs::Counter eviction_counter_;

@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <istream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +12,7 @@
 #include <vector>
 
 #include "src/bench_util/timer.hpp"
+#include "src/core/sync.hpp"
 #include "src/bounds/upper.hpp"
 #include "src/model/io.hpp"
 #include "src/obs/metrics.hpp"
@@ -291,9 +290,12 @@ class Engine {
   void admit(Request req) {
     // Keep the reorder window bounded before handing out new work.
     {
-      std::unique_lock lock(done_mu_);
+      core::UniqueLock lock(done_mu_);
       while (req.index - next_emit_ >= window_) {
         flush_ready_locked();
+        // Predicate-less timed wait on purpose: the enclosing while IS the
+        // re-check, and the 50ms bound keeps the window draining even on a
+        // missed notify (see core::CondVar).
         done_cv_.wait_for(lock, std::chrono::milliseconds(50));
         // No drain check needed: a drain cancels in-flight deadlines, so
         // the window always drains forward.
@@ -318,6 +320,8 @@ class Engine {
 
   void maybe_trigger_drain() {
     if (draining()) return;
+    // sp-sync: relaxed poll of the caller's interrupt flag; detection may
+    // lag by one 50ms admission round, which drain tolerates.
     if (config_.interrupt != nullptr &&
         config_.interrupt->load(std::memory_order_relaxed)) {
       trigger_drain("batch draining (interrupted)", /*interrupted=*/true);
@@ -329,7 +333,9 @@ class Engine {
 
   void trigger_drain(const char* reason, bool interrupted) {
     {
-      std::lock_guard lock(inflight_mu_);
+      const core::LockGuard lock(inflight_mu_);
+      // sp-sync: relaxed read is exact under inflight_mu_ -- every
+      // draining_ store happens inside this critical section.
       if (draining_.load(std::memory_order_relaxed)) return;
       drain_reason_ = reason;
       if (interrupted) core::note_expired("srv.batch");
@@ -352,6 +358,8 @@ class Engine {
     while (queue_->pop(req)) {
       g_queue_depth_.set(static_cast<double>(queue_->size()));
       g_inflight_.set(static_cast<double>(
+          // sp-sync: relaxed gauge bookkeeping; momentary skew only
+          // blurs the srv.inflight gauge, never control flow.
           1 + inflight_count_.fetch_add(1, std::memory_order_relaxed)));
       const std::size_t index = req.index;
       const std::string id = req.id;
@@ -365,6 +373,7 @@ class Engine {
                           std::string("internal error: ") + e.what());
       }
       g_inflight_.set(static_cast<double>(
+          // sp-sync: as above (gauge bookkeeping).
           inflight_count_.fetch_sub(1, std::memory_order_relaxed) - 1));
     }
   }
@@ -431,8 +440,10 @@ class Engine {
     const core::Deadline deadline =
         core::Deadline::after_at_most(req.time_limit, global_);
     {
-      std::lock_guard lock(inflight_mu_);
+      const core::LockGuard lock(inflight_mu_);
       inflight_[slot] = deadline;
+      // sp-sync: relaxed read is exact under inflight_mu_ (stores happen
+      // under it in trigger_drain).
       if (draining_.load(std::memory_order_relaxed)) deadline.cancel();
     }
 
@@ -444,7 +455,7 @@ class Engine {
       error = e.what();  // e.g. exact-solver tuple-space overflow
     }
     {
-      std::lock_guard lock(inflight_mu_);
+      const core::LockGuard lock(inflight_mu_);
       inflight_[slot] = core::Deadline{};
     }
     if (!error.empty()) {
@@ -566,7 +577,7 @@ class Engine {
       case RequestStatus::kRejected: ++n_rejected_; c_rejected_.inc(); break;
     }
     {
-      std::lock_guard lock(done_mu_);
+      const core::LockGuard lock(done_mu_);
       done_.emplace(index, Done{std::move(line), std::move(access)});
     }
     done_cv_.notify_all();
@@ -575,11 +586,11 @@ class Engine {
   /// Write every response whose turn has come (responses are emitted in
   /// input order; out-of-order completions wait in done_).
   void flush_ready() {
-    std::lock_guard lock(done_mu_);
+    const core::LockGuard lock(done_mu_);
     flush_ready_locked();
   }
 
-  void flush_ready_locked() {
+  void flush_ready_locked() SP_REQUIRES(done_mu_) {
     auto it = done_.find(next_emit_);
     while (it != done_.end()) {
       out_ << it->second.response << "\n";
@@ -603,10 +614,14 @@ class Engine {
   std::size_t window_ = 0;
   std::size_t total_ = 0;
 
-  std::mutex inflight_mu_;
-  std::vector<core::Deadline> inflight_;  // guarded by inflight_mu_
+  core::Mutex inflight_mu_;
+  std::vector<core::Deadline> inflight_ SP_GUARDED_BY(inflight_mu_);
   std::atomic<bool> draining_{false};
-  std::string drain_reason_;  // written once, before draining_ is set
+  // Written once under inflight_mu_ strictly before the release-store of
+  // draining_; readers see it only after draining() observes true
+  // (acquire), so it is immutable from their perspective -- deliberately
+  // not mu-guarded, the rejection path reads it lock-free.
+  std::string drain_reason_;
 
   /// One completed request waiting in the reorder buffer: its response
   /// line plus (when enabled) its access-log line, emitted together.
@@ -615,10 +630,10 @@ class Engine {
     std::string access;
   };
 
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::map<std::size_t, Done> done_;  // guarded by done_mu_
-  std::size_t next_emit_ = 0;         // guarded by done_mu_
+  core::Mutex done_mu_;
+  core::CondVar done_cv_;
+  std::map<std::size_t, Done> done_ SP_GUARDED_BY(done_mu_);
+  std::size_t next_emit_ SP_GUARDED_BY(done_mu_) = 0;
 
   std::atomic<std::size_t> n_ok_{0};
   std::atomic<std::size_t> n_budget_{0};

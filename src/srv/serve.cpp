@@ -1,9 +1,9 @@
+#include "src/core/sync.hpp"
 #include "src/srv/serve.hpp"
 
 #include <chrono>
 #include <cmath>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -240,7 +240,7 @@ class ServeLoop {
     g_sessions_.set(0.0);
 
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const core::LockGuard lock(mu_);
       stop_ = true;
     }
     monitor.join();
@@ -259,9 +259,11 @@ class ServeLoop {
   void watch() {
     for (;;) {
       {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const core::LockGuard lock(mu_);
         if (stop_) return;
         if (!draining_) {
+          // sp-sync: relaxed poll of the caller's interrupt flag; the 5ms
+          // monitor cadence dominates any propagation delay.
           if (config_.interrupt != nullptr &&
               config_.interrupt->load(std::memory_order_relaxed)) {
             begin_drain_locked("serve draining (interrupted)");
@@ -274,7 +276,7 @@ class ServeLoop {
     }
   }
 
-  void begin_drain_locked(const char* reason) {
+  void begin_drain_locked(const char* reason) SP_REQUIRES(mu_) {
     draining_ = true;
     drain_reason_ = reason;
     core::note_expired("srv.serve");
@@ -285,10 +287,11 @@ class ServeLoop {
   }
 
   [[nodiscard]] bool draining() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::LockGuard lock(mu_);
     if (!draining_) {
       // The monitor polls at 5ms; checking inline here as well keeps the
       // first post-interrupt line from slipping through the gap.
+      // sp-sync: relaxed poll of the caller's interrupt flag (see watch()).
       if (config_.interrupt != nullptr &&
           config_.interrupt->load(std::memory_order_relaxed)) {
         begin_drain_locked("serve draining (interrupted)");
@@ -306,7 +309,7 @@ class ServeLoop {
     if (draining()) {
       std::string reason;
       {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const core::LockGuard lock(mu_);
         reason = drain_reason_;
       }
       emit_error(index, /*id=*/"", /*session=*/"", RequestStatus::kRejected,
@@ -433,14 +436,14 @@ class ServeLoop {
   core::SolveOptions arm(double time_limit) {
     const core::Deadline deadline =
         core::Deadline::after_at_most(time_limit, global_);
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::LockGuard lock(mu_);
     inflight_ = deadline;
     if (draining_) deadline.cancel();
     return core::SolveOptions{deadline};
   }
 
   void disarm() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::LockGuard lock(mu_);
     inflight_ = core::Deadline{};
   }
 
@@ -519,11 +522,12 @@ class ServeLoop {
   obs::SloTracker slo_;
   ServeReport report_;
 
-  std::mutex mu_;
-  bool stop_ = false;              // guarded by mu_
-  bool draining_ = false;          // guarded by mu_
-  std::string drain_reason_;       // guarded by mu_
-  core::Deadline inflight_;        // guarded by mu_ (cancel is thread-safe)
+  core::Mutex mu_;
+  bool stop_ SP_GUARDED_BY(mu_) = false;
+  bool draining_ SP_GUARDED_BY(mu_) = false;
+  std::string drain_reason_ SP_GUARDED_BY(mu_);
+  core::Deadline inflight_
+      SP_GUARDED_BY(mu_);  // the handle; cancel() itself is thread-safe
 
   obs::Counter c_ok_;
   obs::Counter c_budget_;

@@ -66,7 +66,9 @@ std::size_t Session::index_of_sid(std::size_t sid) const {
 
 void Session::ensure_antenna_slots() {
   const std::size_t k = inst_.num_antennas();
-  while (caches_.size() < k) caches_.emplace_back();
+  while (caches_.size() < k) {
+    caches_.push_back(std::make_unique<knapsack::OracleCache>());
+  }
   if (memo_.size() < k) memo_.resize(k);
 }
 
@@ -243,7 +245,7 @@ ResolveStats Session::replay_greedy(const core::SolveOptions& opts) {
     pick.choice = single::best_window_weighted(
         thetas, values, demands, inst_.antenna(j).rho,
         inst_.antenna(j).capacity, oracle_, /*parallel=*/false, nullptr,
-        &caches_[slot], ids, opts.deadline);
+        caches_[slot].get(), ids, opts.deadline);
     pick.value = pick.choice.value;
     // Never memoize a deadline-truncated sweep: its verdict depends on
     // where the clock ran out, not on the member set alone.

@@ -52,7 +52,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -148,11 +147,14 @@ class Session {
   std::size_t next_sid_ = 0;
   std::vector<std::uint64_t> band_fp_;  // antenna -> sum of in-band terms
 
-  // Per-antenna window caches. deque: OracleCache is not movable (mutex),
-  // and antenna_add appends without relocating existing slots. Greedy
+  // Per-antenna window caches, one heap slot per antenna. The session owns
+  // each OracleCache exclusively (IncrementalOracle only borrows a raw
+  // pointer for the duration of one resolve), and the unique_ptr
+  // indirection keeps the immovable cache (it holds a core::Mutex) at a
+  // stable address while the vector itself grows on antenna_add. Greedy
   // shares slot 0 across identical antennas; the replay mirrors that
   // indexing (identical ? 0 : j).
-  std::deque<knapsack::OracleCache> caches_;
+  std::vector<std::unique_ptr<knapsack::OracleCache>> caches_;
   std::vector<std::unordered_map<std::uint64_t, MemoPick>> memo_;
 };
 

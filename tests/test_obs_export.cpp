@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -162,6 +163,40 @@ TEST_F(ObsExportTest, ExporterWritesJsonlAndPromAndStopsCleanly) {
     ++expected_seq;
   }
   EXPECT_GE(expected_seq, 2);
+}
+
+TEST_F(ObsExportTest, ExporterStopWhileTickMidWrite) {
+  // Teardown race: stop() arrives while the export thread is likely
+  // mid-tick (0.01 s interval, the minimum) and while a writer keeps
+  // mutating the registry being snapshotted. stop() must wake the
+  // in-flight wait, let a mid-write tick finish, run the final export,
+  // and join; under TSan any regression in the stop/tick handshake or in
+  // Registry::snapshot's locking fails this test.
+  obs::Registry reg;
+  const std::string dir = ::testing::TempDir();
+  const std::string prom = dir + "obs_exporter_midtick.prom";
+  const std::string jsonl = dir + "obs_exporter_midtick.jsonl";
+  std::remove(prom.c_str());
+  std::remove(jsonl.c_str());
+  obs::ExporterConfig config;
+  config.interval_seconds = 0.01;
+  config.prom_path = prom;
+  config.jsonl_path = jsonl;
+  obs::Exporter exporter(config, &reg);
+  std::atomic<bool> quit{false};
+  std::thread writer([&] {
+    obs::Counter racing = reg.counter("exp.midtick");
+    while (!quit.load(std::memory_order_acquire)) racing.add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  exporter.stop();
+  exporter.stop();  // idempotent even right after a mid-tick stop
+  quit.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_TRUE(exporter.healthy());
+  EXPECT_GE(exporter.ticks(), 1u);
+  // The final export landed a complete exposition despite the race.
+  EXPECT_NE(slurp(prom).find("sectorpack_exp_midtick"), std::string::npos);
 }
 
 TEST_F(ObsExportTest, ExporterInertWithoutPaths) {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Clang Thread Safety Analysis gate over compile_commands.json.
+
+Re-drives every src/ translation unit from the compilation database with
+
+    clang++ <recorded flags> -fsyntax-only -Wthread-safety \
+        -Wthread-safety-beta -Werror
+
+so every SP_GUARDED_BY / SP_REQUIRES / SP_ACQUIRE annotation declared in
+src/core/sync.hpp is actually *checked*: a guarded member touched without
+its mutex, a helper called without its declared lock precondition, or a
+lock released on the wrong path fails the gate as a compile error.
+
+The analysis pass exists only in clang.  When no clang++ is available
+(this container ships only g++) the gate exits with a distinct SKIP code
+so callers can report "SKIP(clang missing)" instead of a silent pass --
+and `SP_REQUIRE_THREAD_SAFETY=1` lets CI turn that skip into a failure
+(scripts/check.sh does the promotion).
+
+Exit status: 0 clean, 1 diagnostics found, 2 setup error (missing
+compile_commands.json / no in-scope TUs), 3 skipped (no clang++).
+"""
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from run_clang_tidy import (REPO_ROOT, entry_argv, in_scope, load_database,
+                            run_one)
+
+EXIT_SKIP = 3
+
+# Only src/ is in scope: the annotations live on src/ types, and tests /
+# bench use raw primitives deliberately (gtest orchestration is outside
+# the capability discipline; sp-lint's raw-mutex rule draws the same
+# boundary).
+DEFAULT_PATHS = ("src",)
+
+GATE_FLAGS = [
+    "-fsyntax-only",
+    # The database was recorded for g++; mute clang-vs-gcc flag and
+    # warning-set differences first so the verdict is *only* the analysis
+    # (order matters: -Wno-everything would swallow later re-enables).
+    "-Wno-unknown-warning-option",
+    "-Wno-everything",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror=thread-safety",
+    "-Werror=thread-safety-beta",
+]
+
+
+def find_clang(explicit):
+    """Newest clang++ on PATH, or None. Honors $CLANGXX / --clang."""
+    candidates = [explicit] if explicit else []
+    candidates += ["clang++"] + ["clang++-%d" % v for v in range(21, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def thread_safety_argv(clang, entry):
+    """The recorded compile command re-targeted at clang++: keep include
+    paths, defines and -std; drop code generation (-c/-o) and the original
+    compiler; append the analysis flags."""
+    argv = entry_argv(entry)
+    out = [clang]
+    skip = False
+    for arg in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if arg == "-o":
+            skip = True
+            continue
+        if arg == "-c":
+            continue
+        out.append(arg)
+    return out + GATE_FLAGS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO_ROOT, "build-lint"))
+    parser.add_argument("--paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="repo-relative directories in scope")
+    parser.add_argument("--clang", default=os.environ.get("CLANGXX"),
+                        help="clang++ binary (default: search PATH)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1))
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        sys.stderr.write(
+            "thread-safety: SKIP -- no clang++ on PATH (the analysis pass "
+            "is clang-only; sp-lint's concurrency rules still enforce the "
+            "textual discipline)\n")
+        return EXIT_SKIP
+
+    entries = [e for e in load_database(args.build_dir)
+               if in_scope(e["file"], args.paths)]
+    if not entries:
+        sys.stderr.write("error: no in-scope TUs in compile database\n")
+        return 2
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {
+            pool.submit(run_one, thread_safety_argv(clang, e),
+                        e["directory"]): e["file"]
+            for e in entries
+        }
+        for future in concurrent.futures.as_completed(futures):
+            rc, output = future.result()
+            if rc != 0:
+                failures += 1
+                rel = os.path.relpath(futures[future], REPO_ROOT)
+                sys.stderr.write("---- %s\n%s\n" % (rel, output.strip()))
+
+    if failures:
+        print("thread-safety: FAIL (%d of %d TUs with diagnostics)"
+              % (failures, len(entries)))
+        return 1
+    print("thread-safety: PASS (%d TUs clean under -Wthread-safety)"
+          % len(entries))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

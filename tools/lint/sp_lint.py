@@ -22,6 +22,27 @@ Rules (see docs/static-analysis.md for the full table):
                     counts from text must go through the clamped readers.
   cpp-include       #include of a .cpp file anywhere: creates double
                     definitions and hides the real dependency graph.
+  raw-mutex         direct std::mutex / std::condition_variable /
+                    std::lock_guard / std::unique_lock (and friends) in
+                    src/ outside src/core/sync.hpp -- lock through the
+                    annotated core::Mutex/LockGuard/UniqueLock/CondVar
+                    wrappers so Clang thread-safety analysis sees it.
+  cv-wait-no-predicate
+                    condition-variable .wait(lock) with no predicate:
+                    the classic lost-wakeup/spurious-wakeup bug. Pass the
+                    predicate to wait(); deliberate polling uses the
+                    timed wait_for overload.
+  detached-thread   .detach() on a thread anywhere: a detached thread
+                    outlives the state it captures, races teardown, and
+                    cannot be drained; every thread here is joined.
+  relaxed-order-no-rationale
+                    memory_order_relaxed in src/ without an adjacent
+                    `// sp-sync:` rationale (same line or the preceding
+                    12 lines). Relaxed ordering is correct only for a
+                    documented reason.
+  unannotated-guard a core::Mutex declaration in a src/ file with no
+                    SP_GUARDED_BY anywhere in that file: a capability
+                    nothing is annotated against guards nothing.
 
 Waivers: a violating line is excused by an inline comment on the same line
 or the line directly above:
@@ -69,6 +90,16 @@ RULES = {
     "untrusted-count": "naked integer parse / reserve-on-parse outside "
                        "src/model/io",
     "cpp-include": "#include of a .cpp file",
+    "raw-mutex": "raw std:: sync primitive in src/ outside "
+                 "src/core/sync.hpp; use the core::Mutex wrappers",
+    "cv-wait-no-predicate": "condition-variable wait() without a "
+                            "predicate (lost-wakeup bug)",
+    "detached-thread": ".detach() on a thread; every thread must be "
+                       "joined",
+    "relaxed-order-no-rationale": "memory_order_relaxed without an "
+                                  "adjacent // sp-sync: rationale",
+    "unannotated-guard": "core::Mutex in a file with no SP_GUARDED_BY "
+                         "uses",
     "bad-waiver": "malformed sp-lint waiver (unknown rule or missing "
                   "reason)",
 }
@@ -198,6 +229,46 @@ PARSE_CALL_RE = re.compile(
 RESERVE_ON_PARSE_RE = re.compile(
     r"\.\s*reserve\s*\([^)]*\bsto(?:i|l|ll|ul|ull)\b")
 CPP_INCLUDE_RE = re.compile(r"#\s*include\s*[<\"][^>\"]*\.cpp[>\"]")
+RAW_MUTEX_RE = re.compile(
+    r"std\s*::\s*(?:mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
+CV_WAIT_RE = re.compile(r"\.\s*wait\s*\(")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+SP_SYNC_COMMENT_RE = re.compile(r"//\s*sp-sync:")
+# How far above a memory_order_relaxed use its `// sp-sync:` rationale may
+# sit. Wide enough that one comment covers a tight block of relaxed ops
+# (a histogram-observe body, a zeroing loop) without comment-per-line spam.
+RELAXED_RATIONALE_WINDOW = 12
+CORE_MUTEX_DECL_RE = re.compile(
+    r"(?:^|[\s(])(?:mutable\s+)?(?:sectorpack\s*::\s*)?core\s*::\s*Mutex\s+"
+    r"(\w+)\s*;")
+GUARD_ANNOTATION_RE = re.compile(r"\bSP_GUARDED_BY\s*\(")
+
+
+def call_arg_count(stripped, open_paren):
+    """Number of top-level arguments of the call whose '(' is at
+    open_paren, or -1 when the call never closes (macro split across
+    files etc.). Comments/strings are already blanked in `stripped`."""
+    depth = 0
+    args = 0
+    saw_token = False
+    for i in range(open_paren, len(stripped)):
+        ch = stripped[i]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                return args + 1 if saw_token else args
+        elif depth == 1:
+            if ch == ",":
+                args += 1
+            elif not ch.isspace():
+                saw_token = True
+    return -1
 
 
 def lint_text(rel, raw):
@@ -265,6 +336,57 @@ def lint_text(rel, raw):
             report("untrusted-count", m.start(),
                    "reserve() directly on a parsed count; clamp first "
                    "(see src/model/io.cpp)")
+
+    # raw-mutex: src/ only; src/core/sync.hpp is the wrapper and the one
+    # legal home of the raw primitives. Tests may use them for test-local
+    # orchestration (they are not part of the annotated product surface).
+    if in_src and rel != "src/core/sync.hpp":
+        for m in RAW_MUTEX_RE.finditer(stripped):
+            report("raw-mutex", m.start(),
+                   "raw '%s'; lock through core::Mutex/LockGuard/"
+                   "UniqueLock/CondVar (src/core/sync.hpp)"
+                   % m.group(0).strip())
+
+    # cv-wait-no-predicate: everywhere. A one-argument .wait(lock) is the
+    # lost-wakeup pattern; zero-argument .wait() (futures) and the
+    # two-argument predicate form are fine.
+    for m in CV_WAIT_RE.finditer(stripped):
+        open_paren = stripped.index("(", m.start())
+        if call_arg_count(stripped, open_paren) == 1:
+            report("cv-wait-no-predicate", m.start(),
+                   "wait(lock) without a predicate loses wakeups; pass "
+                   "the condition as a lambda (core::CondVar only "
+                   "offers the predicate form)")
+
+    # detached-thread: everywhere.
+    for m in DETACH_RE.finditer(stripped):
+        report("detached-thread", m.start(),
+               ".detach() orphans the thread past its captured state; "
+               "keep the handle and join it")
+
+    # relaxed-order-no-rationale: src/ only. The rationale comment lives
+    # in the raw text (comments are what we are looking for).
+    if in_src:
+        for m in RELAXED_RE.finditer(stripped):
+            line = line_of(m.start(), stripped)
+            lo = max(0, line - 1 - RELAXED_RATIONALE_WINDOW)
+            window = raw_lines[lo:line]
+            if not any(SP_SYNC_COMMENT_RE.search(l) for l in window):
+                report("relaxed-order-no-rationale", m.start(),
+                       "memory_order_relaxed without a nearby "
+                       "'// sp-sync:' rationale (within %d lines)"
+                       % RELAXED_RATIONALE_WINDOW)
+
+    # unannotated-guard: src/ only. File-granular heuristic: declaring a
+    # core::Mutex in a file where nothing is SP_GUARDED_BY means the
+    # capability protects nothing the analysis can check.
+    if in_src and rel != "src/core/sync.hpp":
+        if not GUARD_ANNOTATION_RE.search(stripped):
+            for m in CORE_MUTEX_DECL_RE.finditer(stripped):
+                report("unannotated-guard", m.start(),
+                       "core::Mutex '%s' declared but no SP_GUARDED_BY "
+                       "in this file; annotate what it protects"
+                       % m.group(1))
 
     # cpp-include: everywhere. Matched against comment-stripped text that
     # KEEPS string literals -- the include path is one.

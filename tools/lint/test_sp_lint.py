@@ -147,6 +147,204 @@ class CppIncludeTest(unittest.TestCase):
             rules("src/a/b.cpp", '#include "src/model/io.hpp"'), set())
 
 
+class RawMutexTest(unittest.TestCase):
+    def test_std_mutex_member_fires(self):
+        self.assertEqual(
+            violations("src/foo/x.hpp", "class C { std::mutex mu_; };"),
+            [("raw-mutex", 1)])
+
+    def test_lock_guard_fires(self):
+        self.assertIn(
+            "raw-mutex",
+            rules("src/foo/x.cpp",
+                  "void f() { std::lock_guard<std::mutex> l(m); }"))
+
+    def test_unique_lock_fires(self):
+        self.assertIn("raw-mutex",
+                      rules("src/foo/x.cpp", "std::unique_lock lk(m);"))
+
+    def test_condition_variable_fires(self):
+        self.assertIn("raw-mutex",
+                      rules("src/foo/x.hpp", "std::condition_variable cv_;"))
+
+    def test_mutex_include_fires(self):
+        self.assertIn("raw-mutex",
+                      rules("src/foo/x.hpp", "#include <mutex>\n"))
+
+    def test_shared_mutex_include_fires(self):
+        self.assertIn("raw-mutex",
+                      rules("src/foo/x.hpp", "#include <shared_mutex>\n"))
+
+    def test_sync_header_exempt(self):
+        self.assertNotIn(
+            "raw-mutex",
+            rules("src/core/sync.hpp", "std::mutex mu_;\n#include <mutex>"))
+
+    def test_tests_exempt(self):
+        self.assertEqual(
+            rules("tests/test_x.cpp", "std::mutex mu; std::unique_lock l(mu);"),
+            set())
+
+    def test_core_mutex_ok(self):
+        self.assertNotIn(
+            "raw-mutex",
+            rules("src/foo/x.hpp",
+                  "core::Mutex mu_;\nint v_ SP_GUARDED_BY(mu_);"))
+
+    def test_waiver_works(self):
+        self.assertEqual(
+            rules("src/foo/x.hpp",
+                  "#include <mutex>  // sp-lint: allow(raw-mutex) fixture"),
+            set())
+
+
+class CvWaitNoPredicateTest(unittest.TestCase):
+    def test_one_arg_wait_fires(self):
+        self.assertIn("cv-wait-no-predicate",
+                      rules("tests/test_x.cpp", "cv.wait(lock);"))
+
+    def test_fires_in_src_too(self):
+        # src/ would already fail raw-mutex for the cv itself, but the wait
+        # rule must fire independently (core::CondVar could grow the overload).
+        self.assertIn("cv-wait-no-predicate",
+                      rules("src/foo/x.cpp", "cv_.wait(lock);"))
+
+    def test_predicate_wait_ok(self):
+        self.assertNotIn(
+            "cv-wait-no-predicate",
+            rules("tests/test_x.cpp",
+                  "cv.wait(lock, [&] { return ready; });"))
+
+    def test_multiline_predicate_ok(self):
+        self.assertNotIn(
+            "cv-wait-no-predicate",
+            rules("tests/test_x.cpp",
+                  "cv.wait(lock, [&] {\n  return a ||\n         b;\n});"))
+
+    def test_future_wait_ok(self):
+        self.assertNotIn("cv-wait-no-predicate",
+                         rules("tests/test_x.cpp", "fut.wait();"))
+
+    def test_nested_commas_do_not_fool_arity(self):
+        # One argument containing commas inside nested parens is still arity 1.
+        self.assertIn("cv-wait-no-predicate",
+                      rules("tests/test_x.cpp", "cv.wait(pick(a, b));"))
+
+    def test_waiver_works(self):
+        self.assertEqual(
+            rules("tests/test_x.cpp",
+                  "cv.wait(lock);  // sp-lint: allow(cv-wait-no-predicate)"
+                  " fixture"),
+            set())
+
+
+class DetachedThreadTest(unittest.TestCase):
+    def test_detach_fires_everywhere(self):
+        for rel in ("src/a/b.cpp", "tests/t.cpp", "tools/t.cpp"):
+            self.assertIn("detached-thread", rules(rel, "t.detach();"))
+
+    def test_join_ok(self):
+        self.assertEqual(rules("src/a/b.cpp", "t.join();"), set())
+
+    def test_comment_mention_ok(self):
+        self.assertEqual(
+            rules("src/a/b.cpp", "// never call .detach() here\n"), set())
+
+    def test_waiver_works(self):
+        self.assertEqual(
+            rules("src/a/b.cpp",
+                  "t.detach();  // sp-lint: allow(detached-thread) fixture"),
+            set())
+
+
+class RelaxedOrderTest(unittest.TestCase):
+    def test_bare_relaxed_fires(self):
+        self.assertEqual(
+            violations("src/foo/x.cpp",
+                       "n_.fetch_add(1, std::memory_order_relaxed);"),
+            [("relaxed-order-no-rationale", 1)])
+
+    def test_same_line_rationale_ok(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "n_.fetch_add(1, std::memory_order_relaxed);"
+                  "  // sp-sync: stats only"),
+            set())
+
+    def test_preceding_rationale_ok(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "// sp-sync: monotonic counter, no ordering needed\n"
+                  "n_.fetch_add(1, std::memory_order_relaxed);"),
+            set())
+
+    def test_rationale_window_covers_block(self):
+        pad = "f();\n" * (sp_lint.RELAXED_RATIONALE_WINDOW - 1)
+        text = ("// sp-sync: whole block is best-effort stats\n" + pad +
+                "n_.load(std::memory_order_relaxed);")
+        self.assertEqual(rules("src/foo/x.cpp", text), set())
+
+    def test_rationale_outside_window_fires(self):
+        pad = "f();\n" * (sp_lint.RELAXED_RATIONALE_WINDOW + 1)
+        text = ("// sp-sync: too far away\n" + pad +
+                "n_.load(std::memory_order_relaxed);")
+        self.assertIn("relaxed-order-no-rationale",
+                      rules("src/foo/x.cpp", text))
+
+    def test_acquire_release_need_no_comment(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "flag_.store(true, std::memory_order_release);"),
+            set())
+
+    def test_tests_exempt(self):
+        self.assertEqual(
+            rules("tests/test_x.cpp",
+                  "n.load(std::memory_order_relaxed);"),
+            set())
+
+    def test_waiver_works(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "// sp-lint: allow(relaxed-order-no-rationale) fixture\n"
+                  "n_.load(std::memory_order_relaxed);"),
+            set())
+
+
+class UnannotatedGuardTest(unittest.TestCase):
+    def test_guardless_mutex_fires(self):
+        self.assertEqual(
+            violations("src/foo/x.hpp",
+                       "class C {\n  core::Mutex mu_;\n  int v_;\n};"),
+            [("unannotated-guard", 2)])
+
+    def test_guarded_file_ok(self):
+        self.assertEqual(
+            rules("src/foo/x.hpp",
+                  "class C {\n  core::Mutex mu_;\n"
+                  "  int v_ SP_GUARDED_BY(mu_);\n};"),
+            set())
+
+    def test_mutable_and_qualified_forms_fire(self):
+        self.assertIn(
+            "unannotated-guard",
+            rules("src/foo/x.hpp", "mutable core::Mutex mu_;"))
+        self.assertIn(
+            "unannotated-guard",
+            rules("src/foo/x.hpp", "sectorpack::core::Mutex mu_;"))
+
+    def test_tests_exempt(self):
+        self.assertEqual(rules("tests/test_x.cpp", "core::Mutex mu_;"),
+                         set())
+
+    def test_waiver_works(self):
+        self.assertEqual(
+            rules("src/foo/x.cpp",
+                  "// sp-lint: allow(unannotated-guard) local mutex fixture\n"
+                  "core::Mutex mu;"),
+            set())
+
+
 class WaiverTest(unittest.TestCase):
     def test_same_line_waiver(self):
         self.assertEqual(
