@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
       std::cout, "S2", "session serving (incremental delta re-solve)");
   bench::BenchReport report("s2_serve");
 
-  const srv::SolverKey key{"greedy", 1, 0};
+  const srv::SolverKey key{"greedy", 1, 0, ""};
   srv::Session session(ring_instance(n, 6), key);
 
   const bench_util::Timer init_timer;

@@ -40,6 +40,13 @@
 #              named-invariant verifier. No --time-limit anywhere: deadline
 #              stops are wall-clock nondeterministic and would break the
 #              byte comparison.
+#   race       the portfolio-racing contract (docs/performance.md): a
+#              sanitized `solve --solver race` run must produce a verified,
+#              byte-identical-across-repeats solution with a
+#              race.winner.<family> counter in --stats json, and a
+#              dominant-family duel must prove cancel-on-winner
+#              (race.cancelled >= 1 with status complete). Repeated under
+#              TSan by the --tsan battery.
 #   obs        the telemetry contract (docs/observability.md): a batch run
 #              under ASan+UBSan with --metrics-out / --metrics-jsonl /
 #              --metrics-interval 1 / --access-log / --stats json, long
@@ -50,10 +57,10 @@
 #              --metrics-* flag usage errors.
 #
 # Usage: scripts/check.sh [--lint | --format | --contracts | --tsan |
-#                          --fuzz | --batch | --serve | --huge | --obs]
-#                         [build-dir]
+#                          --fuzz | --batch | --serve | --huge | --race |
+#                          --obs] [build-dir]
 #   no flag      run every stage (lint, format, contracts, sanitize,
-#                batch, serve, huge, obs)
+#                batch, serve, huge, race, obs)
 #   --lint       static analysis only
 #   --format     format check only
 #   --contracts  contracts-enabled test build only
@@ -64,6 +71,7 @@
 #   --batch      batch-engine corpus only (ASan+UBSan, then TSan)
 #   --serve      session-serving byte-identity gate only (ASan+UBSan)
 #   --huge       spatial-index scale contract only (ASan+UBSan)
+#   --race       portfolio-racing contract only (ASan+UBSan)
 #   --obs        telemetry contract only (ASan+UBSan)
 #
 # Each stage prints a summary line "[gate] <stage>: PASS"; the first
@@ -79,6 +87,7 @@ case "${1:-}" in
   --batch) MODE="batch"; shift ;;
   --serve) MODE="serve"; shift ;;
   --huge) MODE="huge"; shift ;;
+  --race) MODE="race"; shift ;;
   --obs) MODE="obs"; shift ;;
   --lint) MODE="lint"; shift ;;
   --format) MODE="format"; shift ;;
@@ -746,6 +755,91 @@ run_serve() {
   echo "[gate] serve: PASS (ASan+UBSan, 50-delta byte-identity)"
 }
 
+# Portfolio-racing contract (docs/performance.md) against the build at $1:
+#   1. contested run: a race over the default portfolio must verify, carry
+#      a race.winner.<family> counter in --stats json, and be byte-
+#      identical across repeats (the determinism contract).
+#   2. dominant-family duel: local-search proves optimality on a
+#      saturating arcband instance while annealing holds a huge iteration
+#      budget; the proof must cancel the running lane (race.cancelled >= 1)
+#      and the result must still be status complete at the upper bound.
+run_race_corpus() {
+  local CLI="$1/tools/sectorpack"
+  local TMP
+  TMP="$(mktemp -d)"
+  # Self-clearing: a RETURN trap outlives the function that set it and
+  # would re-fire (with $TMP unbound) at the next function return.
+  trap 'rm -rf "$TMP"; trap - RETURN' RETURN
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >"$TMP/out" 2>"$TMP/err" || got=$?
+    if [[ "$got" != "$want" ]]; then
+      echo "FAIL: expected exit $want, got $got: $*" >&2
+      cat "$TMP/err" >&2
+      exit 1
+    fi
+  }
+
+  # 1. Contested race: verified output, winner metric, byte determinism.
+  expect_rc 0 "$CLI" generate --n 800 --k 4 --seed 31 --spatial hotspots \
+    -o "$TMP/contested.inst"
+  expect_rc 0 "$CLI" solve --in "$TMP/contested.inst" --solver race \
+    --portfolio greedy,local_search,annealing --iterations 300 \
+    -o "$TMP/race1.sol" --stats json
+  cp "$TMP/out" "$TMP/stats1.json"
+  expect_rc 0 "$CLI" verify --in "$TMP/contested.inst" \
+    --solution "$TMP/race1.sol"
+  expect_rc 0 "$CLI" solve --in "$TMP/contested.inst" --solver race \
+    --portfolio greedy,local_search,annealing --iterations 300 \
+    -o "$TMP/race2.sol"
+  if ! cmp -s "$TMP/race1.sol" "$TMP/race2.sol"; then
+    echo "FAIL: race is not byte-deterministic across repeats" >&2
+    exit 1
+  fi
+  python3 - "$TMP/stats1.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+winners = {k: v for k, v in counters.items() if k.startswith("race.winner.")}
+assert winners and sum(winners.values()) == 1, winners
+assert counters.get("race.incumbent_publishes", 0) >= 1, counters
+EOF
+
+  # 2. Dominant duel: the optimality proof must cancel the running lane.
+  # Unit-demand arcband with capacity == demand: local-search provably
+  # serves everyone; annealing's budget alone would run for minutes.
+  expect_rc 0 "$CLI" generate --n 6000 --k 2 --spatial arcband \
+    --demand unit --rho-deg 120 --capacity-fraction 1.0 --seed 5 \
+    -o "$TMP/duel.inst"
+  expect_rc 0 "$CLI" solve --in "$TMP/duel.inst" --solver race \
+    --portfolio local_search,annealing --iterations 500000000 \
+    -o "$TMP/duel.sol" --stats json
+  cp "$TMP/out" "$TMP/stats2.json"
+  grep -q 'status=complete' "$TMP/err"
+  ! grep -q 'status budget_exhausted' "$TMP/duel.sol"
+  expect_rc 0 "$CLI" verify --in "$TMP/duel.inst" --solution "$TMP/duel.sol"
+  python3 - "$TMP/stats2.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters.get("race.winner.local-search", 0) == 1, counters
+assert counters.get("race.cancelled", 0) >= 1, \
+    "winner's proof did not cancel the running lane: %r" % counters
+EOF
+  echo "race corpus OK: contested determinism + dominant cancel-on-winner"
+}
+
+run_race() {
+  local build_dir
+  build_dir="${BUILD_DIR_OVERRIDE:-build-sanitize}"
+  cmake -B "$build_dir" -S . -DSECTORPACK_SANITIZE=ON -DSECTORPACK_TSAN=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j"$JOBS"
+  run_race_corpus "$build_dir"
+  echo "[gate] race: PASS (ASan+UBSan, determinism + cancel-on-winner)"
+}
+
 BUILD_DIR_OVERRIDE="${1:-}"
 
 # TSan battery: the sanitized test suite plus the serving corpora -- the
@@ -759,7 +853,12 @@ run_tsan() {
   local build_dir="${BUILD_DIR_OVERRIDE:-build-tsan}"
   run_serve_corpus "$build_dir"
   run_batch_corpus "$build_dir" 8 80
-  echo "[gate] tsan-serving: PASS (TSan, 50-delta serve + 80-request batch)"
+  # Racing under TSan: the incumbent cell, the deadline cancel tree, and
+  # the winner declaration are exactly the cross-thread machinery TSan is
+  # for (the ctest pass above runs test_race too; this adds the CLI path).
+  run_race_corpus "$build_dir"
+  echo "[gate] tsan-serving: PASS (TSan, 50-delta serve + 80-request" \
+       "batch + race corpus)"
 }
 
 case "$MODE" in
@@ -773,6 +872,7 @@ case "$MODE" in
   batch) run_batch ;;
   serve) run_serve ;;
   huge) run_huge ;;
+  race) run_race ;;
   obs) run_obs ;;
   all)
     run_lint
@@ -782,9 +882,10 @@ case "$MODE" in
     run_batch
     run_serve
     run_huge
+    run_race
     run_obs
     echo
     echo "All gates passed (lint, format, contracts, sanitize, batch," \
-         "serve, huge, obs)."
+         "serve, huge, race, obs)."
     ;;
 esac

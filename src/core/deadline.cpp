@@ -5,18 +5,93 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "src/core/sync.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 
 namespace sectorpack::core {
+
+namespace detail {
+
+/// Shared between all copies of one Deadline. `cancelled` is the one-way
+/// latch expired()/cancel() always used; `children` is the after_at_most
+/// registry that makes a cap's cancel() reach its sub-budgets. Links point
+/// strictly parent -> child and a child is always a node created *after*
+/// its parent, so the graph is a forest: the recursive cancel sweep
+/// terminates and the per-node mutexes are always acquired parent-first
+/// (no ordering cycle).
+struct DeadlineCancelState {
+  std::atomic<bool> cancelled{false};
+  Mutex mu;
+  /// Weak so a finished sub-solve's deadline can be destroyed while its
+  /// long-lived cap survives; dead entries are pruned at registration.
+  std::vector<std::weak_ptr<DeadlineCancelState>> children SP_GUARDED_BY(mu);
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::DeadlineCancelState;
+
+void cancel_tree(DeadlineCancelState& node) noexcept {
+  // sp-sync: relaxed one-way latch (see Deadline::expired()); the store
+  // happens before the sweep below takes mu, which pairs with the
+  // registration-side load under the same mutex.
+  node.cancelled.store(true, std::memory_order_relaxed);
+  const LockGuard lock(node.mu);
+  for (const std::weak_ptr<DeadlineCancelState>& weak : node.children) {
+    if (const std::shared_ptr<DeadlineCancelState> child = weak.lock()) {
+      cancel_tree(*child);
+    }
+  }
+  node.children.clear();
+}
+
+/// Register `child` so a later cancel of `parent` propagates. If the
+/// parent is already cancelled, the child is cancelled on the spot: both
+/// sides work under parent->mu, so a concurrent cancel_tree either sees
+/// the child in the registry or this load sees `cancelled` -- the child
+/// can never slip through the sweep.
+void link_child(DeadlineCancelState& parent,
+                const std::shared_ptr<DeadlineCancelState>& child) {
+  bool cancel_now = false;
+  {
+    const LockGuard lock(parent.mu);
+    // sp-sync: relaxed load is ordered against cancel_tree's store by
+    // parent.mu (the sweep holds it too); see link_child's contract above.
+    if (parent.cancelled.load(std::memory_order_relaxed)) {
+      cancel_now = true;
+    } else {
+      // Prune: a batch engine keeps one global cap alive across thousands
+      // of requests, so the registry must shrink as children die.
+      std::erase_if(parent.children,
+                    [](const std::weak_ptr<DeadlineCancelState>& w) {
+                      return w.expired();
+                    });
+      parent.children.push_back(child);
+    }
+  }
+  if (cancel_now) {
+    // sp-sync: relaxed one-way latch (see Deadline::expired()).
+    child->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
 
 Deadline Deadline::after(double seconds) {
   if (std::isnan(seconds)) {
     throw std::invalid_argument("Deadline::after: budget is NaN");
   }
   Deadline d;
-  d.flag_ = std::make_shared<std::atomic<bool>>(seconds <= 0.0);
+  d.state_ = std::make_shared<DeadlineCancelState>();
+  if (seconds <= 0.0) {
+    // sp-sync: relaxed one-way latch (see expired()); no reader yet.
+    d.state_->cancelled.store(true, std::memory_order_relaxed);
+  }
   if (std::isfinite(seconds)) {
     // Clamp: steady_clock durations are (at most) signed 64-bit
     // nanoseconds, so casting a huge finite budget (say 1e300 s, which a
@@ -34,7 +109,7 @@ Deadline Deadline::after(double seconds) {
 
 Deadline Deadline::cancellable() {
   Deadline d;
-  d.flag_ = std::make_shared<std::atomic<bool>>(false);
+  d.state_ = std::make_shared<DeadlineCancelState>();
   return d;
 }
 
@@ -44,34 +119,40 @@ Deadline Deadline::after_at_most(double seconds, const Deadline& cap) {
                               : std::numeric_limits<double>::infinity();
   const bool own_budget = seconds >= 0.0;  // NaN and negatives: no budget
   const double budget = own_budget ? std::min(seconds, cap_left) : cap_left;
-  if (!std::isfinite(budget)) return cancellable();
-  return after(budget);
+  Deadline child =
+      std::isfinite(budget) ? after(budget) : cancellable();
+  // Share cap's cancellation: the budget already encodes cap's wall-clock
+  // expiry (clamped above), but an explicit cancel() of cap -- drain,
+  // SIGINT, a race declaring its winner -- must reach the child too.
+  if (cap.limited()) link_child(*cap.state_, child.state_);
+  return child;
 }
 
 bool Deadline::expired() const noexcept {
-  if (!flag_) return false;
+  if (!state_) return false;
   // sp-sync: relaxed one-way latch; the flag only ever flips false->true,
   // no data is published through it, and a check that lags a cancel by a
   // few loads just extends a solve by one loop iteration.
-  if (flag_->load(std::memory_order_relaxed)) return true;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
   if (has_expiry_ && Clock::now() >= expiry_) {
-    // Latch so subsequent checks (on any copy) skip the clock read.
+    // Latch so subsequent checks (on any copy) skip the clock read. No
+    // child sweep: every child's budget is clamped under ours, so their
+    // own clocks lapse no later.
     // sp-sync: relaxed one-way latch (see above).
-    flag_->store(true, std::memory_order_relaxed);
+    state_->cancelled.store(true, std::memory_order_relaxed);
     return true;
   }
   return false;
 }
 
 void Deadline::cancel() const noexcept {
-  // sp-sync: relaxed one-way latch (see expired()).
-  if (flag_) flag_->store(true, std::memory_order_relaxed);
+  if (state_) cancel_tree(*state_);
 }
 
 double Deadline::remaining_seconds() const noexcept {
-  if (!flag_) return std::numeric_limits<double>::infinity();
+  if (!state_) return std::numeric_limits<double>::infinity();
   // sp-sync: relaxed one-way latch (see expired()).
-  if (flag_->load(std::memory_order_relaxed)) return 0.0;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return 0.0;
   if (!has_expiry_) return std::numeric_limits<double>::infinity();
   const double left =
       std::chrono::duration<double>(expiry_ - Clock::now()).count();

@@ -14,7 +14,10 @@
 // be cancelled from another thread (admission control, client disconnect).
 // The flag also latches the first observed wall-clock expiry: once any
 // copy has seen the budget lapse, every later expired() call is a single
-// relaxed atomic load, no clock read.
+// relaxed atomic load, no clock read. Sub-budgets carved out with
+// after_at_most stay linked to their cap: cancelling the cap cancels the
+// whole subtree, so a drain interrupts shard slices and portfolio-race
+// lanes mid-flight instead of letting them run out their slices.
 //
 // A default-constructed Deadline is unlimited and checks in one branch on a
 // null pointer; passing no options keeps solvers bit-identical to their
@@ -25,6 +28,13 @@
 #include <memory>
 
 namespace sectorpack::core {
+
+namespace detail {
+/// Cancel flag plus the registry of after_at_most children the flag must
+/// propagate into. Defined in deadline.cpp; copies of a Deadline share one
+/// state node.
+struct DeadlineCancelState;
+}  // namespace detail
 
 class Deadline {
  public:
@@ -51,21 +61,27 @@ class Deadline {
   /// Deadline for a sub-task running under an enclosing budget `cap`:
   /// expires after `seconds` or when cap's *remaining* budget lapses,
   /// whichever is sooner. A negative or NaN `seconds` means "no own
-  /// budget". The result is always cancellable and does NOT share cap's
-  /// cancel flag -- it snapshots cap's remaining time at call time, so a
-  /// later cancel() of cap must be propagated by the caller (the batch
-  /// engine keeps its in-flight per-request deadlines registered and
-  /// cancels them explicitly on drain).
+  /// budget". The result is always cancellable and is *registered as a
+  /// child of cap*: a later cancel() of cap (or of any ancestor in a
+  /// deeper after_at_most chain) propagates to it immediately, so callers
+  /// no longer have to forward cancellation by hand. Propagation is one
+  /// way -- a child expiring or being cancelled never touches cap -- and
+  /// cap's wall-clock expiry needs no link at all, because the child's
+  /// budget is clamped under cap's remaining time at creation. A long-
+  /// lived cap does not accumulate dead children: the registry holds weak
+  /// references, pruned on each registration.
   [[nodiscard]] static Deadline after_at_most(double seconds,
                                               const Deadline& cap);
 
   /// True when constructed via after() or cancellable().
-  [[nodiscard]] bool limited() const noexcept { return flag_ != nullptr; }
+  [[nodiscard]] bool limited() const noexcept { return state_ != nullptr; }
 
   /// True once the budget has lapsed or cancel() was called (on any copy).
   [[nodiscard]] bool expired() const noexcept;
 
-  /// Cooperatively cancel: all copies report expired() from now on.
+  /// Cooperatively cancel: all copies report expired() from now on, and so
+  /// does every (transitive) after_at_most child created under this
+  /// deadline as its cap.
   void cancel() const noexcept;
 
   /// Seconds until expiry: +inf when unlimited, 0 once expired.
@@ -74,7 +90,7 @@ class Deadline {
  private:
   using Clock = std::chrono::steady_clock;
 
-  std::shared_ptr<std::atomic<bool>> flag_;  // null = unlimited
+  std::shared_ptr<detail::DeadlineCancelState> state_;  // null = unlimited
   Clock::time_point expiry_{};
   bool has_expiry_ = false;
 };

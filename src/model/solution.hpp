@@ -23,14 +23,42 @@ enum class SolveStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
 
-/// Combine: exhausted if either input is (the sticky rule above).
+/// Severity rank of a status: worst_of keeps the maximum. The switch is
+/// deliberately exhaustive with no default -- adding a SolveStatus
+/// enumerator (say, a race loser's kCancelled) without ranking it here is
+/// a -Wswitch error under -Werror, so a new status can never silently
+/// launder into kComplete the way the old "anything non-exhausted is
+/// complete" rule would have let it.
+[[nodiscard]] constexpr unsigned severity(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kComplete: return 0;
+    case SolveStatus::kBudgetExhausted: return 1;
+  }
+  // Out-of-range byte (reachable only through memory corruption; io and
+  // verify reject it earlier): rank above every defined status so it
+  // stays sticky through composition too.
+  return 255;
+}
+
+/// Combine: the most severe status wins (the sticky rule above). Maximum
+/// over severity(), not an enumerator comparison, so the rule stays
+/// correct however future enumerators are numbered.
 [[nodiscard]] constexpr SolveStatus worst_of(SolveStatus a,
                                              SolveStatus b) noexcept {
-  return (a == SolveStatus::kBudgetExhausted ||
-          b == SolveStatus::kBudgetExhausted)
-             ? SolveStatus::kBudgetExhausted
-             : SolveStatus::kComplete;
+  return severity(a) >= severity(b) ? a : b;
 }
+
+static_assert(severity(SolveStatus::kComplete) <
+                  severity(SolveStatus::kBudgetExhausted),
+              "kComplete must rank strictly below kBudgetExhausted");
+static_assert(worst_of(SolveStatus::kComplete,
+                       SolveStatus::kBudgetExhausted) ==
+              SolveStatus::kBudgetExhausted);
+static_assert(worst_of(SolveStatus::kBudgetExhausted,
+                       SolveStatus::kComplete) ==
+              SolveStatus::kBudgetExhausted);
+static_assert(worst_of(SolveStatus::kComplete, SolveStatus::kComplete) ==
+              SolveStatus::kComplete);
 
 struct Solution {
   /// Orientation alpha_j (leading edge) per antenna, normalized [0, 2*pi).

@@ -35,6 +35,7 @@
 #include "src/par/bounded_queue.hpp"
 #include "src/par/parallel_for.hpp"
 #include "src/par/thread_pool.hpp"
+#include "src/race/race.hpp"
 #include "src/sectors/annealing.hpp"
 #include "src/sectors/sectors.hpp"
 #include "src/shard/shard.hpp"
@@ -46,5 +47,6 @@
 #include "src/srv/jsonl.hpp"
 #include "src/srv/serve.hpp"
 #include "src/srv/session.hpp"
+#include "src/srv/solvers.hpp"
 #include "src/verify/verify.hpp"
 #include "src/viz/svg.hpp"

@@ -13,6 +13,13 @@ namespace sectorpack::sectors {
 
 model::Solution solve_annealing(const model::Instance& inst,
                                 const AnnealConfig& config) {
+  GreedyConfig start_config;
+  start_config.solve = config.solve;
+  return anneal(inst, solve_greedy(inst, start_config), config);
+}
+
+model::Solution anneal(const model::Instance& inst, model::Solution start,
+                       const AnnealConfig& config) {
   static const obs::Counter c_epochs = obs::counter("anneal.epochs");
   static const obs::Counter c_accepted = obs::counter("anneal.accepted");
   static const obs::Counter c_rejected = obs::counter("anneal.rejected");
@@ -23,9 +30,7 @@ model::Solution solve_annealing(const model::Instance& inst,
 
   const core::Deadline& deadline = config.solve.deadline;
   const std::size_t k = inst.num_antennas();
-  GreedyConfig start_config;
-  start_config.solve = config.solve;
-  model::Solution best = solve_greedy(inst, start_config);
+  model::Solution best = std::move(start);
   if (k == 0 || inst.num_customers() == 0) return best;
 
   sim::Rng rng(config.seed);

@@ -37,4 +37,15 @@ struct AnnealConfig {
 [[nodiscard]] model::Solution solve_annealing(const model::Instance& inst,
                                               const AnnealConfig& config = {});
 
+/// Simulated annealing from an explicit starting solution (warm start),
+/// e.g. a portfolio race's shared incumbent. `start` must be feasible for
+/// `inst`; the walk begins at its orientation vector and best-so-far
+/// tracking guarantees the result is never worse. solve_annealing(inst, c)
+/// is exactly anneal(inst, solve_greedy(inst, greedy-with-c.solve), c), so
+/// warm-starting with that same greedy solution is byte-identical to the
+/// cold path.
+[[nodiscard]] model::Solution anneal(const model::Instance& inst,
+                                     model::Solution start,
+                                     const AnnealConfig& config = {});
+
 }  // namespace sectorpack::sectors

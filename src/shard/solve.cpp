@@ -172,9 +172,11 @@ model::Solution solve(const model::Instance& inst, const ShardConfig& config,
   }
 
   // Deadline slices: shards run in waves of pool-size, so give each shard
-  // remaining/waves seconds capped by the global budget. The slice
-  // snapshots the remaining budget (core::Deadline::after_at_most); an
-  // external cancel of the global deadline is observed between phases.
+  // remaining/waves seconds capped by the global budget. Each slice is
+  // registered as a child of the global deadline
+  // (core::Deadline::after_at_most), so an external cancel -- drain,
+  // SIGINT -- interrupts in-flight shard sub-solves immediately instead of
+  // being observed only between phases.
   core::SolveOptions sub_opts = config.solve;
   double slice_seconds = -1.0;
   if (global.limited() && !subs.empty()) {

@@ -20,11 +20,10 @@
 #include "src/obs/trace.hpp"
 #include "src/par/bounded_queue.hpp"
 #include "src/par/thread_pool.hpp"
-#include "src/sectors/annealing.hpp"
-#include "src/sectors/sectors.hpp"
-#include "src/shard/shard.hpp"
+#include "src/race/race.hpp"
 #include "src/srv/cache.hpp"
 #include "src/srv/jsonl.hpp"
+#include "src/srv/solvers.hpp"
 #include "src/verify/verify.hpp"
 
 namespace sectorpack::srv {
@@ -79,44 +78,16 @@ const char* to_string(RequestStatus status) noexcept {
 }
 
 bool is_known_solver(const std::string& family) noexcept {
-  return family == "greedy" || family == "local-search" ||
-         family == "uniform" || family == "annealing" || family == "exact" ||
-         family == "shard";
+  return find_solver_family(family) != nullptr;
 }
 
 model::Solution run_solver(const model::Instance& inst, const SolverKey& key,
                            const core::SolveOptions& opts) {
-  if (key.family == "greedy") {
-    sectors::GreedyConfig config;
-    config.solve = opts;
-    return sectors::solve_greedy(inst, config);
+  const SolverFamily* family = find_solver_family(key.family);
+  if (family == nullptr) {
+    throw std::invalid_argument("unknown solver: " + key.family);
   }
-  if (key.family == "local-search") {
-    sectors::LocalSearchConfig config;
-    config.solve = opts;
-    return sectors::solve_local_search(inst, config);
-  }
-  if (key.family == "uniform") {
-    return sectors::solve_uniform_orientations(inst, knapsack::Oracle::exact(),
-                                               opts);
-  }
-  if (key.family == "annealing") {
-    sectors::AnnealConfig config;
-    config.seed = key.seed;
-    config.iterations = static_cast<std::size_t>(key.iterations);
-    config.solve = opts;
-    return sectors::solve_annealing(inst, config);
-  }
-  if (key.family == "exact") {
-    return sectors::solve_exact(inst, /*tuple_limit=*/1u << 20,
-                                /*node_limit=*/1u << 26, opts);
-  }
-  if (key.family == "shard") {
-    shard::ShardConfig config;
-    config.solve = opts;
-    return shard::solve(inst, config);
-  }
-  throw std::invalid_argument("unknown solver: " + key.family);
+  return family->run(inst, key, opts);
 }
 
 Request parse_request(const std::string& line, std::size_t index) {
@@ -124,7 +95,7 @@ Request parse_request(const std::string& line, std::size_t index) {
   for (const auto& [key, value] : object) {
     if (key != "id" && key != "instance" && key != "instance_file" &&
         key != "solver" && key != "seed" && key != "iterations" &&
-        key != "time_limit") {
+        key != "portfolio" && key != "time_limit") {
       throw std::runtime_error("unknown request field '" + key + "'");
     }
   }
@@ -156,6 +127,19 @@ Request parse_request(const std::string& line, std::size_t index) {
       throw std::runtime_error("field 'iterations' must be a number");
     }
     req.solver.iterations = require_integer_field("iterations", iters->number);
+  }
+  if (const JsonValue* portfolio = find_field(object, "portfolio")) {
+    if (portfolio->kind != JsonValue::Kind::kString) {
+      throw std::runtime_error("field 'portfolio' must be a string");
+    }
+    if (req.solver.family != "race") {
+      throw std::runtime_error(
+          "field 'portfolio' requires solver 'race'");
+    }
+    // Validate at parse time so a bad portfolio is an invalid request, not
+    // a per-solve failure after the instance loaded.
+    (void)race::parse_portfolio(portfolio->string);
+    req.solver.portfolio = portfolio->string;
   }
   if (const JsonValue* limit = find_field(object, "time_limit")) {
     if (limit->kind != JsonValue::Kind::kNumber || !(limit->number >= 0.0) ||
@@ -206,15 +190,14 @@ class Engine {
         h_queue_us_(obs::hdr_histogram("srv.queue_wait_us")),
         h_gap_(obs::hdr_histogram("quality.gap_permille")) {
     // Pre-register the per-family quality counters so the worker hot path
-    // never takes the registration mutex.
-    for (const char* family :
-         {"greedy", "local-search", "uniform", "annealing", "exact",
-          "shard"}) {
+    // never takes the registration mutex. Driven by the solver registry so
+    // a new family gets its counters for free.
+    for (const SolverFamily& family : solver_families()) {
       quality_.emplace(
-          family,
+          family.name,
           QualityCounters{
-              obs::counter(std::string("quality.") + family + ".solves"),
-              obs::counter(std::string("quality.") + family +
+              obs::counter(std::string("quality.") + family.name + ".solves"),
+              obs::counter(std::string("quality.") + family.name +
                            ".gap_permille_sum")});
     }
   }

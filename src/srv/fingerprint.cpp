@@ -147,6 +147,7 @@ CanonicalInstance canonicalize(const model::Instance& inst,
     hash.update_bytes(key.family);
     hash.update(key.seed);
     hash.update(key.iterations);
+    hash.update_bytes(key.portfolio);
   }
   canon.fingerprint = {h[0].digest(), h[1].digest()};
   return canon;

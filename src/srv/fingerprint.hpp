@@ -57,12 +57,15 @@ struct FingerprintHasher {
 };
 
 /// The solver configuration that participates in the cache key. `seed` and
-/// `iterations` only steer the annealing family today, but they are hashed
-/// for every family: a conservative key never serves a stale result.
+/// `iterations` only steer the annealing family today, and `portfolio`
+/// (a comma-separated family list) only the race family, but all are
+/// hashed for every family: a conservative key never serves a stale
+/// result.
 struct SolverKey {
   std::string family = "local-search";
   std::uint64_t seed = 1;
   std::uint64_t iterations = 2000;
+  std::string portfolio;  // race only; empty = the default portfolio
 };
 
 /// An instance's cache identity: the fingerprint plus the permutations

@@ -17,6 +17,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/slo.hpp"
 #include "src/obs/trace.hpp"
+#include "src/race/race.hpp"
 #include "src/srv/engine.hpp"
 #include "src/srv/jsonl.hpp"
 #include "src/srv/session.hpp"
@@ -110,7 +111,8 @@ ServeOp parse_serve_op(const std::string& line, std::size_t index) {
 
   if (op.op == "register") {
     check_fields(object, {"op", "id", "time_limit", "instance",
-                          "instance_file", "solver", "seed", "iterations"});
+                          "instance_file", "solver", "seed", "iterations",
+                          "portfolio"});
     op.instance_file = optional_string_field(object, "instance_file");
     op.instance_text = optional_string_field(object, "instance");
     if (op.instance_file.empty() == op.instance_text.empty()) {
@@ -133,6 +135,16 @@ ServeOp parse_serve_op(const std::string& line, std::size_t index) {
         throw std::runtime_error("field 'iterations' must be a number");
       }
       op.solver.iterations = require_integer("iterations", iters->number);
+    }
+    if (const JsonValue* portfolio = find_field(object, "portfolio")) {
+      if (portfolio->kind != JsonValue::Kind::kString) {
+        throw std::runtime_error("field 'portfolio' must be a string");
+      }
+      if (op.solver.family != "race") {
+        throw std::runtime_error("field 'portfolio' requires solver 'race'");
+      }
+      (void)race::parse_portfolio(portfolio->string);
+      op.solver.portfolio = portfolio->string;
     }
     return op;
   }

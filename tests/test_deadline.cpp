@@ -140,6 +140,18 @@ TEST(Deadline, SolveStatusHelpers) {
   EXPECT_EQ(model::worst_of(model::SolveStatus::kBudgetExhausted,
                             model::SolveStatus::kComplete),
             model::SolveStatus::kBudgetExhausted);
+  EXPECT_EQ(model::worst_of(model::SolveStatus::kBudgetExhausted,
+                            model::SolveStatus::kBudgetExhausted),
+            model::SolveStatus::kBudgetExhausted);
+  // worst_of is a max over the explicit severity order, not a special-case
+  // on kBudgetExhausted: a corrupt out-of-range byte ranks above every
+  // defined status and stays sticky instead of laundering into kComplete.
+  EXPECT_LT(model::severity(model::SolveStatus::kComplete),
+            model::severity(model::SolveStatus::kBudgetExhausted));
+  const auto corrupt = static_cast<model::SolveStatus>(200);
+  EXPECT_EQ(model::severity(corrupt), 255u);
+  EXPECT_EQ(model::worst_of(corrupt, model::SolveStatus::kBudgetExhausted),
+            corrupt);
 }
 
 TEST(Deadline, AfterAtMostClampsUnderTheCap) {
@@ -166,17 +178,74 @@ TEST(Deadline, AfterAtMostClampsUnderTheCap) {
   const core::Deadline cap = core::Deadline::after(0.0);
   EXPECT_TRUE(core::Deadline::after_at_most(3600.0, cap).expired());
 
-  // The clamp snapshots the cap; it does NOT share the cap's cancel flag.
+  // The clamp registers the child with the cap: a later cancel() of the
+  // cap reaches the child immediately (this used to only snapshot the
+  // remaining time, leaving e.g. shard slices running through a drain).
   const core::Deadline wide = core::Deadline::after(3600.0);
   const core::Deadline sub = core::Deadline::after_at_most(1800.0, wide);
-  wide.cancel();
   EXPECT_FALSE(sub.expired());
+  wide.cancel();
+  EXPECT_TRUE(sub.expired());
+  EXPECT_EQ(sub.remaining_seconds(), 0.0);
 
   // A small own budget under a large cap keeps the small budget.
   EXPECT_LE(
       core::Deadline::after_at_most(1.0, core::Deadline::after(3600.0))
           .remaining_seconds(),
       1.0);
+}
+
+TEST(Deadline, CancelPropagatesThroughAfterAtMostChains) {
+  // Grandchildren too: cap -> race hub -> per-lane slice is exactly the
+  // portfolio race's deadline tree.
+  const core::Deadline cap = core::Deadline::after(3600.0);
+  const core::Deadline hub = core::Deadline::after_at_most(-1.0, cap);
+  const core::Deadline lane = core::Deadline::after_at_most(1800.0, hub);
+  EXPECT_FALSE(lane.expired());
+  cap.cancel();
+  EXPECT_TRUE(hub.expired());
+  EXPECT_TRUE(lane.expired());
+}
+
+TEST(Deadline, PropagationIsOneWayParentUnharmed) {
+  const core::Deadline cap = core::Deadline::after(3600.0);
+  const core::Deadline child = core::Deadline::after_at_most(-1.0, cap);
+  const core::Deadline sibling = core::Deadline::after_at_most(-1.0, cap);
+  child.cancel();
+  EXPECT_TRUE(child.expired());
+  EXPECT_FALSE(cap.expired());
+  EXPECT_FALSE(sibling.expired());
+}
+
+TEST(Deadline, ChildArmedAfterCancelIsBornExpired) {
+  const core::Deadline cap = core::Deadline::cancellable();
+  cap.cancel();
+  EXPECT_TRUE(core::Deadline::after_at_most(-1.0, cap).expired());
+  EXPECT_TRUE(core::Deadline::after_at_most(3600.0, cap).expired());
+}
+
+TEST(Deadline, CrossThreadCancelReachesChildren) {
+  // The drain scenario: one thread holds lane deadlines, another cancels
+  // the cap. The child must observe expiry promptly (propagation happens
+  // inside cancel(), so after join it is guaranteed, not just prompt).
+  const core::Deadline cap = core::Deadline::after(3600.0);
+  const core::Deadline lane = core::Deadline::after_at_most(600.0, cap);
+  std::thread canceller([&cap] { cap.cancel(); });
+  canceller.join();
+  EXPECT_TRUE(lane.expired());
+}
+
+TEST(Deadline, DeadChildrenArePruned) {
+  // A long-lived cap must not accumulate registry entries for completed
+  // sub-solves: arm and drop many children, then one more -- cancel still
+  // works and nothing leaks (ASan/LSan in check.sh watch allocation).
+  const core::Deadline cap = core::Deadline::after(3600.0);
+  for (int i = 0; i < 1000; ++i) {
+    (void)core::Deadline::after_at_most(60.0, cap);
+  }
+  const core::Deadline last = core::Deadline::after_at_most(60.0, cap);
+  cap.cancel();
+  EXPECT_TRUE(last.expired());
 }
 
 TEST(Deadline, HugeFiniteBudgetIsClampedNotOverflowed) {

@@ -90,7 +90,7 @@ TEST_P(SessionIdentity, RandomizedDeltaStreamMatchesFromScratch) {
   const bool annular = GetParam();
   model::Instance inst =
       annular ? annular_instance(60, 7) : identical_instance(60, 7);
-  srv::Session session(std::move(inst), srv::SolverKey{"greedy", 1, 0});
+  srv::Session session(std::move(inst), srv::SolverKey{"greedy", 1, 0, ""});
   const srv::ResolveStats init = session.solve_initial({});
   EXPECT_TRUE(init.incremental);
   expect_identical(session, "solve_initial");
@@ -136,7 +136,7 @@ INSTANTIATE_TEST_SUITE_P(GreedyBranches, SessionIdentity,
 /// trivially identical, and the stats say so.
 TEST(Session, NonGreedyFamilyFallsBackToFullResolve) {
   srv::Session session(identical_instance(30, 3),
-                       srv::SolverKey{"local-search", 1, 200});
+                       srv::SolverKey{"local-search", 1, 200, ""});
   const srv::ResolveStats init = session.solve_initial({});
   EXPECT_FALSE(init.incremental);
   expect_identical(session, "solve_initial (local-search)");
@@ -151,7 +151,7 @@ TEST(Session, NonGreedyFamilyFallsBackToFullResolve) {
 /// Reverting a delta returns the unserved-band fingerprints to previously
 /// memoized keys: the replay must then be served from the memo.
 TEST(Session, RevertedDeltaHitsTheWindowMemo) {
-  srv::Session session(annular_instance(50, 9), srv::SolverKey{"greedy", 1, 0});
+  srv::Session session(annular_instance(50, 9), srv::SolverKey{"greedy", 1, 0, ""});
   session.solve_initial({});
 
   std::mt19937_64 gen(21);
@@ -170,7 +170,7 @@ TEST(Session, RevertedDeltaHitsTheWindowMemo) {
 
 /// Validation failures must leave instance and solution untouched.
 TEST(Session, InvalidDeltaLeavesSessionOnPreviousState) {
-  srv::Session session(identical_instance(20, 4), srv::SolverKey{"greedy", 1, 0});
+  srv::Session session(identical_instance(20, 4), srv::SolverKey{"greedy", 1, 0, ""});
   session.solve_initial({});
   const std::string before_inst = model::to_string(session.instance());
   const std::string before_sol = model::to_string(session.solution());
@@ -194,7 +194,7 @@ TEST(SessionStore, CreateFindCloseAndNumericIdOrder) {
   std::vector<std::string> created;
   for (int i = 0; i < 11; ++i) {
     created.push_back(
-        store.create(identical_instance(10, 1), srv::SolverKey{"greedy", 1, 0}));
+        store.create(identical_instance(10, 1), srv::SolverKey{"greedy", 1, 0, ""}));
   }
   EXPECT_EQ(created.front(), "s0");
   EXPECT_EQ(created.back(), "s10");
@@ -332,7 +332,7 @@ TEST(Serve, FailedDeltaIsIsolatedFromTheSession) {
   // the instance with only the *valid* delta applied.
   model::Instance fresh = identical_instance(20, 6);
   fresh.set_demand(0, 5.0);
-  const model::Solution sol = srv::run_solver(fresh, srv::SolverKey{"greedy", 1, 0}, {});
+  const model::Solution sol = srv::run_solver(fresh, srv::SolverKey{"greedy", 1, 0, ""}, {});
   std::string expect = model::to_string(sol);
   EXPECT_EQ(field(rs[2], "solution"), expect);
 }

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <thread>
 
+#include "src/bench_util/timer.hpp"
 #include "src/core/deadline.hpp"
 #include "src/model/solution.hpp"
 #include "src/model/validate.hpp"
@@ -11,6 +14,7 @@
 #include "src/sim/generators.hpp"
 #include "src/sim/rng.hpp"
 
+namespace bench_util = sectorpack::bench_util;
 namespace shard = sectorpack::shard;
 namespace model = sectorpack::model;
 namespace geom = sectorpack::geom;
@@ -120,6 +124,62 @@ TEST(Shard, PreExpiredDeadlineReturnsFeasibleBudgetExhausted) {
   EXPECT_EQ(sol.status, model::SolveStatus::kBudgetExhausted);
   const auto report = model::validate(inst, sol);
   EXPECT_TRUE(report.ok);
+}
+
+// Regression: shard's per-slice deadlines used to snapshot the global
+// budget without sharing its cancel flag, so a drain/SIGINT mid-solve let
+// in-flight shard sub-solves run out their full slices. after_at_most now
+// registers slices as children of the global deadline; a mid-solve
+// cancel() must stop the whole sharded solve promptly.
+TEST(Shard, MidSolveCancelStopsSlicesPromptly) {
+  // Big uniform instance + exact per-move oracle: ~1s of shard work on a
+  // typical dev box, enough runway to cancel mid-flight.
+  sim::Rng rng(61);
+  model::InstanceBuilder b;
+  for (std::size_t i = 0; i < 40000; ++i) {
+    b.add_customer_polar(rng.uniform(0.0, geom::kTwoPi),
+                         rng.uniform(0.5, 100.0),
+                         static_cast<double>(rng.uniform_int(1, 4)));
+  }
+  for (std::size_t j = 0; j < 12; ++j) {
+    b.add_antenna(rng.uniform(0.4, 1.5), rng.uniform(25.0, 90.0), 4000.0);
+  }
+  const model::Instance inst = b.build();
+  shard::ShardConfig config;
+  config.wedges = 4;
+  config.annuli = 2;
+  config.oracle = sectorpack::knapsack::Oracle::exact();
+
+  // Calibrate: how long does the uncancelled solve take here? Skip on
+  // machines where it is too fast to cancel mid-flight reliably.
+  bench_util::Timer timer;
+  (void)shard::solve(inst, config);
+  const double full_ms = timer.elapsed_ms();
+  if (full_ms < 200.0) {
+    GTEST_SKIP() << "uncancelled solve too fast to probe (" << full_ms
+                 << " ms)";
+  }
+
+  // A generous budget that would never lapse on its own; the cancel is the
+  // only thing that can stop the solve early.
+  const core::Deadline global = core::Deadline::after(3600.0);
+  config.solve.deadline = global;
+  std::thread canceller([&global, full_ms] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(full_ms / 10.0)));
+    global.cancel();
+  });
+  timer.reset();
+  const model::Solution sol = shard::solve(inst, config);
+  const double cancelled_ms = timer.elapsed_ms();
+  canceller.join();
+
+  EXPECT_EQ(sol.status, model::SolveStatus::kBudgetExhausted);
+  EXPECT_TRUE(model::validate(inst, sol).ok);
+  // Prompt: well under the uncancelled runtime (10% trigger + one check
+  // interval; 75% leaves slack for noisy CI).
+  EXPECT_LT(cancelled_ms, 0.75 * full_ms)
+      << "cancel did not reach in-flight shard slices";
 }
 
 TEST(Shard, StatsCountRepairedCustomers) {

@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <set>
+#include <span>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -304,6 +306,9 @@ TEST(SrvFingerprint, DistinguishesProblemAndSolverChanges) {
   EXPECT_NE(srv::canonicalize(base, other).fingerprint, fp);
   other = key;
   other.family = "greedy";
+  EXPECT_NE(srv::canonicalize(base, other).fingerprint, fp);
+  other = key;
+  other.portfolio = "greedy,local-search";
   EXPECT_NE(srv::canonicalize(base, other).fingerprint, fp);
 }
 
@@ -669,20 +674,60 @@ TEST(SrvEngine, BatchReportCarriesSloSummary) {
 TEST(SrvEngine, RunSolverMatchesDirectCalls) {
   const model::Instance inst = small_instance();
   const core::SolveOptions opts;
-  EXPECT_EQ(model::to_string(srv::run_solver(inst, {"greedy", 1, 2000}, opts)),
+  EXPECT_EQ(model::to_string(srv::run_solver(inst, {"greedy", 1, 2000, ""}, opts)),
             model::to_string(sectors::solve_greedy(inst)));
   EXPECT_EQ(model::to_string(
-                srv::run_solver(inst, {"local-search", 1, 2000}, opts)),
+                srv::run_solver(inst, {"local-search", 1, 2000, ""}, opts)),
             model::to_string(sectors::solve_local_search(inst)));
   sectors::AnnealConfig anneal;
   anneal.seed = 5;
   anneal.iterations = 100;
   EXPECT_EQ(
-      model::to_string(srv::run_solver(inst, {"annealing", 5, 100}, opts)),
+      model::to_string(srv::run_solver(inst, {"annealing", 5, 100, ""}, opts)),
       model::to_string(sectors::solve_annealing(inst, anneal)));
   EXPECT_FALSE(srv::is_known_solver("qaoa"));
-  EXPECT_THROW(static_cast<void>(srv::run_solver(inst, {"qaoa", 1, 1}, opts)),
+  EXPECT_THROW(static_cast<void>(srv::run_solver(inst, {"qaoa", 1, 1, ""}, opts)),
                std::invalid_argument);
+}
+
+// The registry is the single source of truth for family names: the engine
+// validation, the dispatch, the CLI help, and the race portfolio parser
+// all read it, so this test is the drift tripwire -- adding a family to
+// one consumer but not the table cannot pass.
+TEST(SrvSolverRegistry, SingleSourceOfTruth) {
+  const std::span<const srv::SolverFamily> families = srv::solver_families();
+  ASSERT_FALSE(families.empty());
+
+  std::set<std::string> names;
+  std::set<int> priorities;
+  for (const srv::SolverFamily& family : families) {
+    // Engine validation agrees with the table row by row.
+    EXPECT_TRUE(srv::is_known_solver(family.name)) << family.name;
+    EXPECT_EQ(srv::find_solver_family(family.name), &family) << family.name;
+    EXPECT_NE(family.run, nullptr) << family.name;
+    // Names unique, priorities unique (the race tie-break requires a
+    // total order over families).
+    EXPECT_TRUE(names.insert(family.name).second) << family.name;
+    EXPECT_TRUE(priorities.insert(family.priority).second) << family.name;
+    // Generated help text carries every family.
+    EXPECT_NE(srv::solver_family_names("|").find(family.name),
+              std::string::npos)
+        << family.name;
+  }
+  // The forcing function for this PR: `race` is a registered family, and
+  // every historical family is still present.
+  for (const char* expected :
+       {"greedy", "local-search", "uniform", "annealing", "exact", "shard",
+        "race"}) {
+    EXPECT_EQ(names.count(expected), 1u) << expected;
+  }
+  EXPECT_EQ(srv::find_solver_family("qaoa"), nullptr);
+
+  // Seedable families expose warm starts; a family that does not cannot
+  // be handed one by the race (the exchange checks for nullptr).
+  EXPECT_NE(srv::find_solver_family("local-search")->run_seeded, nullptr);
+  EXPECT_NE(srv::find_solver_family("annealing")->run_seeded, nullptr);
+  EXPECT_EQ(srv::find_solver_family("greedy")->run_seeded, nullptr);
 }
 
 }  // namespace

@@ -73,7 +73,7 @@ SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 
 SOLVER_DIRS = ("src/sectors/", "src/assign/", "src/single/", "src/angles/",
                "src/knapsack/", "src/bounds/", "src/cover/", "src/srv/",
-               "src/shard/")
+               "src/shard/", "src/race/")
 
 WAIVER_RE = re.compile(
     r"//\s*sp-lint:\s*allow\(([a-z0-9-]+)\)\s*(.*)$")

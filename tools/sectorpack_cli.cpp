@@ -302,15 +302,29 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
-  require_known(args, {"in", "solver", "spatial", "seed", "iterations",
-                       "time-limit", "out", "svg", "stats", "trace-out",
-                       "metrics-out", "metrics-jsonl", "metrics-interval"});
+  require_known(args, {"in", "solver", "portfolio", "spatial", "seed",
+                       "iterations", "time-limit", "out", "svg", "stats",
+                       "trace-out", "metrics-out", "metrics-jsonl",
+                       "metrics-interval"});
   static const obs::HdrHistogram h_solve_ms = obs::hdr_histogram("cli.solve_ms");
   // Flag values are checked before any file IO so a bad invocation is
   // always a usage error (2), even when --in is also bad.
   const std::string solver = args.get("solver", "local-search");
   if (!srv::is_known_solver(solver)) {
-    throw UsageError("unknown --solver: " + solver);
+    throw UsageError("unknown --solver: " + solver +
+                     " (known: " + srv::solver_family_names("|") + ")");
+  }
+  std::string portfolio;
+  if (args.has("portfolio")) {
+    if (solver != "race") {
+      throw UsageError("--portfolio requires --solver race");
+    }
+    portfolio = args.get("portfolio", "");
+    try {
+      (void)race::parse_portfolio(portfolio);
+    } catch (const std::exception& e) {
+      throw UsageError(e.what());
+    }
   }
   // Pin the flat-vs-indexed crossover (outputs are bit-identical either
   // way; check.sh --huge byte-compares the two paths through this flag).
@@ -328,6 +342,7 @@ int cmd_solve(const Args& args) {
   key.family = solver;
   key.seed = args.get_size("seed", 1);
   key.iterations = args.get_size("iterations", 2000);
+  key.portfolio = portfolio;
   const core::SolveOptions opts = solve_options(args);
   const model::Instance inst = load_instance(args);
 
@@ -700,8 +715,11 @@ int usage() {
       "  generate  --n N --k K --spatial uniform|hotspots|ring|arcband\n"
       "            --demand unit|uniform-int|pareto --rho-deg D\n"
       "            --capacity-fraction F --seed S -o FILE\n"
-      "  solve     --in FILE --solver greedy|local-search|annealing|\n"
-      "            uniform|exact|shard [--spatial flat|index|auto]\n"
+      "  solve     --in FILE --solver " << srv::solver_family_names("|") <<
+      "\n"
+      "            [--portfolio F1,F2,...] (race only; default\n"
+      "             greedy,local-search,annealing)\n"
+      "            [--spatial flat|index|auto]\n"
       "            [--time-limit SEC] [-o FILE] [--svg FILE]\n"
       "            [--stats json|text] [--trace-out FILE]\n"
       "            [--metrics-out FILE] [--metrics-jsonl FILE]\n"
